@@ -1,0 +1,472 @@
+(* qsens: command-line interface to the query-optimizer sensitivity
+   analysis toolkit.
+
+   Subcommands mirror the paper's experiments: [explain] shows the plan
+   chosen at the estimated costs, [worst-case] prints one query's
+   worst-case GTC curve, [candidates] runs candidate-optimal-plan
+   discovery and the Section-8.2 census, [figure] regenerates a full
+   figure, [lsq] validates the least-squares usage recovery, and [params]
+   dumps the Section-7.3 configuration table. *)
+
+open Cmdliner
+open Qsens_core
+
+let policy_of_string = function
+  | "same" | "same-device" -> Ok Qsens_catalog.Layout.Same_device
+  | "per-table" -> Ok Qsens_catalog.Layout.Per_table_devices
+  | "per-table-and-index" | "split" ->
+      Ok Qsens_catalog.Layout.Per_table_and_index_devices
+  | s -> Error (`Msg (Printf.sprintf "unknown layout %S" s))
+
+let policy_conv =
+  Arg.conv
+    ( policy_of_string,
+      fun ppf p ->
+        Format.pp_print_string ppf (Qsens_catalog.Layout.policy_name p) )
+
+let policy_arg =
+  let doc =
+    "Storage layout: same-device (Fig. 5), per-table (Fig. 7), or \
+     per-table-and-index (Fig. 6)."
+  in
+  Arg.(
+    value
+    & opt policy_conv Qsens_catalog.Layout.Same_device
+    & info [ "l"; "layout" ] ~docv:"LAYOUT" ~doc)
+
+let sf_arg =
+  let doc = "TPC-H scale factor (the paper used 100 = 100 GB)." in
+  Arg.(value & opt float 100. & info [ "sf" ] ~docv:"SF" ~doc)
+
+let query_arg =
+  let doc = "TPC-H query name, Q1 .. Q22." in
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"QUERY" ~doc)
+
+let delta_arg =
+  let doc = "Largest multiplicative cost error delta to explore." in
+  Arg.(value & opt float 10_000. & info [ "d"; "delta" ] ~docv:"DELTA" ~doc)
+
+let seed_arg =
+  let doc = "Random seed for the discovery sampling." in
+  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc)
+
+let lookup_query sf name =
+  match Qsens_tpch.Queries.find ~sf name with
+  | q -> q
+  | exception Not_found ->
+      Printf.eprintf "unknown query %s (expected Q1 .. Q22)\n" name;
+      exit 2
+
+let deltas_upto delta_max =
+  List.filter (fun d -> d <= delta_max *. 1.0001) Worst_case.default_deltas
+
+(* ------------------------------------------------------------------ *)
+
+let explain_cmd =
+  let run sf policy name =
+    let query = lookup_query sf name in
+    let schema = Qsens_tpch.Spec.schema ~sf in
+    let env = Qsens_plan.Env.make ~schema ~policy () in
+    let costs = Qsens_cost.Defaults.base_costs env.Qsens_plan.Env.space in
+    let r = Qsens_optimizer.Optimizer.optimize env query ~costs in
+    Format.printf "%a@." Qsens_plan.Query.pp query;
+    Format.printf "estimated optimal plan (total cost %.6g):@.%a@."
+      r.total_cost Qsens_plan.Node.pp_explain r.plan;
+    Format.printf "resource usage vector:@.%a@."
+      (Qsens_cost.Space.pp_vec env.Qsens_plan.Env.space)
+      r.plan.Qsens_plan.Node.usage
+  in
+  let doc = "Show the plan chosen at the estimated (default) costs." in
+  Cmd.v (Cmd.info "explain" ~doc)
+    Term.(const run $ sf_arg $ policy_arg $ query_arg)
+
+let worst_case_cmd =
+  let run sf policy name delta seed =
+    let query = lookup_query sf name in
+    let schema = Qsens_tpch.Spec.schema ~sf in
+    let s = Experiment.setup ~schema ~policy query in
+    let r = Experiment.run ~deltas:(deltas_upto delta) ~seed s in
+    Printf.printf
+      "query %s, layout %s: %d active cost parameters, %d candidate plans%s\n"
+      r.query_name
+      (Qsens_catalog.Layout.policy_name r.policy)
+      r.active_dim
+      (List.length r.candidates.plans)
+      (if r.candidates.verified_complete then " (verified complete)"
+       else " (not verified complete)");
+    let table = Qsens_report.Figure.series_table [ (name, r.curve) ] in
+    Qsens_report.Table.print table;
+    (match Worst_case.asymptote r.curve with
+    | `Bounded c ->
+        Printf.printf
+          "regime: bounded — approaches constant %.4g (Theorem 2; bound %.4g)\n"
+          c r.census.theorem2
+    | `Quadratic s ->
+        Printf.printf "regime: quadratic — gtc ~ %.3g * delta^2 (Theorem 1)\n" s)
+  in
+  let doc = "Worst-case global relative cost curve for one query." in
+  Cmd.v (Cmd.info "worst-case" ~doc)
+    Term.(const run $ sf_arg $ policy_arg $ query_arg $ delta_arg $ seed_arg)
+
+let candidates_cmd =
+  let run sf policy name delta seed =
+    let query = lookup_query sf name in
+    let schema = Qsens_tpch.Spec.schema ~sf in
+    let s = Experiment.setup ~schema ~policy query in
+    let box =
+      Qsens_geom.Box.around
+        (Qsens_linalg.Vec.make (Projection.active_dim s.proj) 1.)
+        ~delta
+    in
+    let oracle = Experiment.white_box_oracle s in
+    let c = Candidates.discover ~seed oracle ~box in
+    Printf.printf "%d candidate optimal plans (%d probes, %s):\n"
+      (List.length c.plans) c.probes
+      (if c.verified_complete then "verified complete" else "not verified");
+    let names = Array.map (fun i -> (Qsens_cost.Groups.names s.groups).(i))
+        (Projection.active s.proj) in
+    List.iter
+      (fun (p : Candidates.plan) ->
+        Printf.printf "%s %s\n"
+          (if p.signature = c.initial.signature then "*" else " ")
+          p.signature;
+        Array.iteri
+          (fun i name ->
+            if p.eff.(i) <> 0. then
+              Printf.printf "      %-28s %.6g\n" name p.eff.(i))
+          names)
+      c.plans;
+    let census = Experiment.census_of s c.plans in
+    Printf.printf
+      "census: %d pairs, %d complementary, %d near-complementary (>10x), \
+       max element ratio %.4g\n"
+      census.pairs census.complementary_pairs census.near_pairs
+      census.max_element_ratio;
+    List.iter
+      (fun (k, n) ->
+        Printf.printf "  %-12s %d pair(s)\n" (Complementary.kind_name k) n)
+      census.by_kind;
+    if Float.is_finite census.theorem2 then
+      Printf.printf
+        "no complementary pairs: Theorem 2 bounds the error by %.4g\n"
+        census.theorem2;
+    (* Switchover margins from the initial plan. *)
+    let plan_vecs =
+      Array.of_list (List.map (fun (p : Candidates.plan) -> p.eff) c.plans)
+    in
+    let current =
+      let rec find i = function
+        | [] -> 0
+        | (p : Candidates.plan) :: rest ->
+            if p.signature = c.initial.signature then i else find (i + 1) rest
+      in
+      find 0 c.plans
+    in
+    (match Margin.nearest ~plans:plan_vecs ~current () with
+    | Some b ->
+        Printf.printf
+          "nearest switchover: plan %s takes over once costs drift by %.3gx\n"
+          (List.nth c.plans b.Margin.competitor).Candidates.signature
+          b.Margin.delta
+    | None -> Printf.printf "no competitor can overtake the initial plan\n")
+  in
+  let doc = "Discover candidate optimal plans and classify them." in
+  Cmd.v (Cmd.info "candidates" ~doc)
+    Term.(const run $ sf_arg $ policy_arg $ query_arg $ delta_arg $ seed_arg)
+
+let figure_cmd =
+  let number_arg =
+    let doc = "Figure number: 5, 6 or 7." in
+    Arg.(required & pos 0 (some int) None & info [] ~docv:"N" ~doc)
+  in
+  let run sf number delta seed =
+    let policy =
+      match number with
+      | 5 -> Qsens_catalog.Layout.Same_device
+      | 6 -> Qsens_catalog.Layout.Per_table_and_index_devices
+      | 7 -> Qsens_catalog.Layout.Per_table_devices
+      | n ->
+          Printf.eprintf "no figure %d (expected 5, 6 or 7)\n" n;
+          exit 2
+    in
+    let schema = Qsens_tpch.Spec.schema ~sf in
+    let series =
+      List.map
+        (fun query ->
+          let s = Experiment.setup ~schema ~policy query in
+          let r =
+            Experiment.run ~deltas:(deltas_upto delta) ~seed ~max_probes:1500 s
+          in
+          Printf.eprintf "%s done (%d plans)\n%!" r.query_name
+            (List.length r.candidates.plans);
+          (r.query_name, r.curve))
+        (Qsens_tpch.Queries.all ~sf)
+    in
+    Printf.printf "Figure %d: worst-case GTC, layout %s\n" number
+      (Qsens_catalog.Layout.policy_name policy);
+    Qsens_report.Table.print (Qsens_report.Figure.series_table series);
+    print_newline ();
+    print_string (Qsens_report.Figure.ascii_plot series);
+    print_newline ();
+    Qsens_report.Table.print (Qsens_report.Figure.asymptote_summary series)
+  in
+  let doc = "Regenerate a full figure (all 22 queries; takes minutes)." in
+  Cmd.v (Cmd.info "figure" ~doc)
+    Term.(const run $ sf_arg $ number_arg $ delta_arg $ seed_arg)
+
+let lsq_cmd =
+  let run sf policy name delta seed =
+    let query = lookup_query sf name in
+    let schema = Qsens_tpch.Spec.schema ~sf in
+    let s = Experiment.setup ~schema ~policy query in
+    let m = Projection.active_dim s.proj in
+    let box = Qsens_geom.Box.around (Qsens_linalg.Vec.make m 1.) ~delta in
+    let _, narrow = Experiment.narrow_oracle ~seed s ~box in
+    let ones = Qsens_linalg.Vec.make m 1. in
+    let signature, _ =
+      Qsens_optimizer.Narrow.explain narrow
+        ~costs:(Experiment.expand_theta s ones)
+    in
+    match
+      Probe.estimate_usage ~seed ~narrow ~expand:(Experiment.expand_theta s)
+        ~signature ~box ()
+    with
+    | None -> Printf.printf "estimation failed\n"
+    | Some est ->
+        Printf.printf
+          "plan %s\nestimated effective usage from %d cost observations \
+           (max fitting residual %.3g%%):\n"
+          signature est.samples (100. *. est.residual);
+        let names = Array.map (fun i -> (Qsens_cost.Groups.names s.groups).(i))
+            (Projection.active s.proj) in
+        Array.iteri
+          (fun i name -> Printf.printf "  %-28s %.6g\n" name est.usage.(i))
+          names;
+        (match
+           Probe.validate ~narrow ~expand:(Experiment.expand_theta s)
+             ~signature ~box est
+         with
+        | Some err ->
+            Printf.printf
+              "validation: max cost-prediction discrepancy %.4g%% (paper: <1%%)\n"
+              (100. *. err)
+        | None -> Printf.printf "validation produced no observations\n")
+  in
+  let doc =
+    "Recover a plan's usage vector through the narrow interface \
+     (least squares, Section 6.1.1)."
+  in
+  Cmd.v (Cmd.info "lsq" ~doc)
+    Term.(const run $ sf_arg $ policy_arg $ query_arg $ delta_arg $ seed_arg)
+
+let diagram_cmd =
+  let dims_arg =
+    let doc =
+      "Two active cost dimensions to sweep, as a comma-separated pair of \
+       group names (e.g. dev:tbl:lineitem,dev:idx:lineitem) or indices."
+    in
+    Arg.(value & opt (some string) None & info [ "dims" ] ~docv:"X,Y" ~doc)
+  in
+  let run sf policy name delta dims =
+    let query = lookup_query sf name in
+    let schema = Qsens_tpch.Spec.schema ~sf in
+    let s = Experiment.setup ~schema ~policy query in
+    let names = Qsens_cost.Groups.names s.groups in
+    let active = Projection.active s.proj in
+    let m = Projection.active_dim s.proj in
+    let resolve spec =
+      match int_of_string_opt spec with
+      | Some i when i >= 0 && i < m -> i
+      | Some _ ->
+          Printf.eprintf "dimension index out of range (0..%d)\n" (m - 1);
+          exit 2
+      | None -> (
+          let rec find k =
+            if k >= m then None
+            else if names.(active.(k)) = spec then Some k
+            else find (k + 1)
+          in
+          match find 0 with
+          | Some k -> k
+          | None ->
+              Printf.eprintf "unknown dimension %s; available:\n" spec;
+              for k = 0 to m - 1 do
+                Printf.eprintf "  %d: %s\n" k names.(active.(k))
+              done;
+              exit 2)
+    in
+    let dx, dy =
+      match dims with
+      | Some spec -> (
+          match String.split_on_char ',' spec with
+          | [ a; b ] -> (resolve a, resolve b)
+          | _ ->
+              Printf.eprintf "expected --dims X,Y\n";
+              exit 2)
+      | None -> (0, if m > 1 then 1 else 0)
+    in
+    let oracle = Experiment.white_box_oracle s in
+    let d =
+      Plan_diagram.compute ~grid:28 ~oracle ~plans:[] ~dim_x:dx ~dim_y:dy
+        ~delta ()
+    in
+    Printf.printf "x: %s, y: %s\n" names.(active.(dx)) names.(active.(dy));
+    print_string (Plan_diagram.render d);
+    Printf.printf "convexity violations: %d\n"
+      (Plan_diagram.convexity_violations d)
+  in
+  let doc =
+    "Plot the regions of influence over a 2-D slice of the cost space."
+  in
+  Cmd.v (Cmd.info "diagram" ~doc)
+    Term.(const run $ sf_arg $ policy_arg $ query_arg $ delta_arg $ dims_arg)
+
+let sql_cmd =
+  let sql_arg =
+    let doc = "A select-project-join SQL block over the TPC-H schema." in
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"SQL" ~doc)
+  in
+  let run sf policy sql =
+    let schema = Qsens_tpch.Spec.schema ~sf in
+    let query =
+      try Qsens_sql.Binder.parse_and_bind schema ~name:"adhoc" sql with
+      | Qsens_sql.Parser.Error msg
+      | Qsens_sql.Binder.Error msg
+      | Qsens_sql.Lexer.Error msg ->
+          Printf.eprintf "error: %s\n" msg;
+          exit 2
+    in
+    Format.printf "%a@." Qsens_plan.Query.pp query;
+    let env = Qsens_plan.Env.make ~schema ~policy () in
+    let costs = Qsens_cost.Defaults.base_costs env.Qsens_plan.Env.space in
+    let r = Qsens_optimizer.Optimizer.optimize env query ~costs in
+    Format.printf "estimated optimal plan (total cost %.6g):@.%a@."
+      r.total_cost Qsens_plan.Node.pp_explain r.plan
+  in
+  let doc = "Parse, bind and optimize an ad-hoc SQL query." in
+  Cmd.v (Cmd.info "sql" ~doc) Term.(const run $ sf_arg $ policy_arg $ sql_arg)
+
+let profile_cmd =
+  let dim_arg =
+    let doc = "Cost dimension to sweep (group name or active index)." in
+    Arg.(value & opt (some string) None & info [ "dim" ] ~docv:"DIM" ~doc)
+  in
+  let run sf policy name delta seed dim =
+    let query = lookup_query sf name in
+    let schema = Qsens_tpch.Spec.schema ~sf in
+    let s = Experiment.setup ~schema ~policy query in
+    let names = Qsens_cost.Groups.names s.groups in
+    let active = Projection.active s.proj in
+    let m = Projection.active_dim s.proj in
+    let d =
+      match dim with
+      | None -> 0
+      | Some spec -> (
+          match int_of_string_opt spec with
+          | Some i when i >= 0 && i < m -> i
+          | _ -> (
+              let rec find k =
+                if k >= m then (
+                  Printf.eprintf "unknown dimension %s; available:\n" spec;
+                  for k = 0 to m - 1 do
+                    Printf.eprintf "  %d: %s\n" k names.(active.(k))
+                  done;
+                  exit 2)
+                else if names.(active.(k)) = spec then k
+                else find (k + 1)
+              in
+              find 0))
+    in
+    let box =
+      Qsens_geom.Box.around (Qsens_linalg.Vec.make m 1.) ~delta
+    in
+    let oracle = Experiment.white_box_oracle s in
+    let c = Candidates.discover ~seed ~max_probes:1200 oracle ~box in
+    let plans =
+      Array.of_list (List.map (fun (p : Candidates.plan) -> p.eff) c.plans)
+    in
+    let segs =
+      Envelope.compute ~plans ~dim:d ~lo:(1. /. delta) ~hi:delta
+    in
+    Printf.printf
+      "exact optimal-plan profile along %s (others at their estimates):\n"
+      names.(active.(d));
+    List.iter
+      (fun (seg : Envelope.segment) ->
+        Printf.printf "  [%8.4g .. %8.4g]  %s\n" seg.from_theta seg.to_theta
+          (List.nth c.plans seg.plan).Candidates.signature)
+      segs;
+    Printf.printf "%d plan change(s) across the sweep\n"
+      (List.length (Envelope.breakpoints segs))
+  in
+  let doc =
+    "Exact 1-D parametric profile: optimal-plan intervals along one cost \
+     dimension."
+  in
+  Cmd.v (Cmd.info "profile" ~doc)
+    Term.(const run $ sf_arg $ policy_arg $ query_arg $ delta_arg $ seed_arg
+          $ dim_arg)
+
+let robust_cmd =
+  let run sf policy name delta seed =
+    let query = lookup_query sf name in
+    let schema = Qsens_tpch.Spec.schema ~sf in
+    let s = Experiment.setup ~schema ~policy query in
+    let box =
+      Qsens_geom.Box.around
+        (Qsens_linalg.Vec.make (Projection.active_dim s.proj) 1.)
+        ~delta
+    in
+    let oracle = Experiment.white_box_oracle s in
+    let c = Candidates.discover ~seed ~max_probes:1200 oracle ~box in
+    let plans =
+      Array.of_list (List.map (fun (p : Candidates.plan) -> p.eff) c.plans)
+    in
+    let signature i = (List.nth c.plans i).Candidates.signature in
+    let nominal = Robust.nominal ~plans in
+    let nominal_scored =
+      Robust.evaluate ~plans ~index:nominal.Robust.index ~delta
+    in
+    let mm = Robust.minimax ~plans ~delta in
+    Printf.printf
+      "nominal plan   %s\n  worst-case GTC over +/-%gx errors: %.4g\n"
+      (signature nominal.Robust.index) delta nominal_scored.Robust.worst_gtc;
+    Printf.printf
+      "minimax plan   %s\n  worst-case GTC: %.4g, nominal penalty %.3fx\n"
+      (signature mm.Robust.index) mm.Robust.worst_gtc mm.Robust.nominal_penalty;
+    if mm.Robust.index = nominal.Robust.index then
+      print_endline "the nominal optimum is already the robust choice"
+    else
+      Printf.printf
+        "recommendation: if cost estimates can be off by %gx, the minimax \
+         plan\ntrades %.1f%% at the estimates for a %.3gx better worst \
+         case.\n"
+        delta
+        (100. *. (mm.Robust.nominal_penalty -. 1.))
+        (nominal_scored.Robust.worst_gtc /. mm.Robust.worst_gtc)
+  in
+  let doc = "Recommend a plan that is robust to cost-estimate errors." in
+  Cmd.v (Cmd.info "robust" ~doc)
+    Term.(const run $ sf_arg $ policy_arg $ query_arg $ delta_arg $ seed_arg)
+
+let params_cmd =
+  let run () =
+    let table = Qsens_report.Table.make ~header:[ "Parameter Name"; "Value" ] in
+    List.iter
+      (fun (k, v) -> Qsens_report.Table.add_row table [ k; v ])
+      Qsens_cost.Defaults.system_parameters;
+    Qsens_report.Table.print table
+  in
+  let doc = "Print the optimizer configuration table (Section 7.3)." in
+  Cmd.v (Cmd.info "params" ~doc) Term.(const run $ const ())
+
+let main =
+  let doc =
+    "Sensitivity of query optimization to storage access cost parameters"
+  in
+  Cmd.group
+    (Cmd.info "qsens" ~version:"1.0.0" ~doc)
+    [ explain_cmd; worst_case_cmd; candidates_cmd; figure_cmd; lsq_cmd;
+      diagram_cmd; profile_cmd; robust_cmd; sql_cmd; params_cmd ]
+
+let () = exit (Cmd.eval main)

@@ -1,0 +1,146 @@
+(* Example 2 of the paper, end to end.
+
+     dune exec examples/chain_join.exe
+
+   A chain join T1 - T2 - T3 where every table has one million tuples
+   and join selectivities are 1e-8 (wildly selective FK-ish edges), with
+   T1 on storage resource 1 and everything else on resource 2:
+
+     Plan A scans T1 and probes indexes on T2 and T3;
+     Plan B scans T3 and probes indexes on T2 and T1.
+
+   Plan A reads all 1e6 tuples of T1; plan B touches T1 only through
+   ten thousand index probes that fetch about one hundred tuples in
+   total.  The paper counts tuples and gets a usage ratio of 1e4 on
+   T1's device; our cost model counts pages (with one wide row per
+   page the two coincide up to seek accounting), so the measured ratio
+   lands in the same order of magnitude.  Either way: Theorem 2's
+   "constant" bound is astronomically large for this pair, so even
+   non-complementary plans can hurt badly when element ratios are
+   large (Section 5.5). *)
+
+open Qsens_catalog
+open Qsens_cost
+open Qsens_plan
+
+let col ~name ~ndv ~width = Column.make ~name ~ndv ~width ()
+
+let table name =
+  Table.make ~name ~rows:1_000_000.
+    ~columns:
+      [
+        col ~name:(name ^ "_key") ~ndv:1_000_000. ~width:4;
+        col ~name:(name ^ "_a") ~ndv:1_000_000. ~width:4;
+        col ~name:(name ^ "_b") ~ndv:1_000_000. ~width:4;
+        (* One row per 4 KiB page, so tuple counts equal page counts. *)
+        col ~name:(name ^ "_pad") ~ndv:1_000_000. ~width:3_978;
+      ]
+
+(* Every join column is indexed, so the chain can be probed from either
+   end — exactly the two plans of Example 2. *)
+let schema =
+  let pk name =
+    Index.make ~name:("pk_" ^ name) ~table:name ~key:[ name ^ "_key" ]
+      ~unique:true ()
+  in
+  let ix name colsuffix =
+    Index.make
+      ~name:("i_" ^ name ^ colsuffix)
+      ~table:name
+      ~key:[ name ^ colsuffix ]
+      ()
+  in
+  Schema.make
+    ~tables:[ table "t1"; table "t2"; table "t3" ]
+    ~indexes:[ pk "t1"; pk "t2"; pk "t3"; ix "t2" "_a"; ix "t2" "_b" ]
+
+let query =
+  (* Each table contributes a payload column, so probes must fetch rows
+     from the base table rather than answering index-only. *)
+  let rel alias =
+    { Query.alias; table = alias; preds = []; projected = [ alias ^ "_pad" ] }
+  in
+  let edge l lc r rc =
+    { Query.left = l; left_col = lc; right = r; right_col = rc;
+      selectivity = Some 1e-8 }
+  in
+  Query.make ~name:"chain"
+    ~relations:[ rel "t1"; rel "t2"; rel "t3" ]
+    ~joins:[ edge "t1" "t1_key" "t2" "t2_a"; edge "t2" "t2_b" "t3" "t3_key" ]
+    ()
+
+let () =
+  (* Tables and indexes split across devices: T1's data device is "the
+     disk storing table T1" of the example. *)
+  let env = Env.make ~schema ~policy:Layout.Per_table_and_index_devices () in
+  let ctx = Node.make_ctx env query in
+  let space = env.Env.space in
+  let dev_t1 = Layout.table_device env.Env.layout "t1" in
+
+  (* Plan A: scan T1, probe indexes on T2 then T3. *)
+  let scan_t1 = Node.table_scan ctx "t1" in
+  let j12 = List.hd (Query.joins_between query "t1" "t2") in
+  let j23 = List.hd (Query.joins_between query "t2" "t3") in
+  let index name =
+    List.find (fun (i : Index.t) -> i.Index.name = name)
+      (Schema.indexes schema)
+  in
+  let probe outer inner idx edge tag =
+    match Node.index_nlj ctx ~outer ~inner_alias:inner (index idx) edge with
+    | Some p -> p
+    | None -> failwith tag
+  in
+  let plan_a =
+    let step = probe scan_t1 "t2" "i_t2_a" j12 "plan A step 1" in
+    probe step "t3" "pk_t3" j23 "plan A step 2"
+  in
+
+  (* Plan B: scan T3, probe indexes on T2 then T1. *)
+  let scan_t3 = Node.table_scan ctx "t3" in
+  let plan_b =
+    let step = probe scan_t3 "t2" "i_t2_b" j23 "plan B step 1" in
+    probe step "t1" "pk_t1" j12 "plan B step 2"
+  in
+
+  Printf.printf "Plan A: %s\nPlan B: %s\n\n" (Node.signature plan_a)
+    (Node.signature plan_b);
+
+  let t1_usage p =
+    p.Node.usage.(Space.index space (Qsens_cost.Resource.Transfer dev_t1))
+    +. p.Node.usage.(Space.index space (Qsens_cost.Resource.Seek dev_t1))
+  in
+  let ua = t1_usage plan_a and ub = t1_usage plan_b in
+  Printf.printf "usage of T1's device:  plan A %.4g   plan B %.4g   ratio %.3g\n"
+    ua ub (ua /. ub);
+
+  (* Example 2 models exactly two resources: resource 1 is the disk
+     storing T1, resource 2 is everything else.  Fold our usage vectors
+     into that 2-dimensional space (weighted by base costs, as in the
+     group-space construction). *)
+  let base = Defaults.base_costs space in
+  let eff (p : Node.t) =
+    let r1 = ref 0. and r2 = ref 0. in
+    Array.iteri
+      (fun i r ->
+        let contrib = p.Node.usage.(i) *. base.(i) in
+        match Qsens_cost.Resource.device r with
+        | Some d when Device.equal d dev_t1 -> r1 := !r1 +. contrib
+        | Some _ | None -> r2 := !r2 +. contrib)
+      (Space.resources space);
+    [| !r1; !r2 |]
+  in
+  let ea = eff plan_a and eb = eff plan_b in
+  (match Qsens_core.Bounds.ratio_range ea eb with
+  | Some (rmin, rmax) ->
+      Printf.printf
+        "Theorem 2 interval for T_rel(A, B): [%.3g, %.3g] — the pair is \
+         not complementary,\nbut the interval spans ~%.0f orders of \
+         magnitude.\n"
+        rmin rmax
+        (Float.log10 (rmax /. Float.max rmin 1e-300))
+  | None -> Printf.printf "plans are complementary: no Theorem 2 interval\n");
+  let box = Qsens_geom.Box.around [| 1.; 1. |] ~delta:100. in
+  let r, _ = Qsens_geom.Fractional.max_ratio ~num:ea ~den:eb box in
+  Printf.printf
+    "worst-case T_rel(A, B) with every device cost off by at most 100x: %.4g\n"
+    r

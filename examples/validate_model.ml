@@ -1,0 +1,65 @@
+(* Closing the loop: execute the optimizer's plans on real rows.
+
+     dune exec examples/validate_model.exe
+
+   The paper assumes the optimizer's cardinality estimates are accurate
+   (Section 3.3) and reasons only about resource cost errors.  Against a
+   closed-source system that assumption could not be checked; our stack
+   is open all the way down, so this example generates a small TPC-H
+   instance (mini-dbgen), executes the very plans the optimizer chose —
+   same access paths, joins and spills, with all I/O routed through
+   simulated devices — and compares:
+
+     - each operator's estimated versus actual output cardinality, and
+     - the plan's predicted I/O usage vector versus counted seeks and
+       transfers per device. *)
+
+open Qsens_plan
+
+let () =
+  let sf = 0.01 in
+  let seed = 1 in
+  let schema = Qsens_tpch.Spec.schema ~sf in
+  let policy = Qsens_catalog.Layout.Per_table_and_index_devices in
+  let db =
+    Qsens_engine.Database.create ~schema ~policy
+      ~rows:(Qsens_tpch.Dbgen.all ~sf ~seed) ()
+  in
+  let env = Env.make ~schema ~policy () in
+  let costs = Qsens_cost.Defaults.base_costs env.Env.space in
+  let check qname =
+    let query = Qsens_tpch.Queries.find ~sf qname in
+    let r = Qsens_optimizer.Optimizer.optimize env query ~costs in
+    Qsens_engine.Database.reset_io db;
+    let result = Qsens_engine.Executor.run db query r.plan in
+    Printf.printf "%s  plan: %s\n" qname r.signature;
+    Printf.printf "  %-18s %14s %14s %8s\n" "operator" "estimated" "actual" "ratio";
+    List.iter
+      (fun (s : Qsens_engine.Executor.node_stat) ->
+        if not (Float.is_nan s.actual) then
+          Printf.printf "  %-18s %14.4g %14.4g %8.2f\n" s.label s.estimated
+            s.actual
+            (s.estimated /. Float.max 1. s.actual))
+      result.stats;
+    Printf.printf "  max relative cardinality error: %.1f%%\n"
+      (100. *. Qsens_engine.Executor.max_relative_card_error result);
+    (* I/O: predicted usage vector versus counted. *)
+    let counted = Qsens_engine.Database.io_usage db env.Env.space in
+    let predicted = r.plan.Node.usage in
+    let resources = Qsens_cost.Space.resources env.Env.space in
+    let pred_io = ref 0. and count_io = ref 0. in
+    Array.iteri
+      (fun i res ->
+        match res with
+        | Qsens_cost.Resource.Cpu -> ()
+        | Qsens_cost.Resource.Seek _ | Qsens_cost.Resource.Transfer _ ->
+            pred_io := !pred_io +. predicted.(i);
+            count_io := !count_io +. counted.(i))
+      resources;
+    Printf.printf
+      "  I/O operations: cost model predicted %.4g, engine counted %.4g \
+       (ratio %.2f)\n\n"
+      !pred_io !count_io
+      (!pred_io /. Float.max 1. !count_io)
+  in
+  List.iter check [ "Q1"; "Q6"; "Q14"; "Q19"; "Q3" ]

@@ -1,0 +1,15 @@
+type t = {
+  name : string;
+  ndv : float;
+  width : int;
+  histogram : Histogram.t option;
+}
+
+let make ~name ~ndv ~width ?histogram () =
+  if ndv < 1. then invalid_arg "Column.make: ndv must be >= 1";
+  { name; ndv; width; histogram }
+
+let eq_selectivity c = 1. /. c.ndv
+
+let pp ppf c =
+  Format.fprintf ppf "%s(ndv=%g, width=%d)" c.name c.ndv c.width

@@ -1,0 +1,22 @@
+(** Column statistics.
+
+    The statistics mirror what [RUNSTATS ... WITH DISTRIBUTION] collects
+    and what the paper's transplanted catalog provided to the optimizer:
+    the number of distinct values drives equality- and join-selectivity
+    estimation under the usual independence assumptions. *)
+
+type t = {
+  name : string;
+  ndv : float;  (** number of distinct values (colcard) *)
+  width : int;  (** average stored width in bytes *)
+  histogram : Histogram.t option;
+      (** value distribution for numeric columns, when collected *)
+}
+
+val make :
+  name:string -> ndv:float -> width:int -> ?histogram:Histogram.t -> unit -> t
+
+val eq_selectivity : t -> float
+(** Selectivity of an equality predicate against a literal: [1 / ndv]. *)
+
+val pp : Format.formatter -> t -> unit

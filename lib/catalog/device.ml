@@ -1,0 +1,7 @@
+type t = { name : string }
+
+let make name = { name }
+let name d = d.name
+let compare a b = String.compare a.name b.name
+let equal a b = String.equal a.name b.name
+let pp ppf d = Format.pp_print_string ppf d.name

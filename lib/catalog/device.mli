@@ -1,0 +1,20 @@
+(** Storage devices.
+
+    A device is anything with independently varying access costs: a disk,
+    a RAID volume, a virtualized LUN, a remote site of a federated system.
+    Following Section 3.1 of the paper, access time on a device [d] is
+    modeled by two resources: [d_s] (queueing, rotational delay and seek)
+    and [d_t] (sequential transfer), so an operation performing 2 seeks and
+    reading 3 pages costs [2 c_ds + 3 c_dt]. *)
+
+type t = { name : string }
+
+val make : string -> t
+
+val name : t -> string
+
+val compare : t -> t -> int
+
+val equal : t -> t -> bool
+
+val pp : Format.formatter -> t -> unit

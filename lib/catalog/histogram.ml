@@ -1,0 +1,62 @@
+type t = { lo : float; hi : float; fractions : float array }
+
+let of_weights ~lo ~hi weights =
+  if Array.length weights = 0 then invalid_arg "Histogram.of_weights: empty";
+  if lo >= hi then invalid_arg "Histogram.of_weights: lo >= hi";
+  Array.iter
+    (fun w -> if w < 0. then invalid_arg "Histogram.of_weights: negative")
+    weights;
+  let total = Array.fold_left ( +. ) 0. weights in
+  if total <= 0. then invalid_arg "Histogram.of_weights: zero total";
+  { lo; hi; fractions = Array.map (fun w -> w /. total) weights }
+
+let uniform ~lo ~hi ~buckets =
+  if buckets < 1 then invalid_arg "Histogram.uniform: buckets < 1";
+  of_weights ~lo ~hi (Array.make buckets 1.)
+
+let of_values ~buckets values =
+  match values with
+  | [] -> invalid_arg "Histogram.of_values: empty"
+  | v0 :: _ ->
+      let lo = List.fold_left Float.min v0 values in
+      let hi = List.fold_left Float.max v0 values in
+      let hi = if hi <= lo then lo +. 1. else hi in
+      let weights = Array.make buckets 0. in
+      List.iter
+        (fun v ->
+          let b =
+            int_of_float ((v -. lo) /. (hi -. lo) *. Float.of_int buckets)
+          in
+          let b = min (buckets - 1) (max 0 b) in
+          weights.(b) <- weights.(b) +. 1.)
+        values;
+      of_weights ~lo ~hi weights
+
+let lo t = t.lo
+let hi t = t.hi
+let buckets t = Array.length t.fractions
+
+let selectivity_below t x =
+  if x <= t.lo then 0.
+  else if x >= t.hi then 1.
+  else begin
+    let n = Array.length t.fractions in
+    let width = (t.hi -. t.lo) /. Float.of_int n in
+    let pos = (x -. t.lo) /. width in
+    let full = int_of_float (Float.floor pos) in
+    let acc = ref 0. in
+    for b = 0 to min (full - 1) (n - 1) do
+      acc := !acc +. t.fractions.(b)
+    done;
+    if full < n then acc := !acc +. (t.fractions.(full) *. (pos -. Float.of_int full));
+    Float.min 1. !acc
+  end
+
+let selectivity_range t ?lo ?hi () =
+  let below_hi = match hi with Some h -> selectivity_below t h | None -> 1. in
+  let below_lo = match lo with Some l -> selectivity_below t l | None -> 0. in
+  Float.max 0. (below_hi -. below_lo)
+
+let pp ppf t =
+  Format.fprintf ppf "hist[%g..%g; %d buckets]" t.lo t.hi
+    (Array.length t.fractions)

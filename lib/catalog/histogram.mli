@@ -1,0 +1,37 @@
+(** Equi-width histograms over numeric column domains.
+
+    RUNSTATS WITH DISTRIBUTION collects value distributions; the paper's
+    transplanted catalog carried them, and selectivity estimation
+    consults them for range predicates instead of the System-R default
+    fractions.  Buckets carry row fractions (summing to 1), so the
+    histogram composes with any table cardinality. *)
+
+type t
+
+val uniform : lo:float -> hi:float -> buckets:int -> t
+(** Equal mass in every bucket — what RUNSTATS reports for uniformly
+    distributed columns (most TPC-H keys, dates, sizes). *)
+
+val of_weights : lo:float -> hi:float -> float array -> t
+(** Bucket weights are normalized to fractions.  Raises
+    [Invalid_argument] on an empty array, nonpositive total, negative
+    entries, or [lo >= hi]. *)
+
+val of_values : buckets:int -> float list -> t
+(** Build from a value sample (e.g. a dbgen column). *)
+
+val lo : t -> float
+
+val hi : t -> float
+
+val buckets : t -> int
+
+val selectivity_below : t -> float -> float
+(** Fraction of rows with value [< x] (linear interpolation within the
+    bucket containing [x]). *)
+
+val selectivity_range : t -> ?lo:float -> ?hi:float -> unit -> float
+(** Fraction of rows in the closed interval; missing bounds are open
+    ends.  Clamped to the domain. *)
+
+val pp : Format.formatter -> t -> unit

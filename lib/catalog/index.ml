@@ -1,0 +1,58 @@
+type t = {
+  name : string;
+  table : string;
+  key_columns : string list;
+  clustered : bool;
+  unique : bool;
+}
+
+let make ~name ~table ~key ?(clustered = false) ?(unique = false) () =
+  if key = [] then invalid_arg "Index.make: empty key";
+  { name; table; key_columns = key; clustered; unique }
+
+let rid_width = 8
+
+let entry_width idx (tbl : Table.t) =
+  let key_width =
+    List.fold_left
+      (fun w col -> w + (Table.column tbl col).Column.width)
+      0 idx.key_columns
+  in
+  key_width + rid_width
+
+let leaf_pages idx tbl =
+  let per_page =
+    Float.max 1. (Float.of_int (Table.page_capacity / entry_width idx tbl))
+  in
+  Float.max 1. (Float.ceil ((tbl : Table.t).rows /. per_page))
+
+let levels idx tbl =
+  let fanout =
+    Float.max 2.
+      (Float.of_int Table.page_capacity /. Float.of_int (entry_width idx tbl))
+  in
+  let rec height pages acc =
+    if pages <= 1. then acc else height (pages /. fanout) (acc + 1)
+  in
+  height (leaf_pages idx tbl) 1
+
+let key_ndv idx (tbl : Table.t) =
+  if idx.unique then tbl.rows
+  else
+    let product =
+      List.fold_left
+        (fun acc col -> acc *. (Table.column tbl col).Column.ndv)
+        1. idx.key_columns
+    in
+    Float.min product tbl.rows
+
+let matches_column idx col =
+  match idx.key_columns with lead :: _ -> lead = col | [] -> false
+
+let covers idx cols = List.for_all (fun c -> List.mem c idx.key_columns) cols
+
+let pp ppf idx =
+  Format.fprintf ppf "%s on %s(%s)%s%s" idx.name idx.table
+    (String.concat ", " idx.key_columns)
+    (if idx.clustered then " clustered" else "")
+    (if idx.unique then " unique" else "")

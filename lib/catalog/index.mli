@@ -1,0 +1,48 @@
+(** B+-tree index statistics.
+
+    Leaf page counts and tree depth are derived from the indexed table's
+    statistics the way a catalog would report them after RUNSTATS.  A
+    clustered index stores table rows in key order, so range fetches
+    through it are sequential; fetches through an unclustered index pay a
+    random access per distinct data page (estimated with the Cardenas/Yao
+    formula in the cost model). *)
+
+type t = {
+  name : string;
+  table : string;
+  key_columns : string list;  (** leading column first *)
+  clustered : bool;
+  unique : bool;
+}
+
+val make :
+  name:string ->
+  table:string ->
+  key:string list ->
+  ?clustered:bool ->
+  ?unique:bool ->
+  unit ->
+  t
+
+val entry_width : t -> Table.t -> int
+(** Key width plus row-identifier width. *)
+
+val leaf_pages : t -> Table.t -> float
+
+val levels : t -> Table.t -> int
+(** Total height including the leaf level (>= 1). *)
+
+val key_ndv : t -> Table.t -> float
+(** Distinct full-key values: the product of key-column cardinalities,
+    capped by table cardinality; equals table cardinality for unique
+    indexes. *)
+
+val matches_column : t -> string -> bool
+(** True when [col] is the leading key column — the index can then be used
+    as an access path for a predicate on [col]. *)
+
+val covers : t -> string list -> bool
+(** True when every listed column appears in the key: an index-only scan
+    can answer the access without touching the table. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,60 @@
+type policy = Same_device | Per_table_devices | Per_table_and_index_devices
+
+let policy_name = function
+  | Same_device -> "same-device"
+  | Per_table_devices -> "per-table"
+  | Per_table_and_index_devices -> "per-table-and-index"
+
+type t = {
+  policy : policy;
+  devices : Device.t list;
+  table_dev : (string * Device.t) list;
+  index_dev : (string * Device.t) list;
+  temp : Device.t;
+}
+
+let make policy schema =
+  let table_names =
+    List.map (fun (t : Table.t) -> t.name) (Schema.tables schema)
+  in
+  match policy with
+  | Same_device ->
+      let d = Device.make "disk" in
+      {
+        policy;
+        devices = [ d ];
+        table_dev = List.map (fun n -> (n, d)) table_names;
+        index_dev = List.map (fun n -> (n, d)) table_names;
+        temp = d;
+      }
+  | Per_table_devices ->
+      let devs = List.map (fun n -> (n, Device.make ("dev:" ^ n))) table_names in
+      let temp = Device.make "dev:temp" in
+      {
+        policy;
+        devices = List.map snd devs @ [ temp ];
+        table_dev = devs;
+        index_dev = devs;
+        temp;
+      }
+  | Per_table_and_index_devices ->
+      let tdevs = List.map (fun n -> (n, Device.make ("tbl:" ^ n))) table_names in
+      let idevs = List.map (fun n -> (n, Device.make ("idx:" ^ n))) table_names in
+      let temp = Device.make "dev:temp" in
+      {
+        policy;
+        devices = List.map snd tdevs @ List.map snd idevs @ [ temp ];
+        table_dev = tdevs;
+        index_dev = idevs;
+        temp;
+      }
+
+let policy l = l.policy
+let devices l = l.devices
+let table_device l name = List.assoc name l.table_dev
+let index_device l name = List.assoc name l.index_dev
+let temp_device l = l.temp
+
+let pp ppf l =
+  Format.fprintf ppf "layout %s (%d devices)" (policy_name l.policy)
+    (List.length l.devices)

@@ -1,0 +1,42 @@
+(** Storage layouts: which on-disk object lives on which device.
+
+    The paper's three worst-case experiments differ only in layout:
+
+    - {!Same_device} — every table, every index and the temporary space
+      share a single device (Section 8.1.1 / Figure 5);
+    - {!Per_table_and_index_devices} — each table on its own device, each
+      table's indexes together on another device, temp on yet another
+      (Section 8.1.2 / Figure 6; 2k+2 resources for a k-table query);
+    - {!Per_table_devices} — each table co-located with its own indexes on
+      a private device, temp separate (Section 8.1.3 / Figure 7; k+2
+      resources). *)
+
+type policy =
+  | Same_device
+  | Per_table_devices
+  | Per_table_and_index_devices
+
+val policy_name : policy -> string
+
+type t
+
+val make : policy -> Schema.t -> t
+
+val policy : t -> policy
+
+val devices : t -> Device.t list
+(** All devices of the layout, in a stable order. *)
+
+val table_device : t -> string -> Device.t
+(** Device holding a table's data pages.  Raises [Not_found] for tables
+    outside the schema. *)
+
+val index_device : t -> string -> Device.t
+(** Device holding a table's indexes (the paper modelled all indexes of a
+    table as sharing a device, a DB2 limitation it inherited). *)
+
+val temp_device : t -> Device.t
+(** Device holding sorted runs, hash-join spill partitions and other
+    temporary structures. *)
+
+val pp : Format.formatter -> t -> unit

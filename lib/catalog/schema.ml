@@ -1,0 +1,47 @@
+type t = { tables : Table.t list; indexes : Index.t list }
+
+let check_unique what names =
+  let sorted = List.sort String.compare names in
+  let rec dup = function
+    | a :: (b :: _ as rest) -> if a = b then Some a else dup rest
+    | _ -> None
+  in
+  match dup sorted with
+  | Some name -> invalid_arg (Printf.sprintf "Schema.make: duplicate %s %s" what name)
+  | None -> ()
+
+let make ~tables ~indexes =
+  check_unique "table" (List.map (fun (t : Table.t) -> t.name) tables);
+  check_unique "index" (List.map (fun (i : Index.t) -> i.name) indexes);
+  List.iter
+    (fun (i : Index.t) ->
+      match List.find_opt (fun (t : Table.t) -> t.name = i.table) tables with
+      | None ->
+          invalid_arg
+            (Printf.sprintf "Schema.make: index %s on unknown table %s" i.name
+               i.table)
+      | Some tbl ->
+          List.iter
+            (fun col ->
+              if not (Table.has_column tbl col) then
+                invalid_arg
+                  (Printf.sprintf "Schema.make: index %s keys unknown column %s"
+                     i.name col))
+            i.key_columns)
+    indexes;
+  { tables; indexes }
+
+let tables s = s.tables
+let indexes s = s.indexes
+let table s name = List.find (fun (t : Table.t) -> t.name = name) s.tables
+let indexes_of s name = List.filter (fun (i : Index.t) -> i.table = name) s.indexes
+
+let total_pages s =
+  List.fold_left (fun acc t -> acc +. Table.pages t) 0. s.tables
+
+let pp ppf s =
+  Format.fprintf ppf "@[<v>tables:@,";
+  List.iter (fun t -> Format.fprintf ppf "  %a@," Table.pp t) s.tables;
+  Format.fprintf ppf "indexes:@,";
+  List.iter (fun i -> Format.fprintf ppf "  %a@," Index.pp i) s.indexes;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,22 @@
+(** A database schema: tables plus their indexes. *)
+
+type t
+
+val make : tables:Table.t list -> indexes:Index.t list -> t
+(** Raises [Invalid_argument] on duplicate names, indexes referencing
+    unknown tables, or index keys referencing unknown columns. *)
+
+val tables : t -> Table.t list
+
+val indexes : t -> Index.t list
+
+val table : t -> string -> Table.t
+(** Raises [Not_found]. *)
+
+val indexes_of : t -> string -> Index.t list
+(** Indexes on the given table. *)
+
+val total_pages : t -> float
+(** Data pages of all tables (excluding indexes). *)
+
+val pp : Format.formatter -> t -> unit

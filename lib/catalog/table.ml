@@ -1,0 +1,27 @@
+let page_size = 4096
+let page_capacity = 4000 (* page header, slot directory *)
+let row_overhead = 10
+
+type t = { name : string; rows : float; columns : Column.t list }
+
+let make ~name ~rows ~columns =
+  if rows < 0. then invalid_arg "Table.make: negative cardinality";
+  { name; rows; columns }
+
+let row_width t =
+  row_overhead + List.fold_left (fun w (c : Column.t) -> w + c.width) 0 t.columns
+
+let pages t =
+  let per_page =
+    Float.max 1. (Float.of_int (page_capacity / row_width t))
+  in
+  Float.max 1. (Float.ceil (t.rows /. per_page))
+
+let column t name = List.find (fun (c : Column.t) -> c.name = name) t.columns
+
+let has_column t name =
+  List.exists (fun (c : Column.t) -> c.name = name) t.columns
+
+let pp ppf t =
+  Format.fprintf ppf "%s(rows=%g, pages=%g, width=%d)" t.name t.rows (pages t)
+    (row_width t)

@@ -1,0 +1,28 @@
+(** Base table statistics. *)
+
+val page_size : int
+(** Bytes per page (4 KiB, as in the DB2 setup of the paper). *)
+
+val page_capacity : int
+(** Usable bytes per page after header overhead. *)
+
+type t = {
+  name : string;
+  rows : float;  (** cardinality *)
+  columns : Column.t list;
+}
+
+val make : name:string -> rows:float -> columns:Column.t list -> t
+
+val row_width : t -> int
+(** Sum of column widths plus per-row overhead. *)
+
+val pages : t -> float
+(** Number of data pages: [ceil (rows * row_width / page_capacity)]. *)
+
+val column : t -> string -> Column.t
+(** Raises [Not_found]. *)
+
+val has_column : t -> string -> bool
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,56 @@
+open Qsens_linalg
+
+type observation = { usage : Vec.t; elapsed : float }
+
+let estimate_costs ?(ridge = 0.) ?prior observations =
+  match observations with
+  | [] -> None
+  | first :: _ ->
+      let n = Vec.dim first.usage in
+      if List.length observations < n && ridge <= 0. then None
+      else begin
+        let c = Mat.of_rows (List.map (fun o -> o.usage) observations) in
+        let t = Vec.of_list (List.map (fun o -> o.elapsed) observations) in
+        if ridge <= 0. then
+          match Mat.least_squares c t with
+          | costs -> Some costs
+          | exception Mat.Singular -> None
+        else begin
+          (* (CtC + lambda I) x = Ct t + lambda prior, with lambda scaled
+             by the mean diagonal of CtC so [ridge] is unitless. *)
+          let prior =
+            match prior with Some p -> p | None -> Vec.make n 1.
+          in
+          let ct = Mat.transpose c in
+          let normal = Mat.mul ct c in
+          let scale = ref 0. in
+          for i = 0 to n - 1 do
+            scale := !scale +. Mat.get normal i i
+          done;
+          let lambda = ridge *. Float.max 1e-300 (!scale /. Float.of_int n) in
+          for i = 0 to n - 1 do
+            Mat.set normal i i (Mat.get normal i i +. lambda)
+          done;
+          let rhs =
+            Vec.add (Mat.mul_vec ct t) (Vec.scale lambda prior)
+          in
+          match Mat.solve normal rhs with
+          | costs -> Some costs
+          | exception Mat.Singular -> None
+        end
+      end
+
+let residual costs observations =
+  List.fold_left
+    (fun acc o ->
+      let predicted = Vec.dot o.usage costs in
+      if o.elapsed = 0. then acc
+      else
+        Float.max acc
+          (Float.abs (predicted -. o.elapsed) /. Float.abs o.elapsed))
+    0. observations
+
+let well_posed observations ~dim =
+  List.length observations >= dim
+  &&
+  match estimate_costs observations with Some _ -> true | None -> false

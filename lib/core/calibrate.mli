@@ -1,0 +1,47 @@
+(** Cost-parameter calibration from observed executions.
+
+    The paper's conclusion: users "may achieve noticeable performance
+    improvements by providing their query optimizers with accurate and
+    timely information about the current status of their storage
+    devices".  This module is that providing step.  Because the cost
+    model is linear, the same least-squares machinery that recovers a
+    plan's usage vector from known costs (Section 6.1.1) also recovers
+    the {e costs} from known usage vectors: observing executed plans'
+    elapsed times t_k with usage vectors U_k determines C from
+    [U C = T].  Feeding the recovered vector back into the optimizer
+    closes the autonomic loop the paper motivates:
+
+    {v  monitor executions -> calibrate C -> re-optimize  v}
+
+    Observations may be noisy (elapsed times always are); with at least
+    as many linearly independent observations as resources, least squares
+    averages the noise out. *)
+
+open Qsens_linalg
+
+type observation = {
+  usage : Vec.t;  (** the executed plan's resource usage vector *)
+  elapsed : float;  (** measured execution time *)
+}
+
+val estimate_costs :
+  ?ridge:float -> ?prior:Vec.t -> observation list -> Vec.t option
+(** Least-squares estimate of the per-unit resource cost vector; [None]
+    when the observations do not span the resource space (fewer
+    observations than dimensions, or collinear usage vectors).
+
+    Real observation sets are often ill-conditioned: dimensions every
+    executed plan barely touches carry almost no signal, and raw least
+    squares returns wild values there.  [ridge > 0] (Tikhonov
+    regularization) shrinks the estimate toward [prior] — naturally the
+    optimizer's current estimates — in exactly those dimensions, leaving
+    well-observed dimensions to the data.  The regularizer is scaled by
+    the mean squared usage so [ridge] is unitless ([1e-6] is a good
+    default for noisy observations). *)
+
+val residual : Vec.t -> observation list -> float
+(** Max relative misfit of a cost vector against the observations. *)
+
+val well_posed : observation list -> dim:int -> bool
+(** Whether the normal equations are solvable: enough observations and
+    full column rank (numerically). *)

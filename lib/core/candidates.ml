@@ -1,0 +1,167 @@
+open Qsens_linalg
+open Qsens_geom
+
+type plan = { signature : string; eff : Vec.t }
+
+type result = {
+  plans : plan list;
+  initial : plan;
+  verified_complete : bool;
+  probes : int;
+}
+
+let clamp box v =
+  Vec.init (Vec.dim v) (fun i ->
+      Float.min box.Box.hi.(i) (Float.max box.Box.lo.(i) v.(i)))
+
+let discover ?(seed = 42) ?(random_corners = 64) ?(max_pair_rounds = 8)
+    ?(vertex_budget = 200_000) ?(max_probes = max_int) oracle ~box =
+  let m = Oracle.dim oracle in
+  if Box.dim box <> m then invalid_arg "Candidates.discover: dimension mismatch";
+  let st = Random.State.make [| seed |] in
+  let known : (string, plan) Hashtbl.t = Hashtbl.create 16 in
+  let order : string list ref = ref [] in
+  let exhausted () = Oracle.calls oracle >= max_probes in
+  (* The pairwise and vertex phases revisit the same corners many times;
+     cache probe results per cost point so only distinct points cost an
+     optimizer invocation. *)
+  let seen_points : (string, string) Hashtbl.t = Hashtbl.create 256 in
+  let point_key theta =
+    String.concat "," (List.map (Printf.sprintf "%.12g") (Array.to_list theta))
+  in
+  let probe theta =
+    let theta = clamp box theta in
+    let key = point_key theta in
+    match Hashtbl.find_opt seen_points key with
+    | Some signature -> (false, signature)
+    | None ->
+        let signature, eff = Oracle.probe oracle theta in
+        Hashtbl.add seen_points key signature;
+        let fresh = not (Hashtbl.mem known signature) in
+        if fresh then begin
+          Hashtbl.add known signature { signature; eff };
+          order := signature :: !order
+        end;
+        (fresh, signature)
+  in
+  (* Phase 1: the estimated costs and structured probes. *)
+  let ones = Vec.make m 1. in
+  let _, initial_sig = probe ones in
+  for i = 0 to m - 1 do
+    if not (exhausted ()) then begin
+      let lo = Vec.copy ones and hi = Vec.copy ones in
+      lo.(i) <- box.Box.lo.(i);
+      hi.(i) <- box.Box.hi.(i);
+      ignore (probe lo);
+      ignore (probe hi)
+    end
+  done;
+  let budget = min random_corners (Box.num_vertices box) in
+  if Box.num_vertices box <= random_corners && m <= 16 then
+    List.iter
+      (fun v -> if not (exhausted ()) then ignore (probe v))
+      (Box.vertices box)
+  else
+    for _ = 1 to budget do
+      if not (exhausted ()) then begin
+        let corner =
+          Vec.init m (fun i ->
+              if Random.State.bool st then box.Box.hi.(i) else box.Box.lo.(i))
+        in
+        ignore (probe corner)
+      end
+    done;
+  for _ = 1 to budget / 2 do
+    if not (exhausted ()) then ignore (probe (Box.sample st box))
+  done;
+  (* Phase 2: pairwise ratio-maximizing corners, to closure. *)
+  let snapshot () = Hashtbl.fold (fun _ p acc -> p :: acc) known [] in
+  let rec pair_rounds round =
+    if round < max_pair_rounds && not (exhausted ()) then begin
+      let plans = snapshot () in
+      let found = ref false in
+      List.iter
+        (fun a ->
+          List.iter
+            (fun b ->
+              if a.signature <> b.signature && not (exhausted ()) then begin
+                let _, corner = Fractional.max_ratio ~num:a.eff ~den:b.eff box in
+                let fresh, _ = probe corner in
+                if fresh then found := true
+              end)
+            plans)
+        plans;
+      if !found then pair_rounds (round + 1)
+    end
+  in
+  pair_rounds 0;
+  (* Phase 3: Observation-3 completeness verification by probing the
+     contracted vertices of every region of influence.  Any new plan
+     restarts the loop; an oversized enumeration aborts verification. *)
+  let contraction = 1e-6 in
+  let verified = ref true in
+  let rec verify_loop iter =
+    if exhausted () then verified := false
+    else if iter > 20 then verified := false
+    else begin
+      let plans = Array.of_list (List.map (fun p -> p.eff) (snapshot ())) in
+      let found = ref false in
+      (try
+         Array.iteri
+           (fun i _ ->
+             let region = Region.of_plans ~plans ~index:i box in
+             let region = Region.contract contraction region in
+             let vertices =
+               Region.vertices ~max_subsets:vertex_budget region
+             in
+             List.iter
+               (fun v ->
+                 if not (exhausted ()) then begin
+                   let fresh, _ = probe v in
+                   if fresh then found := true
+                 end)
+               vertices)
+           plans
+       with Vertex_enum.Too_large ->
+         verified := false;
+         found := false);
+      if !found then verify_loop (iter + 1)
+    end
+  in
+  let enum_feasible =
+    let constraints = (2 * m) + Hashtbl.length known - 1 in
+    Vertex_enum.count_subsets constraints m <= vertex_budget
+  in
+  if enum_feasible then verify_loop 0
+  else begin
+    verified := false;
+    (* Sampling fallback: rounds of random corners and interior points
+       until a full round discovers nothing new. *)
+    let rec sample_rounds round =
+      if round < max_pair_rounds && not (exhausted ()) then begin
+        let found = ref false in
+        for _ = 1 to 2 * m do
+          let corner =
+            Vec.init m (fun i ->
+                if Random.State.bool st then box.Box.hi.(i) else box.Box.lo.(i))
+          in
+          let fresh, _ = probe corner in
+          if fresh then found := true;
+          let fresh, _ = probe (Box.sample st box) in
+          if fresh then found := true
+        done;
+        if !found then sample_rounds (round + 1)
+      end
+    in
+    sample_rounds 0
+  end;
+  if exhausted () then verified := false;
+  let plans =
+    List.rev_map (fun signature -> Hashtbl.find known signature) !order
+  in
+  {
+    plans;
+    initial = Hashtbl.find known initial_sig;
+    verified_complete = !verified;
+    probes = Oracle.calls oracle;
+  }

@@ -1,0 +1,116 @@
+open Qsens_linalg
+open Qsens_cost
+
+type dim_kind =
+  | Cpu_dim
+  | Table_dim of string
+  | Index_dim of string
+  | Combined_dim of string
+  | Temp_dim
+  | Shared_dim
+
+(* Group names come in two flavours: per-resource ("cpu", "seek:<dev>",
+   "xfer:<dev>") and per-device ("cpu", "dev:<dev>").  Device names encode
+   the layout: "tbl:x" / "idx:x" (per-table-and-index), "dev:x" /
+   "dev:temp" (per-table), "disk" (same-device). *)
+let kind_of_device dev =
+  if dev = "disk" then Shared_dim
+  else if dev = "dev:temp" then Temp_dim
+  else
+    match String.index_opt dev ':' with
+    | Some i -> begin
+        let prefix = String.sub dev 0 i in
+        let rest = String.sub dev (i + 1) (String.length dev - i - 1) in
+        match prefix with
+        | "tbl" -> Table_dim rest
+        | "idx" -> Index_dim rest
+        | "dev" -> Combined_dim rest
+        | _ -> Shared_dim
+      end
+    | None -> Shared_dim
+
+let kind_of_name name =
+  if name = "cpu" then Cpu_dim
+  else
+    match String.index_opt name ':' with
+    | None -> Shared_dim
+    | Some i -> begin
+        let prefix = String.sub name 0 i in
+        let dev = String.sub name (i + 1) (String.length name - i - 1) in
+        match prefix with
+        | "seek" | "xfer" | "dev" -> kind_of_device dev
+        | _ -> Shared_dim
+      end
+
+let dim_kinds groups = Array.map kind_of_name (Groups.names groups)
+
+type kind =
+  | Table_complementary
+  | Access_path_complementary
+  | Temp_complementary
+  | Cpu_complementary
+
+let kind_name = function
+  | Table_complementary -> "table"
+  | Access_path_complementary -> "access-path"
+  | Temp_complementary -> "temp"
+  | Cpu_complementary -> "cpu"
+
+type verdict = {
+  complementary : bool;
+  near : bool;
+  max_ratio : float;
+  kinds : kind list;
+}
+
+let classify ?(near_threshold = 10.) ~dims a b =
+  if Vec.dim a <> Array.length dims || Vec.dim b <> Array.length dims then
+    invalid_arg "Complementary.classify: dimension mismatch";
+  let comp_dims = Bounds.complementary_dims a b in
+  let max_ratio = Bounds.max_element_ratio a b in
+  let complementary = comp_dims <> [] in
+  let near = (not complementary) && max_ratio > near_threshold in
+  (* Dimensions responsible: exact zero divergences, or (for near pairs)
+     the dimensions whose element ratio exceeds the threshold. *)
+  let za = 1e-9 *. Float.max 1e-300 (Vec.norm_inf a) in
+  let zb = 1e-9 *. Float.max 1e-300 (Vec.norm_inf b) in
+  let divergent =
+    if complementary then comp_dims
+    else if near then begin
+      let acc = ref [] in
+      Array.iteri
+        (fun i ai ->
+          let bi = b.(i) in
+          if ai > za && bi > zb then begin
+            let r = Float.max (ai /. bi) (bi /. ai) in
+            if r > near_threshold then acc := i :: !acc
+          end)
+        a;
+      !acc
+    end
+    else []
+  in
+  (* A divergence on a table's data device paired with an opposite
+     divergence on the same table's index device is an access-path
+     difference (index-only versus fetch), not a table difference. *)
+  let index_tables =
+    List.filter_map
+      (fun i ->
+        match dims.(i) with Index_dim t -> Some t | _ -> None)
+      divergent
+  in
+  let kind_of_dim i =
+    match dims.(i) with
+    | Temp_dim -> Some Temp_complementary
+    | Index_dim _ -> Some Access_path_complementary
+    | Table_dim t ->
+        if List.mem t index_tables then Some Access_path_complementary
+        else Some Table_complementary
+    | Combined_dim _ -> Some Table_complementary
+    | Cpu_dim -> Some Cpu_complementary
+    | Shared_dim -> None
+  in
+  let kinds =
+    List.filter_map kind_of_dim divergent |> List.sort_uniq compare
+  in
+  { complementary; near; max_ratio; kinds }

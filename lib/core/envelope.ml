@@ -1,0 +1,83 @@
+open Qsens_linalg
+
+type segment = { plan : int; from_theta : float; to_theta : float }
+
+let line plans dim i =
+  let v = plans.(i) in
+  let b = v.(dim) in
+  let a = ref 0. in
+  Array.iteri (fun k x -> if k <> dim then a := !a +. x) v;
+  (!a, b)
+
+let compute ~plans ~dim ~lo ~hi =
+  let n = Array.length plans in
+  if n = 0 then invalid_arg "Envelope.compute: no plans";
+  if dim < 0 || dim >= Vec.dim plans.(0) then
+    invalid_arg "Envelope.compute: bad dimension";
+  if lo >= hi then invalid_arg "Envelope.compute: lo >= hi";
+  let lines = Array.init n (line plans dim) in
+  let cost i theta =
+    let a, b = lines.(i) in
+    a +. (b *. theta)
+  in
+  let best_at theta =
+    let best = ref 0 in
+    for i = 1 to n - 1 do
+      let ci = cost i theta and cb = cost !best theta in
+      (* Ties break toward the shallower slope so the walk advances. *)
+      if
+        ci < cb -. (1e-12 *. Float.abs cb)
+        || (Float.abs (ci -. cb) <= 1e-12 *. Float.abs cb
+           && snd lines.(i) < snd lines.(!best))
+      then best := i
+    done;
+    !best
+  in
+  (* Walk the envelope left to right: from the current optimal line, the
+     next breakpoint is the nearest intersection with a line that is
+     lower beyond it (necessarily of smaller slope difference sign). *)
+  let rec walk theta current acc =
+    let a_c, b_c = lines.(current) in
+    let next = ref None in
+    for j = 0 to n - 1 do
+      if j <> current then begin
+        let a_j, b_j = lines.(j) in
+        if b_j < b_c -. 1e-300 then begin
+          (* lines with smaller slope eventually undercut *)
+          let cross = (a_j -. a_c) /. (b_c -. b_j) in
+          if cross > theta +. (1e-12 *. Float.max 1. theta) && cross < hi
+          then
+            match !next with
+            | Some (t, _) when t <= cross -> ()
+            | _ -> next := Some (cross, j)
+        end
+      end
+    done;
+    match !next with
+    | None -> List.rev ({ plan = current; from_theta = theta; to_theta = hi } :: acc)
+    | Some (t, _) ->
+        let seg = { plan = current; from_theta = theta; to_theta = t } in
+        (* Re-evaluate the winner just beyond the crossing (several lines
+           may cross together). *)
+        let eps = (hi -. lo) *. 1e-9 in
+        let nxt = best_at (Float.min hi (t +. eps)) in
+        if nxt = current then
+          (* numerical tie: skip forward *)
+          walk (t +. eps) current acc
+        else walk t nxt (seg :: acc)
+  in
+  walk lo (best_at lo) []
+
+let breakpoints segments =
+  match segments with
+  | [] -> []
+  | _ :: rest -> List.map (fun s -> s.from_theta) rest
+
+let plan_at segments theta =
+  match
+    List.find_opt
+      (fun s -> theta >= s.from_theta -. 1e-12 && theta <= s.to_theta +. 1e-12)
+      segments
+  with
+  | Some s -> s.plan
+  | None -> raise Not_found

@@ -1,0 +1,33 @@
+(** One-dimensional parametric optimization: the exact lower envelope.
+
+    Fix every cost parameter except one at its estimate; each candidate
+    plan's cost becomes a line [a_i + b_i * theta] in the remaining
+    parameter, and the optimal-cost function is the lower envelope of
+    those lines — the classic structure of the parametric query
+    optimization literature the paper builds on (Ganguly; Hulgeri &
+    Sudarshan).  The envelope is piecewise linear and concave in theta;
+    its breakpoints are exactly the switchover points, computed here in
+    closed form rather than by sampling. *)
+
+open Qsens_linalg
+
+type segment = {
+  plan : int;  (** index of the optimal plan on this interval *)
+  from_theta : float;
+  to_theta : float;
+}
+
+val compute :
+  plans:Vec.t array -> dim:int -> lo:float -> hi:float -> segment list
+(** [compute ~plans ~dim ~lo ~hi] — the optimal-plan intervals as the
+    multiplier of coordinate [dim] sweeps [lo, hi] with all other
+    multipliers at 1.  Segments are contiguous, cover [lo, hi], and
+    adjacent segments name different plans.  Raises [Invalid_argument]
+    on an empty plan set, a bad dimension, or [lo >= hi]. *)
+
+val breakpoints : segment list -> float list
+(** The interior switchover points. *)
+
+val plan_at : segment list -> float -> int
+(** The optimal plan at a given multiplier.  Raises [Not_found] outside
+    the swept range. *)

@@ -1,0 +1,78 @@
+(** Orchestration of the paper's experiments (Sections 7 and 8).
+
+    An experiment fixes a query, a storage layout policy and a grouping
+    scheme, then: discovers the candidate optimal plans over the feasible
+    cost region, computes the worst-case global-relative-cost curve of
+    the initial plan (one line of Figure 5, 6 or 7), and takes the
+    Section-8.2 census of the candidate set (complementary-pair
+    classification, element ratios, the Theorem-2 bound). *)
+
+open Qsens_linalg
+open Qsens_catalog
+open Qsens_cost
+open Qsens_plan
+open Qsens_optimizer
+
+type setup = {
+  env : Env.t;
+  groups : Groups.t;
+  query : Query.t;
+  proj : Projection.t;  (** active group dimensions for this query *)
+  base : Vec.t;  (** base (estimated) resource costs *)
+  dims : Complementary.dim_kind array;  (** kinds of the active dims *)
+}
+
+val scheme_for : Layout.policy -> Groups.scheme
+(** Figure 5 varies d_s, d_t and CPU independently ({!Groups.Per_resource});
+    the multi-device experiments scale whole devices ({!Groups.Per_device}). *)
+
+val setup :
+  ?buffer_pages:float ->
+  ?sort_heap_pages:float ->
+  schema:Schema.t ->
+  policy:Layout.policy ->
+  Query.t ->
+  setup
+
+val expand_theta : setup -> Vec.t -> Vec.t
+(** Map an active-subspace multiplier vector to a full resource cost
+    vector (inactive groups pinned at multiplier 1). *)
+
+val white_box_oracle : setup -> Oracle.t
+
+val narrow_oracle : ?seed:int -> setup -> box:Qsens_geom.Box.t -> Oracle.t * Narrow.t
+(** An oracle that sees only plan signatures and scalar costs, recovering
+    usage vectors by least-squares (Section 6.1.1). *)
+
+type census = {
+  pairs : int;
+  complementary_pairs : int;
+  near_pairs : int;
+  by_kind : (Complementary.kind * int) list;
+      (** how many (near-)complementary pairs exhibit each cause *)
+  max_element_ratio : float;  (** largest finite ratio over pairs *)
+  theorem2 : float;  (** the constant bound when no pair is complementary *)
+}
+
+val census_of : setup -> Candidates.plan list -> census
+
+type report = {
+  query_name : string;
+  policy : Layout.policy;
+  active_dim : int;
+  candidates : Candidates.result;
+  curve : Worst_case.point list;
+  census : census;
+}
+
+val run :
+  ?deltas:float list ->
+  ?seed:int ->
+  ?narrow:bool ->
+  ?random_corners:int ->
+  ?max_probes:int ->
+  setup ->
+  report
+(** Full pipeline.  [narrow] (default false) drives discovery through the
+    narrow interface instead of the white box.  The discovery box spans
+    the largest delta of [deltas] (default {!Worst_case.default_deltas}). *)

@@ -1,0 +1,42 @@
+open Qsens_linalg
+open Qsens_geom
+
+let total_cost ~usage ~costs = Vec.dot usage costs
+
+let relative_cost ~a ~b ~costs =
+  let denom = Vec.dot b costs in
+  if denom = 0. then
+    if Vec.dot a costs = 0. then 1. else infinity
+  else Vec.dot a costs /. denom
+
+let optimal_index ~plans ~costs =
+  if Array.length plans = 0 then invalid_arg "Framework.optimal_index: no plans";
+  let best = ref 0 in
+  for i = 1 to Array.length plans - 1 do
+    if Vec.dot plans.(i) costs < Vec.dot plans.(!best) costs then best := i
+  done;
+  !best
+
+let optimal_cost ~plans ~costs =
+  Vec.dot plans.(optimal_index ~plans ~costs) costs
+
+let global_relative_cost ~plans ~a ~costs =
+  relative_cost ~a ~b:plans.(optimal_index ~plans ~costs) ~costs
+
+let equicost ~a ~b ~costs =
+  let ca = Vec.dot a costs and cb = Vec.dot b costs in
+  Float.abs (ca -. cb) <= 1e-9 *. Float.max (Float.abs ca) (Float.abs cb)
+
+let worst_case_gtc ~plans ~a ~box =
+  if Array.length plans = 0 then
+    invalid_arg "Framework.worst_case_gtc: no plans";
+  let best = ref neg_infinity and witness = ref (Box.center box) in
+  Array.iter
+    (fun b ->
+      let r, corner = Fractional.max_ratio ~num:a ~den:b box in
+      if r > !best then begin
+        best := r;
+        witness := corner
+      end)
+    plans;
+  (!best, !witness)

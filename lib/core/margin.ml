@@ -1,0 +1,51 @@
+open Qsens_linalg
+
+type boundary = { competitor : int; delta : float; witness : Vec.t }
+
+(* The competitor [other] wins where (A_cur - A_other) . theta >= 0; it
+   can win somewhere in [1/d, d]^m iff the maximum of that linear form
+   over the box is nonnegative.  The maximum is separable — d for
+   positive weights, 1/d for negative — and increases with d, so the
+   crossing delta is found by bisection in log space. *)
+let max_form w d =
+  Array.fold_left
+    (fun acc wk -> acc +. (wk *. (if wk > 0. then d else 1. /. d)))
+    0. w
+
+let witness_corner w d =
+  Array.map (fun wk -> if wk > 0. then d else 1. /. d) w
+
+let to_plan ~plans ~current ~other ?(max_delta = 1e6) () =
+  if current = other then invalid_arg "Margin.to_plan: same plan";
+  let w = Vec.sub plans.(current) plans.(other) in
+  if max_form w 1. >= 0. then
+    (* ties at (or beats) the estimate itself *)
+    Some { competitor = other; delta = 1.; witness = witness_corner w 1. }
+  else if max_form w max_delta < 0. then None
+  else begin
+    let rec bisect lo hi n =
+      if n = 0 || hi -. lo <= 1e-9 *. hi then hi
+      else
+        let mid = sqrt (lo *. hi) in
+        if max_form w mid >= 0. then bisect lo mid (n - 1)
+        else bisect mid hi (n - 1)
+    in
+    let d = bisect 1. max_delta 200 in
+    Some { competitor = other; delta = d; witness = witness_corner w d }
+  end
+
+let all ~plans ~current ?max_delta () =
+  let boundaries = ref [] in
+  Array.iteri
+    (fun j _ ->
+      if j <> current then
+        match to_plan ~plans ~current ~other:j ?max_delta () with
+        | Some b -> boundaries := b :: !boundaries
+        | None -> ())
+    plans;
+  List.sort (fun a b -> compare a.delta b.delta) !boundaries
+
+let nearest ~plans ~current ?max_delta () =
+  match all ~plans ~current ?max_delta () with
+  | [] -> None
+  | b :: _ -> Some b

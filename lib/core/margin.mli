@@ -1,0 +1,38 @@
+(** Switchover margins: how far is the configuration from a plan flip?
+
+    The regions of influence are bounded by switchover planes
+    (Section 4.2).  For the plan currently optimal at the estimated costs
+    this module measures, per competing plan, the smallest uniform
+    multiplicative error [delta] at which some feasible cost vector in
+    [[1/delta, delta]^m] makes the competitor win — the distance from the
+    all-ones point to the switchover plane, measured in the same
+    "every parameter off by at most a factor delta" metric the paper's
+    experiments use.
+
+    A small margin means the optimizer's choice is one modest estimation
+    error away from being wrong (though not necessarily by much — pair
+    the margin with the worst-case GTC to judge severity); an infinite
+    margin means the competitor never wins anywhere. *)
+
+open Qsens_linalg
+
+type boundary = {
+  competitor : int;  (** plan index that takes over *)
+  delta : float;  (** smallest delta at which it can win; >= 1 *)
+  witness : Vec.t;  (** a cost point (at that delta) where it ties/wins *)
+}
+
+val to_plan : plans:Vec.t array -> current:int -> other:int ->
+  ?max_delta:float -> unit -> boundary option
+(** Margin from [current] to [other] ([None] if [other] cannot win within
+    [max_delta], default [1e6]).  Exact: the minimum over the box of the
+    switchover form is separable per coordinate, and the crossing [delta]
+    is found by bisection. *)
+
+val nearest : plans:Vec.t array -> current:int -> ?max_delta:float -> unit ->
+  boundary option
+(** The closest switchover over all competitors. *)
+
+val all : plans:Vec.t array -> current:int -> ?max_delta:float -> unit ->
+  boundary list
+(** Every competitor's margin, nearest first. *)

@@ -1,0 +1,51 @@
+open Qsens_linalg
+open Qsens_geom
+
+type summary = {
+  samples : int;
+  mean : float;
+  p50 : float;
+  p90 : float;
+  p99 : float;
+  max_seen : float;
+  still_optimal : float;
+}
+
+let gtc_distribution ?(seed = 97) ?(samples = 10_000) ~plans ~initial ~delta
+    () =
+  if samples < 1 then invalid_arg "Monte_carlo.gtc_distribution: samples < 1";
+  let m = Vec.dim initial in
+  let box = Box.around (Vec.make m 1.) ~delta in
+  let st = Random.State.make [| seed |] in
+  let values = Array.make samples 1. in
+  let optimal = ref 0 in
+  for i = 0 to samples - 1 do
+    let theta = Box.sample st box in
+    let gtc = Framework.global_relative_cost ~plans ~a:initial ~costs:theta in
+    values.(i) <- gtc;
+    if gtc <= 1. +. 1e-9 then incr optimal
+  done;
+  Array.sort compare values;
+  let pct p =
+    let idx =
+      min (samples - 1)
+        (int_of_float (Float.of_int samples *. p))
+    in
+    values.(idx)
+  in
+  {
+    samples;
+    mean = Array.fold_left ( +. ) 0. values /. Float.of_int samples;
+    p50 = pct 0.50;
+    p90 = pct 0.90;
+    p99 = pct 0.99;
+    max_seen = values.(samples - 1);
+    still_optimal = Float.of_int !optimal /. Float.of_int samples;
+  }
+
+let pp_summary ppf s =
+  Format.fprintf ppf
+    "@[<v>samples          %d@,mean GTC         %.4g@,median           \
+     %.4g@,p90              %.4g@,p99              %.4g@,max sampled      \
+     %.4g@,still optimal    %.1f%%@]"
+    s.samples s.mean s.p50 s.p90 s.p99 s.max_seen (100. *. s.still_optimal)

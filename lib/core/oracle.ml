@@ -1,0 +1,17 @@
+open Qsens_linalg
+
+type t = {
+  dim : int;
+  probe_fn : Vec.t -> string * Vec.t;
+  mutable count : int;
+}
+
+let make ~dim ~probe = { dim; probe_fn = probe; count = 0 }
+let dim t = t.dim
+
+let probe t theta =
+  if Vec.dim theta <> t.dim then invalid_arg "Oracle.probe: dimension mismatch";
+  t.count <- t.count + 1;
+  t.probe_fn theta
+
+let calls t = t.count

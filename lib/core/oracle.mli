@@ -1,0 +1,25 @@
+(** The probing abstraction the discovery algorithms run against.
+
+    A probe maps a multiplier vector [theta] (in the {e active} group
+    subspace, see {!Projection}) to the estimated optimal plan's
+    signature and that plan's effective usage vector in the same
+    subspace.  Two implementations exist (built by {!Experiment}):
+
+    - {e white box} — our own optimizer, which exposes exact usage
+      vectors;
+    - {e narrow} — only plan signature and scalar total cost are read,
+      and usage vectors are recovered by least-squares estimation
+      (Section 6.1.1), exactly as the paper had to do against DB2. *)
+
+open Qsens_linalg
+
+type t
+
+val make : dim:int -> probe:(Vec.t -> string * Vec.t) -> t
+
+val dim : t -> int
+
+val probe : t -> Vec.t -> string * Vec.t
+(** Counts the call. *)
+
+val calls : t -> int

@@ -1,0 +1,110 @@
+open Qsens_linalg
+
+type t = {
+  dim_x : int;
+  dim_y : int;
+  delta : float;
+  cells : int array array;
+  plans : Candidates.plan list;
+  xs : float array;
+  ys : float array;
+}
+
+let log_mesh delta grid =
+  Array.init grid (fun i ->
+      let t = Float.of_int i /. Float.of_int (grid - 1) in
+      exp (log (1. /. delta) +. (t *. (log delta -. log (1. /. delta)))))
+
+let compute ?(grid = 24) ~oracle ~plans ~dim_x ~dim_y ~delta () =
+  let m = Oracle.dim oracle in
+  if dim_x < 0 || dim_x >= m || dim_y < 0 || dim_y >= m || dim_x = dim_y then
+    invalid_arg "Plan_diagram.compute: bad slice dimensions";
+  if grid < 2 then invalid_arg "Plan_diagram.compute: grid too small";
+  let xs = log_mesh delta grid and ys = log_mesh delta grid in
+  let known = ref [] and count = ref 0 in
+  let index_of signature eff =
+    let rec find i = function
+      | [] ->
+          known := !known @ [ { Candidates.signature; eff } ];
+          incr count;
+          !count - 1
+      | (p : Candidates.plan) :: rest ->
+          if p.signature = signature then i else find (i + 1) rest
+    in
+    find 0 !known
+  in
+  List.iter (fun (p : Candidates.plan) -> ignore (index_of p.signature p.eff)) plans;
+  let cells =
+    Array.init grid (fun row ->
+        Array.init grid (fun col ->
+            let theta = Vec.make m 1. in
+            theta.(dim_x) <- xs.(col);
+            theta.(dim_y) <- ys.(row);
+            let signature, eff = Oracle.probe oracle theta in
+            index_of signature eff))
+  in
+  { dim_x; dim_y; delta; cells; plans = !known; xs; ys }
+
+let optimal_cells ~plans ~dim_x ~dim_y ~delta ~grid ~m =
+  let xs = log_mesh delta grid and ys = log_mesh delta grid in
+  Array.init grid (fun row ->
+      Array.init grid (fun col ->
+          let theta = Vec.make m 1. in
+          theta.(dim_x) <- xs.(col);
+          theta.(dim_y) <- ys.(row);
+          Framework.optimal_index ~plans ~costs:theta))
+
+let letters = "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789"
+
+let render t =
+  let grid = Array.length t.cells in
+  let buf = Buffer.create (grid * (grid + 8)) in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "plan diagram: dims %d (x) vs %d (y), multipliers %.3g .. %.3g\n"
+       t.dim_x t.dim_y (1. /. t.delta) t.delta);
+  for row = grid - 1 downto 0 do
+    Buffer.add_string buf "  |";
+    Array.iter
+      (fun p -> Buffer.add_char buf letters.[p mod String.length letters])
+      t.cells.(row);
+    Buffer.add_char buf '\n'
+  done;
+  Buffer.add_string buf ("  +" ^ String.make grid '-' ^ "\n");
+  List.iteri
+    (fun i (p : Candidates.plan) ->
+      Buffer.add_string buf
+        (Printf.sprintf "  %c = %s\n" letters.[i mod String.length letters]
+           p.signature))
+    t.plans;
+  Buffer.contents buf
+
+(* Convexity of each plan's region implies that along any row or column,
+   the cells of one plan form a single contiguous run. *)
+let violations_in_line line =
+  let seen_closed = Hashtbl.create 8 in
+  let violations = ref 0 in
+  let n = Array.length line in
+  let i = ref 0 in
+  while !i < n do
+    let p = line.(!i) in
+    if Hashtbl.mem seen_closed p then incr violations
+    else begin
+      let rec skip j = if j < n && line.(j) = p then skip (j + 1) else j in
+      let j = skip !i in
+      Hashtbl.add seen_closed p ();
+      i := j - 1
+    end;
+    incr i
+  done;
+  !violations
+
+let convexity_violations t =
+  let grid = Array.length t.cells in
+  let total = ref 0 in
+  Array.iter (fun row -> total := !total + violations_in_line row) t.cells;
+  for col = 0 to grid - 1 do
+    let column = Array.init grid (fun row -> t.cells.(row).(col)) in
+    total := !total + violations_in_line column
+  done;
+  !total

@@ -1,0 +1,54 @@
+(** Plan diagrams: a picture of the regions of influence.
+
+    The paper's framework partitions the feasible cost region into convex
+    cones, one per candidate optimal plan (Figure 4).  A plan diagram
+    makes that partition visible: fix all but two cost parameters at
+    their estimates, sweep the remaining two over [1/delta, delta] on a
+    log grid, and record which plan is optimal in each cell — the
+    classic visualization of the parametric query optimization
+    literature the framework builds on.
+
+    By Observation 3, each plan's cells form a convex region of the
+    2-D slice, so the diagram also doubles as a visual check of the
+    theory (a fragmented diagram would falsify the linear cost model). *)
+
+open Qsens_linalg
+
+type t = {
+  dim_x : int;  (** active-subspace dimension swept on the x axis *)
+  dim_y : int;
+  delta : float;
+  cells : int array array;  (** [cells.(row).(col)] = plan index *)
+  plans : Candidates.plan list;  (** index order used by [cells] *)
+  xs : float array;  (** multiplier at each column *)
+  ys : float array;  (** multiplier at each row (bottom to top) *)
+}
+
+val compute :
+  ?grid:int ->
+  oracle:Oracle.t ->
+  plans:Candidates.plan list ->
+  dim_x:int ->
+  dim_y:int ->
+  delta:float ->
+  unit ->
+  t
+(** [compute ~oracle ~plans ~dim_x ~dim_y ~delta ()] sweeps a
+    [grid x grid] (default 24) log-spaced mesh.  Plans not already in
+    [plans] are appended as they are discovered.  The oracle's dimension
+    fixes the slice's ambient space; off-slice multipliers stay at 1. *)
+
+val optimal_cells : plans:Vec.t array -> dim_x:int -> dim_y:int ->
+  delta:float -> grid:int -> m:int -> int array array
+(** Geometry-only variant: pick the cheapest of the given effective usage
+    vectors at each mesh point (no optimizer calls).  Used for fast
+    diagrams and for tests. *)
+
+val render : t -> string
+(** ASCII rendering: one letter per plan, a legend with signatures, and
+    log-scaled axes. *)
+
+val convexity_violations : t -> int
+(** Number of cells that break row-wise or column-wise contiguity of
+    their plan's region — 0 is the Observation-3 expectation up to mesh
+    effects. *)

@@ -1,0 +1,60 @@
+open Qsens_linalg
+open Qsens_geom
+open Qsens_optimizer
+
+type estimate = { usage : Vec.t; samples : int; residual : float }
+
+let sample_thetas st box count =
+  List.init count (fun _ -> Box.sample st box)
+
+let estimate_usage ?(seed = 7) ?(oversample = 2) ~narrow ~expand ~signature
+    ~box () =
+  let m = Box.dim box in
+  let count = max (oversample * m) (m + 1) in
+  let st = Random.State.make [| seed |] in
+  let thetas = Vec.make m 1. :: sample_thetas st box (count - 1) in
+  let observations =
+    List.filter_map
+      (fun theta ->
+        match Narrow.recost narrow ~signature ~costs:(expand theta) with
+        | Some t -> Some (theta, t)
+        | None -> None)
+      thetas
+  in
+  if List.length observations < m then None
+  else begin
+    let c = Qsens_linalg.Mat.of_rows (List.map fst observations) in
+    let t = Vec.of_list (List.map snd observations) in
+    match Qsens_linalg.Mat.least_squares c t with
+    | exception Qsens_linalg.Mat.Singular -> None
+    | usage ->
+        let residual =
+          List.fold_left
+            (fun acc (theta, obs) ->
+              let pred = Vec.dot theta usage in
+              if obs = 0. then acc
+              else Float.max acc (Float.abs (pred -. obs) /. Float.abs obs))
+            0. observations
+        in
+        Some { usage; samples = List.length observations; residual }
+  end
+
+let validate ?(seed = 11) ?(trials = 16) ~narrow ~expand ~signature ~box
+    estimate =
+  let st = Random.State.make [| seed |] in
+  let rec go i worst valid =
+    if i >= trials then if valid then Some worst else None
+    else begin
+      let theta = Box.sample st box in
+      match Narrow.recost narrow ~signature ~costs:(expand theta) with
+      | None -> go (i + 1) worst valid
+      | Some obs ->
+          let pred = Vec.dot theta estimate.usage in
+          let err =
+            if obs = 0. then Float.abs pred
+            else Float.abs (pred -. obs) /. Float.abs obs
+          in
+          go (i + 1) (Float.max worst err) true
+    end
+  in
+  go 0 0. false

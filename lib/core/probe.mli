@@ -1,0 +1,50 @@
+(** Least-squares recovery of resource usage vectors through the narrow
+    optimizer interface (Section 6.1.1).
+
+    Commercial optimizers report only a plan identifier and a scalar
+    estimated total cost.  Because the cost model is linear, observing a
+    plan's total cost [t_i] under [m >= n] cost vectors [C_i] determines
+    its usage vector [U] as the least-squares solution of [C U = T].  The
+    paper used at least [2n] samples to absorb the optimizer's internal
+    quantization and validated predictions to within one percent; this
+    module reproduces both the estimation and the validation. *)
+
+open Qsens_linalg
+open Qsens_geom
+open Qsens_optimizer
+
+type estimate = {
+  usage : Vec.t;  (** estimated effective usage, active subspace *)
+  samples : int;
+  residual : float;  (** max relative residual over the fitting samples *)
+}
+
+val estimate_usage :
+  ?seed:int ->
+  ?oversample:int ->
+  narrow:Narrow.t ->
+  expand:(Vec.t -> Vec.t) ->
+  signature:string ->
+  box:Box.t ->
+  unit ->
+  estimate option
+(** [estimate_usage ~narrow ~expand ~signature ~box ()] samples
+    [oversample * dim] (default [2 * dim], the paper's choice) multiplier
+    vectors in [box], obtains the plan's total cost at each through the
+    narrow interface ([expand] maps active multipliers to a full resource
+    cost vector), and solves the normal equations.  [None] when the
+    signature is unknown to the interface or the system is singular. *)
+
+val validate :
+  ?seed:int ->
+  ?trials:int ->
+  narrow:Narrow.t ->
+  expand:(Vec.t -> Vec.t) ->
+  signature:string ->
+  box:Box.t ->
+  estimate ->
+  float option
+(** Maximum relative discrepancy between costs predicted from the
+    estimated usage vector and costs reported by the interface at
+    [trials] (default 16) fresh sample points — the <1% check of
+    Section 6.1.1. *)

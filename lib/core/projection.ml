@@ -1,0 +1,26 @@
+open Qsens_linalg
+
+type t = { full_dim : int; active : int array }
+
+let make ~full_dim ~active =
+  let active = Array.of_list active in
+  Array.iter
+    (fun i ->
+      if i < 0 || i >= full_dim then invalid_arg "Projection.make: bad index")
+    active;
+  for i = 1 to Array.length active - 1 do
+    if active.(i) <= active.(i - 1) then
+      invalid_arg "Projection.make: indices must be strictly increasing"
+  done;
+  { full_dim; active }
+
+let identity n = { full_dim = n; active = Array.init n Fun.id }
+let active_dim t = Array.length t.active
+let full_dim t = t.full_dim
+let active t = t.active
+let project t v = Array.map (fun i -> v.(i)) t.active
+
+let inject t ~fill v =
+  let out = Vec.make t.full_dim fill in
+  Array.iteri (fun k i -> out.(i) <- v.(k)) t.active;
+  out

@@ -1,0 +1,32 @@
+(** Restriction of the group parameter space to the dimensions a query
+    can actually exercise.
+
+    Under the multi-device layouts, the schema induces one cost parameter
+    per device, but a k-table query only touches the devices of its own
+    tables plus temp and CPU — the paper's "2k+2 resources" (Section
+    8.1.2).  Analysis runs in the projected subspace; probe vectors are
+    injected back with the inactive parameters pinned at the estimate
+    (multiplier 1), which is immaterial because no candidate plan uses
+    them. *)
+
+open Qsens_linalg
+
+type t
+
+val make : full_dim:int -> active:int list -> t
+(** [active] lists the retained coordinates, strictly increasing. *)
+
+val identity : int -> t
+
+val active_dim : t -> int
+
+val full_dim : t -> int
+
+val active : t -> int array
+
+val project : t -> Vec.t -> Vec.t
+(** Keep the active coordinates. *)
+
+val inject : t -> fill:float -> Vec.t -> Vec.t
+(** Scatter an active-space vector into full space, using [fill] for the
+    inactive coordinates. *)

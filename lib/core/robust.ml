@@ -1,0 +1,45 @@
+open Qsens_linalg
+
+type choice = { index : int; worst_gtc : float; nominal_penalty : float }
+
+let nominal_cost plans i =
+  let m = Vec.dim plans.(0) in
+  Vec.dot plans.(i) (Vec.make m 1.)
+
+let evaluate ~plans ~index ~delta =
+  if Array.length plans = 0 then invalid_arg "Robust.evaluate: no plans";
+  let worst = Worst_case.gtc_at ~plans ~initial:plans.(index) ~delta in
+  let m = Vec.dim plans.(0) in
+  let ones = Vec.make m 1. in
+  let best_nominal =
+    Vec.dot plans.(Framework.optimal_index ~plans ~costs:ones) ones
+  in
+  {
+    index;
+    worst_gtc = worst;
+    nominal_penalty = nominal_cost plans index /. best_nominal;
+  }
+
+let nominal ~plans =
+  if Array.length plans = 0 then invalid_arg "Robust.nominal: no plans";
+  let m = Vec.dim plans.(0) in
+  let i = Framework.optimal_index ~plans ~costs:(Vec.make m 1.) in
+  { index = i; worst_gtc = 1.; nominal_penalty = 1. }
+
+let minimax ~plans ~delta =
+  if Array.length plans = 0 then invalid_arg "Robust.minimax: no plans";
+  let best = ref None in
+  Array.iteri
+    (fun i _ ->
+      let c = evaluate ~plans ~index:i ~delta in
+      let better =
+        match !best with
+        | None -> true
+        | Some b ->
+            c.worst_gtc < b.worst_gtc -. 1e-12
+            || (Float.abs (c.worst_gtc -. b.worst_gtc) <= 1e-12
+               && c.nominal_penalty < b.nominal_penalty)
+      in
+      if better then best := Some c)
+    plans;
+  Option.get !best

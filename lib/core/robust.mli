@@ -1,0 +1,41 @@
+(** Robust plan selection: acting on the characterization.
+
+    The paper shows the optimizer's nominal choice can be delta^2 from
+    optimal when cost parameters are uncertain.  If the uncertainty
+    region is known, a better decision rule exists: among the candidate
+    optimal plans, pick the one minimizing the {e worst-case} global
+    relative cost over the region — the minimax plan.  Its guarantee
+    follows directly from the framework: the minimax value is a tight
+    bound on the regret of the best possible static choice.
+
+    The minimax plan often differs from the nominal optimum precisely for
+    the fragile (complementary-plan) queries: it trades a few percent at
+    the estimated costs for orders of magnitude in the corners.  The
+    [robust] part of the benchmark harness quantifies the trade on the
+    TPC-H suite. *)
+
+open Qsens_linalg
+
+type choice = {
+  index : int;  (** index into the plan array *)
+  worst_gtc : float;  (** its worst-case GTC over the region *)
+  nominal_penalty : float;
+      (** its cost at the estimated point relative to the nominal
+          optimum (>= 1) *)
+}
+
+val minimax :
+  plans:Vec.t array -> delta:float -> choice
+(** [minimax ~plans ~delta] evaluates every plan's worst-case GTC over
+    [[1/delta, delta]^m] (each an exact linear-fractional maximization)
+    and returns the minimizer.  Ties break toward lower nominal cost.
+    Raises [Invalid_argument] on an empty plan set. *)
+
+val nominal : plans:Vec.t array -> choice
+(** The plan optimal at the estimated costs (the all-ones point), with
+    its worst-case GTC over the same region evaluated at [delta] = 1
+    (i.e. [worst_gtc] = 1 by construction); use {!evaluate} to score it
+    over a region. *)
+
+val evaluate : plans:Vec.t array -> index:int -> delta:float -> choice
+(** Score an arbitrary plan over the region. *)

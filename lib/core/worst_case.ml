@@ -1,0 +1,40 @@
+open Qsens_linalg
+open Qsens_geom
+
+type point = { delta : float; gtc : float; witness : Vec.t }
+
+let default_deltas =
+  (* 10^0, 10^0.25, ..., 10^4 *)
+  List.init 17 (fun i -> Float.pow 10. (0.25 *. Float.of_int i))
+
+let gtc_at_full ~plans ~initial ~delta =
+  let m = Vec.dim initial in
+  let box = Box.around (Vec.make m 1.) ~delta in
+  Framework.worst_case_gtc ~plans ~a:initial ~box
+
+let gtc_at ~plans ~initial ~delta = fst (gtc_at_full ~plans ~initial ~delta)
+
+let curve ?(deltas = default_deltas) ~plans ~initial () =
+  List.map
+    (fun delta ->
+      let gtc, witness = gtc_at_full ~plans ~initial ~delta in
+      { delta; gtc; witness })
+    deltas
+
+let asymptote points =
+  match List.rev points with
+  | [] -> `Bounded 1.
+  | last :: _ ->
+      let before =
+        (* the point one decade of delta earlier, if present *)
+        List.find_opt
+          (fun p -> p.delta <= last.delta /. 10. *. 1.0001)
+          (List.rev points)
+      in
+      let growth =
+        match before with
+        | Some p when p.gtc > 0. -> last.gtc /. p.gtc
+        | _ -> 1.
+      in
+      if growth < 3. then `Bounded last.gtc
+      else `Quadratic (last.gtc /. (last.delta *. last.delta))

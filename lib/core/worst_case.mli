@@ -1,0 +1,30 @@
+(** The worst-case analysis of Section 6.1.
+
+    For an initial plan [p0] (optimal at the estimated costs) and the set
+    of candidate optimal plans, the worst-case global relative cost at
+    error bound [delta] is the maximum of [GTC_rel(p0, C)] over the
+    feasible region [[1/delta, delta]^m] — how many times slower than
+    optimal the optimizer's choice can turn out to be if every cost
+    parameter is individually off by up to a factor [delta].  One point
+    per [delta] yields the curves of Figures 5, 6 and 7. *)
+
+open Qsens_linalg
+
+type point = { delta : float; gtc : float; witness : Vec.t }
+
+val default_deltas : float list
+(** A log-spaced grid from 1 to 10^4, matching the figures' x-axis. *)
+
+val curve :
+  ?deltas:float list -> plans:Vec.t array -> initial:Vec.t -> unit -> point list
+(** [curve ~plans ~initial ()] — worst-case GTC of [initial] against
+    [plans] for each delta.  Vectors live in the (active) group subspace,
+    where the estimated cost point is the all-ones vector. *)
+
+val gtc_at : plans:Vec.t array -> initial:Vec.t -> delta:float -> float
+
+val asymptote : point list -> [ `Bounded of float | `Quadratic of float ]
+(** Classify the curve's tail: [`Bounded c] when the last decade grows by
+    less than 3x (Theorem 2 regime, approaching constant [c]);
+    [`Quadratic s] when it tracks [delta^2] within a decade factor
+    (Theorem 1 regime, [s] the fitted scale [gtc / delta^2]). *)

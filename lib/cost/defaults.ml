@@ -1,0 +1,43 @@
+let d_s = 24.1
+let d_t = 9.0
+let cpu_per_instruction = 1.0e-6
+let buffer_pool_pages = 640_000.
+let sort_heap_pages = 128_000.
+let cpu_row = 1_000.
+let cpu_index_probe = 3_000.
+let cpu_hash_build = 1_500.
+let cpu_hash_probe = 800.
+let cpu_sort_compare = 150.
+let cpu_join_output = 400.
+let cpu_agg_row = 600.
+
+let base_costs space =
+  Array.map
+    (function
+      | Resource.Cpu -> cpu_per_instruction
+      | Resource.Seek _ -> d_s
+      | Resource.Transfer _ -> d_t)
+    (Space.resources space)
+
+let system_parameters =
+  [
+    ("DB2_EXTENDED_OPTIMIZATION", "YES");
+    ("DB2_ANTIJOIN", "Y");
+    ("DB2_CORRELATED_PREDICATES", "Y");
+    ("DB2_NEW_CORR_SQ_FF", "Y");
+    ("DB2_VECTOR", "Y");
+    ("DB2_HASH_JOIN", "Y");
+    ("DB2_BINSORT", "Y");
+    ("INTRA_PARALLEL", "YES");
+    ("FEDERATED", "NO");
+    ("DFT_DEGREE", "32");
+    ("AVG_APPLS", "1");
+    ("LOCKLIST", "16384");
+    ("DFT_QUERYOPT", "7");
+    ("OPT_BUFFPAGE", "640000");
+    ("OPT_SORTHEAP", "128000");
+    ("qsens.d_s (OVERHEAD)", "24.1");
+    ("qsens.d_t (TRANSFERRATE)", "9.0");
+    ("qsens.cpu_per_instruction", "1.0e-6");
+    ("qsens.page_size", "4096");
+  ]

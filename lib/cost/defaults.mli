@@ -1,0 +1,53 @@
+(** Calibration constants.
+
+    The base (estimated) resource costs are the DB2 defaults used in the
+    paper's experiments (Section 8.1): 24.1 time units per random access
+    ([d_s]), 9.0 time units per page transferred ([d_t]) and 1.0e-6 time
+    units per CPU instruction.  Buffer-pool and sort-heap sizes reproduce
+    the paper's 2.5 GB buffer pool (OPT_BUFFPAGE = 640000 pages) and
+    512 MB sort heap (OPT_SORTHEAP = 128000 pages). *)
+
+val d_s : float
+(** Time units per seek/random positioning (DB2 OVERHEAD default). *)
+
+val d_t : float
+(** Time units per page transferred (DB2 TRANSFERRATE default). *)
+
+val cpu_per_instruction : float
+
+val buffer_pool_pages : float
+(** OPT_BUFFPAGE of the benchmark configuration. *)
+
+val sort_heap_pages : float
+(** OPT_SORTHEAP of the benchmark configuration. *)
+
+(** Per-operation CPU instruction counts, in the spirit of a commercial
+    optimizer's CPU cost terms.  They only need plausible magnitudes: the
+    experiments perturb the per-unit costs, not the counts. *)
+
+val cpu_row : float
+(** Instructions to produce/inspect one row in a scan or filter. *)
+
+val cpu_index_probe : float
+(** Instructions per index probe (root-to-leaf traversal logic). *)
+
+val cpu_hash_build : float
+
+val cpu_hash_probe : float
+
+val cpu_sort_compare : float
+(** Instructions per comparison during sorting. *)
+
+val cpu_join_output : float
+(** Instructions per emitted join result row. *)
+
+val cpu_agg_row : float
+
+val base_costs : Space.t -> Qsens_linalg.Vec.t
+(** The estimated resource cost vector [C-hat] for a space: [d_s]/[d_t]
+    for every device's seek/transfer resources, {!cpu_per_instruction}
+    for CPU. *)
+
+val system_parameters : (string * string) list
+(** Name/value pairs reproducing the tunable-parameter table of
+    Section 7.3, with our equivalents appended. *)

@@ -1,0 +1,21 @@
+open Qsens_catalog
+
+type t = Cpu | Seek of Device.t | Transfer of Device.t
+
+let rank = function Cpu -> 0 | Seek _ -> 1 | Transfer _ -> 2
+
+let compare a b =
+  match (a, b) with
+  | Cpu, Cpu -> 0
+  | Seek d1, Seek d2 | Transfer d1, Transfer d2 -> Device.compare d1 d2
+  | _ -> Int.compare (rank a) (rank b)
+
+let equal a b = compare a b = 0
+let device = function Cpu -> None | Seek d | Transfer d -> Some d
+
+let to_string = function
+  | Cpu -> "cpu"
+  | Seek d -> "seek:" ^ Device.name d
+  | Transfer d -> "xfer:" ^ Device.name d
+
+let pp ppf r = Format.pp_print_string ppf (to_string r)

@@ -1,0 +1,25 @@
+(** Time-shared resources of the cost model (Section 3.1).
+
+    Each storage device contributes two resources — [Seek d] (unit: one
+    random positioning, DB2's OVERHEAD) and [Transfer d] (unit: one page
+    read or written sequentially, DB2's TRANSFERRATE) — plus a single
+    [Cpu] resource (unit: one instruction).  The true total cost of a plan
+    is the dot product of its per-resource usage with the per-unit costs
+    (Equation 1). *)
+
+open Qsens_catalog
+
+type t =
+  | Cpu
+  | Seek of Device.t
+  | Transfer of Device.t
+
+val compare : t -> t -> int
+
+val equal : t -> t -> bool
+
+val device : t -> Device.t option
+
+val pp : Format.formatter -> t -> unit
+
+val to_string : t -> string

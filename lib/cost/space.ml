@@ -1,0 +1,38 @@
+open Qsens_catalog
+open Qsens_linalg
+
+type t = { resources : Resource.t array }
+
+let of_layout layout =
+  let devices = Layout.devices layout in
+  let per_device =
+    List.concat_map (fun d -> [ Resource.Seek d; Resource.Transfer d ]) devices
+  in
+  { resources = Array.of_list (Resource.Cpu :: per_device) }
+
+let dim s = Array.length s.resources
+let resources s = s.resources
+
+let index s r =
+  let n = Array.length s.resources in
+  let rec loop i =
+    if i >= n then raise Not_found
+    else if Resource.equal s.resources.(i) r then i
+    else loop (i + 1)
+  in
+  loop 0
+
+let zero_usage s = Vec.zero (dim s)
+
+let add_usage s u r x =
+  let i = index s r in
+  u.(i) <- u.(i) +. x
+
+let pp_vec s ppf v =
+  Format.fprintf ppf "@[<v>";
+  Array.iteri
+    (fun i r ->
+      if v.(i) <> 0. then
+        Format.fprintf ppf "%-28s %.6g@," (Resource.to_string r) v.(i))
+    s.resources;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,29 @@
+(** The resource vector space of a storage layout.
+
+    Fixes an ordering of the resources of a layout so that usage and cost
+    vectors (Section 3.2) can be represented as dense {!Qsens_linalg.Vec}
+    values: index 0 is always [Cpu], followed by a [Seek]/[Transfer] pair
+    per device in layout order. *)
+
+open Qsens_catalog
+
+type t
+
+val of_layout : Layout.t -> t
+
+val dim : t -> int
+
+val resources : t -> Resource.t array
+(** Resource at each coordinate. *)
+
+val index : t -> Resource.t -> int
+(** Raises [Not_found] for resources outside the space. *)
+
+val zero_usage : t -> Qsens_linalg.Vec.t
+
+val add_usage : t -> Qsens_linalg.Vec.t -> Resource.t -> float -> unit
+(** [add_usage space u r x] accumulates [x] units of resource [r] into the
+    mutable usage vector [u]. *)
+
+val pp_vec : t -> Format.formatter -> Qsens_linalg.Vec.t -> unit
+(** Pretty-prints a vector with resource labels, skipping zero entries. *)

@@ -1,0 +1,221 @@
+type node =
+  | Leaf of (Value.t * int) array
+  | Node of { seps : Value.t array; kids : node array; total : int }
+
+type t = { mutable root : node; fanout : int }
+
+let node_size = function
+  | Leaf entries -> Array.length entries
+  | Node { total; _ } -> total
+
+let create ?(fanout = 64) () =
+  if fanout < 4 then invalid_arg "Btree.create: fanout must be >= 4";
+  { root = Leaf [||]; fanout }
+
+let size t = node_size t.root
+
+let height t =
+  let rec go = function Leaf _ -> 1 | Node { kids; _ } -> 1 + go kids.(0) in
+  go t.root
+
+(* First child whose key interval can contain [k]: separators are the
+   first keys of their right siblings' subtrees. *)
+let child_index seps k =
+  let n = Array.length seps in
+  let rec go i = if i >= n then n else if Value.compare k seps.(i) < 0 then i else go (i + 1) in
+  go 0
+
+let array_insert arr i x =
+  let n = Array.length arr in
+  Array.init (n + 1) (fun j -> if j < i then arr.(j) else if j = i then x else arr.(j - 1))
+
+let array_replace2 arr i a b =
+  let n = Array.length arr in
+  Array.init (n + 1) (fun j ->
+      if j < i then arr.(j)
+      else if j = i then a
+      else if j = i + 1 then b
+      else arr.(j - 1))
+
+let mk_node seps kids =
+  Node { seps; kids; total = Array.fold_left (fun s k -> s + node_size k) 0 kids }
+
+let rec ins fanout node k rid =
+  match node with
+  | Leaf entries ->
+      let n = Array.length entries in
+      (* insert after any equal keys: stable for duplicates *)
+      let rec pos i =
+        if i >= n then n
+        else if Value.compare (fst entries.(i)) k > 0 then i
+        else pos (i + 1)
+      in
+      let arr = array_insert entries (pos 0) (k, rid) in
+      if Array.length arr <= fanout then `One (Leaf arr)
+      else begin
+        let mid = Array.length arr / 2 in
+        let left = Array.sub arr 0 mid in
+        let right = Array.sub arr mid (Array.length arr - mid) in
+        `Split (Leaf left, fst right.(0), Leaf right)
+      end
+  | Node { seps; kids; _ } -> begin
+      let i = child_index seps k in
+      match ins fanout kids.(i) k rid with
+      | `One kid ->
+          let kids = Array.mapi (fun j old -> if j = i then kid else old) kids in
+          `One (mk_node seps kids)
+      | `Split (l, sep, r) ->
+          let seps = array_insert seps i sep in
+          let kids = array_replace2 kids i l r in
+          if Array.length kids <= fanout then `One (mk_node seps kids)
+          else begin
+            let mid = Array.length kids / 2 in
+            let promoted = seps.(mid - 1) in
+            let lnode =
+              mk_node (Array.sub seps 0 (mid - 1)) (Array.sub kids 0 mid)
+            in
+            let rnode =
+              mk_node
+                (Array.sub seps mid (Array.length seps - mid))
+                (Array.sub kids mid (Array.length kids - mid))
+            in
+            `Split (lnode, promoted, rnode)
+          end
+    end
+
+let insert t k rid =
+  match ins t.fanout t.root k rid with
+  | `One root -> t.root <- root
+  | `Split (l, sep, r) -> t.root <- mk_node [| sep |] [| l; r |]
+
+let of_sorted ?(fanout = 64) entries =
+  if fanout < 4 then invalid_arg "Btree.of_sorted: fanout must be >= 4";
+  for i = 1 to Array.length entries - 1 do
+    if Value.compare (fst entries.(i - 1)) (fst entries.(i)) > 0 then
+      invalid_arg "Btree.of_sorted: entries not sorted"
+  done;
+  let chunk arr group mk =
+    let n = Array.length arr in
+    let count = (n + group - 1) / group in
+    Array.init count (fun i ->
+        mk (Array.sub arr (i * group) (min group (n - (i * group)))))
+  in
+  if Array.length entries = 0 then { root = Leaf [||]; fanout }
+  else begin
+    let rec first_key_of = function
+      | Leaf e -> fst e.(0)
+      | Node { kids; _ } -> first_key_of kids.(0)
+    in
+    let leaves = chunk entries (max 2 (fanout / 2)) (fun e -> Leaf e) in
+    let rec build level =
+      if Array.length level = 1 then level.(0)
+      else begin
+        let groups =
+          chunk level (max 2 (fanout / 2)) (fun kids ->
+              let seps =
+                Array.init
+                  (Array.length kids - 1)
+                  (fun i -> first_key_of kids.(i + 1))
+              in
+              mk_node seps kids)
+        in
+        build groups
+      end
+    in
+    { root = build leaves; fanout }
+  end
+
+(* Walk entries with [lo <= key <= hi], calling [f rank key rid]; returns
+   the number of entries visited before pruning at the high end. *)
+let fold_range t ~lo ~hi f =
+  let before_lo k =
+    match lo with Some l -> Value.compare k l < 0 | None -> false
+  in
+  let after_hi k =
+    match hi with Some h -> Value.compare k h > 0 | None -> false
+  in
+  let rank = ref 0 in
+  (* [max_key_lt_lo node] prunes subtrees entirely below the range using
+     separators; we conservatively visit boundary subtrees. *)
+  let rec go node =
+    match node with
+    | Leaf entries ->
+        Array.iter
+          (fun (k, rid) ->
+            if before_lo k then incr rank
+            else if not (after_hi k) then begin
+              f !rank k rid;
+              incr rank
+            end)
+          entries
+    | Node { seps; kids; _ } ->
+        let nk = Array.length kids in
+        for i = 0 to nk - 1 do
+          (* kid i holds keys in [seps.(i-1), seps.(i)] (closed at both
+             ends because duplicates may straddle boundaries). *)
+          let lo_bound = if i = 0 then None else Some seps.(i - 1) in
+          let hi_bound = if i = nk - 1 then None else Some seps.(i) in
+          let skip_below =
+            match (lo, hi_bound) with
+            | Some l, Some hb -> Value.compare hb l < 0
+            | _ -> false
+          in
+          let skip_above =
+            match (hi, lo_bound) with
+            | Some h, Some lb -> Value.compare lb h > 0
+            | _ -> false
+          in
+          if skip_below then rank := !rank + node_size kids.(i)
+          else if not skip_above then go kids.(i)
+          (* Subtrees entirely above the range contribute nothing. *)
+        done
+  in
+  go t.root
+
+let range t ~lo ~hi =
+  let acc = ref [] in
+  fold_range t ~lo ~hi (fun _ k rid -> acc := (k, rid) :: !acc);
+  List.rev !acc
+
+let search t k =
+  let first = ref None and rids = ref [] in
+  fold_range t ~lo:(Some k) ~hi:(Some k) (fun rank _ rid ->
+      if !first = None then first := Some rank;
+      rids := rid :: !rids);
+  let rank = match !first with Some r -> r | None -> 0 in
+  (rank, List.rev !rids)
+
+let entries t = range t ~lo:None ~hi:None
+
+let check_invariants t =
+  let ok = ref true in
+  (* Keys nondecreasing. *)
+  let last = ref None in
+  List.iter
+    (fun (k, _) ->
+      (match !last with
+      | Some prev -> if Value.compare prev k > 0 then ok := false
+      | None -> ());
+      last := Some k)
+    (entries t);
+  (* Uniform depth, fanout bounds, size consistency. *)
+  let rec depth = function
+    | Leaf _ -> 1
+    | Node { kids; _ } -> 1 + depth kids.(0)
+  in
+  let d = depth t.root in
+  let rec check node level =
+    match node with
+    | Leaf entries ->
+        if level <> d then ok := false;
+        if Array.length entries > t.fanout then ok := false
+    | Node { seps; kids; total } ->
+        if Array.length kids > t.fanout then ok := false;
+        if Array.length seps <> Array.length kids - 1 then ok := false;
+        if Array.length kids < 2 then ok := false;
+        if total <> Array.fold_left (fun s k -> s + node_size k) 0 kids then
+          ok := false;
+        Array.iter (fun kid -> check kid (level + 1)) kids
+  in
+  check t.root 1;
+  !ok

@@ -1,0 +1,39 @@
+(** An in-memory B+-tree mapping keys to row identifiers.
+
+    Duplicate keys are allowed (secondary indexes).  Nodes split at a
+    configurable fanout; subtree sizes are maintained so that the rank
+    (key-order position) of any entry is available during descent —
+    the engine uses ranks to charge leaf-page I/O the way the optimizer's
+    cost model does (entries packed in key order). *)
+
+type t
+
+val create : ?fanout:int -> unit -> t
+(** [fanout] is the maximum entries per node (default 64, minimum 4). *)
+
+val of_sorted : ?fanout:int -> (Value.t * int) array -> t
+(** Bulk-load from entries sorted by key (stable for duplicates).
+    Raises [Invalid_argument] if the input is not sorted. *)
+
+val insert : t -> Value.t -> int -> unit
+
+val size : t -> int
+
+val height : t -> int
+(** Levels including the leaf level; 1 for a tree that is a single leaf. *)
+
+val search : t -> Value.t -> (int * int list)
+(** [search t k] is [(rank, rids)]: the key-order position of the first
+    entry with key [k] (or of the insertion point) and the rids of all
+    entries with that exact key, in insertion order. *)
+
+val range : t -> lo:Value.t option -> hi:Value.t option -> (Value.t * int) list
+(** Entries with [lo <= key <= hi] (missing bounds are open), in key
+    order. *)
+
+val entries : t -> (Value.t * int) list
+(** All entries in key order. *)
+
+val check_invariants : t -> bool
+(** Keys nondecreasing in order, sizes consistent, all leaves at the same
+    depth, no node over fanout. *)

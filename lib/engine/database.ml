@@ -1,0 +1,80 @@
+open Qsens_catalog
+
+type stored_index = {
+  meta : Index.t;
+  tree : Btree.t;
+  entries_per_page : int;
+}
+
+type stored_table = {
+  meta : Table.t;
+  heap : Heap.t;
+  indexes : stored_index list;
+}
+
+type t = {
+  schema : Schema.t;
+  layout : Layout.t;
+  sim : Sim_device.t;
+  tables : (string, stored_table) Hashtbl.t;
+}
+
+let build_index (tbl : Table.t) (heap : Heap.t) (meta : Index.t) =
+  let leading = List.hd meta.Index.key_columns in
+  let rows = Heap.rows heap in
+  let entries =
+    Array.mapi (fun rid row -> (Value.get row leading, rid)) rows
+  in
+  Array.sort (fun (a, _) (b, _) -> Value.compare a b) entries;
+  let tree = Btree.of_sorted ~fanout:64 entries in
+  let entries_per_page =
+    max 1 (Table.page_capacity / Index.entry_width meta tbl)
+  in
+  { meta; tree; entries_per_page }
+
+let create ?buffer_pages ~schema ~policy ~rows () =
+  let layout = Layout.make policy schema in
+  let sim = Sim_device.create ?buffer_pages () in
+  let tables = Hashtbl.create 16 in
+  List.iter
+    (fun (tbl : Table.t) ->
+      let data = rows tbl.Table.name in
+      let rows_per_page =
+        max 1 (Table.page_capacity / Table.row_width tbl)
+      in
+      let heap = Heap.create ~name:tbl.Table.name ~rows_per_page data in
+      let indexes =
+        List.map (build_index tbl heap) (Schema.indexes_of schema tbl.Table.name)
+      in
+      Hashtbl.replace tables tbl.Table.name { meta = tbl; heap; indexes })
+    (Schema.tables schema);
+  { schema; layout; sim; tables }
+
+let table t name =
+  match Hashtbl.find_opt t.tables name with
+  | Some st -> st
+  | None -> raise Not_found
+
+let index t name =
+  let found = ref None in
+  Hashtbl.iter
+    (fun _ st ->
+      List.iter
+        (fun (ix : stored_index) ->
+          if ix.meta.Index.name = name then found := Some ix)
+        st.indexes)
+    t.tables;
+  match !found with Some ix -> ix | None -> raise Not_found
+
+let charge_leaf_pages t (ix : stored_index) ~first_rank ~count =
+  if count > 0 then begin
+    let dev = Layout.index_device t.layout ix.meta.Index.table in
+    let first_page = first_rank / ix.entries_per_page in
+    let last_page = (first_rank + count - 1) / ix.entries_per_page in
+    for page = first_page to last_page do
+      Sim_device.access t.sim dev ~obj:ix.meta.Index.name ~page
+    done
+  end
+
+let reset_io t = Sim_device.reset t.sim
+let io_usage t space = Sim_device.usage t.sim space

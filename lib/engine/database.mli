@@ -1,0 +1,57 @@
+(** A materialized database instance: heap files and B+-tree indexes for
+    a catalog schema, with all I/O routed through a simulated storage
+    layer laid out according to a {!Qsens_catalog.Layout} policy.
+
+    The engine exists to close the loop on the cost model: the optimizer
+    chooses plans from statistics alone, and the engine executes those
+    plans on generated rows, counting actual seeks, transfers, and
+    intermediate-result sizes for comparison. *)
+
+open Qsens_catalog
+
+type stored_index = {
+  meta : Index.t;
+  tree : Btree.t;
+  entries_per_page : int;
+}
+
+type stored_table = {
+  meta : Table.t;
+  heap : Heap.t;
+  indexes : stored_index list;
+}
+
+type t = {
+  schema : Schema.t;
+  layout : Layout.t;
+  sim : Sim_device.t;
+  tables : (string, stored_table) Hashtbl.t;
+}
+
+val create :
+  ?buffer_pages:int ->
+  schema:Schema.t ->
+  policy:Layout.policy ->
+  rows:(string -> Value.row array) ->
+  unit ->
+  t
+(** [create ~schema ~policy ~rows ()] materializes every table of the
+    schema from [rows table_name] and builds every declared index (keyed
+    on the leading key column; composite keys are probed by their leading
+    column, as the optimizer's matching rules assume). *)
+
+val table : t -> string -> stored_table
+(** Raises [Not_found]. *)
+
+val index : t -> string -> stored_index
+(** Lookup by index name across all tables; raises [Not_found]. *)
+
+val charge_leaf_pages :
+  t -> stored_index -> first_rank:int -> count:int -> unit
+(** Charge the leaf-page accesses for [count] consecutive entries
+    starting at key-order position [first_rank], on the owning table's
+    index device. *)
+
+val reset_io : t -> unit
+
+val io_usage : t -> Qsens_cost.Space.t -> Qsens_linalg.Vec.t

@@ -1,0 +1,299 @@
+open Qsens_catalog
+open Qsens_plan
+
+type node_stat = { label : string; estimated : float; actual : float }
+type result = { rows : Value.row list; stats : node_stat list }
+
+let qualify_row alias row =
+  Value.row_of_list
+    (List.map (fun (c, v) -> (Value.qualify alias c, v)) (Value.fields row))
+
+(* Deterministic row-level pseudo-predicate: keeps [selectivity] of the
+   rows, independently per predicate column (the salt), reproducibly per
+   row.  Row-level filtering matches the independence assumptions of the
+   cardinality estimator exactly, which value-level filtering cannot on
+   low-cardinality columns. *)
+let pred_passes (p : Query.pred) qrow =
+  if p.selectivity >= 1. then true
+  else
+    let h = Hashtbl.hash (p.column, Value.fields qrow) land 0xFFFFFF in
+    Float.of_int h /. 16_777_216. < p.selectivity
+
+let pass_local_preds (rel : Query.relation) _alias row =
+  List.for_all (fun (p : Query.pred) -> pred_passes p row) rel.preds
+
+(* Join edges between two alias sets. *)
+let edges_between (query : Query.t) left_aliases right_aliases =
+  List.filter
+    (fun (j : Query.join) ->
+      (List.mem j.left left_aliases && List.mem j.right right_aliases)
+      || (List.mem j.right left_aliases && List.mem j.left right_aliases))
+    query.joins
+
+(* The (field, field) pairs an edge equates, oriented (left set, right
+   set). *)
+let edge_fields (j : Query.join) left_aliases =
+  if List.mem j.left left_aliases then
+    (Value.qualify j.left j.left_col, Value.qualify j.right j.right_col)
+  else (Value.qualify j.right j.right_col, Value.qualify j.left j.left_col)
+
+let key_of row fields = List.map (fun f -> Value.get row f) fields
+
+let pages_of card width =
+  max 1 (int_of_float (Float.ceil (card *. Float.of_int width /. Float.of_int Table.page_capacity)))
+
+(* Charge [2 * pages] temp transfers (write out, read back), as the cost
+   model does for spilled sorts and hash joins. *)
+let spill_counter = ref 0
+
+let charge_spill db pages passes =
+  incr spill_counter;
+  let obj = Printf.sprintf "spill-%d" !spill_counter in
+  let temp = Layout.temp_device db.Database.layout in
+  for pass = 1 to passes do
+    for page = 0 to pages - 1 do
+      Sim_device.write db.Database.sim temp ~obj:(obj ^ string_of_int pass) ~page;
+      Sim_device.write db.Database.sim temp
+        ~obj:(obj ^ string_of_int pass ^ "r")
+        ~page
+    done
+  done
+
+let run db (query : Query.t) plan =
+  let stats = ref [] in
+  (* Once a grouping operator has run, downstream cardinalities can no
+     longer be measured (groups are not materialized). *)
+  let grouped = ref false in
+  let record label estimated rows_out actual_known =
+    let measurable = actual_known && not !grouped in
+    stats :=
+      {
+        label;
+        estimated;
+        actual =
+          (if measurable then Float.of_int (List.length rows_out) else nan);
+      }
+      :: !stats;
+    rows_out
+  in
+  let rec exec (node : Node.t) : Value.row list =
+    match node.Node.op with
+    | Node.Access { alias; kind } -> exec_access node alias kind
+    | Node.Block_nlj { outer; inner; _ } ->
+        let l = exec outer and r = exec inner in
+        let out = generic_join node l outer.Node.aliases r in
+        record ("BNLJ:" ^ String.concat "," node.Node.aliases) node.Node.card
+          out true
+    | Node.Index_nlj { outer; inner_alias; index; join; index_only } ->
+        exec_index_nlj node outer inner_alias index join index_only
+    | Node.Hash_join { build; probe; spilled } ->
+        let b = exec build and p = exec probe in
+        if spilled then begin
+          let bp = pages_of build.Node.card build.Node.width in
+          let pp = pages_of probe.Node.card probe.Node.width in
+          charge_spill db (bp + pp) 1
+        end;
+        let out = generic_join node b build.Node.aliases p in
+        record ("HSJ:" ^ String.concat "," node.Node.aliases) node.Node.card
+          out true
+    | Node.Merge_join { left; right } ->
+        let l = exec left and r = exec right in
+        let out = generic_join node l left.Node.aliases r in
+        record ("MGJ:" ^ String.concat "," node.Node.aliases) node.Node.card
+          out true
+    | Node.Sort { input; key; spilled } ->
+        let rows = exec input in
+        if spilled then begin
+          let pages = pages_of input.Node.card input.Node.width in
+          let runs =
+            max 1
+              (int_of_float
+                 (Float.ceil
+                    (Float.of_int pages
+                    /. Qsens_cost.Defaults.sort_heap_pages)))
+          in
+          let passes =
+            max 1
+              (int_of_float
+                 (Float.ceil (Float.log (Float.of_int runs) /. Float.log 256.)))
+          in
+          charge_spill db pages passes
+        end;
+        let rows =
+          match key with
+          | Some (alias, col) ->
+              let field = Value.qualify alias col in
+              List.stable_sort
+                (fun a b -> Value.compare (Value.get a field) (Value.get b field))
+                rows
+          | None -> rows
+        in
+        record "SORT" node.Node.card rows true
+    | Node.Group_agg { input; hash; spilled } ->
+        let rows = exec input in
+        if hash && spilled then begin
+          let pages = pages_of input.Node.card input.Node.width in
+          charge_spill db pages 1
+        end;
+        (* With concrete grouping columns the engine groups faithfully
+           (one representative row per group); otherwise the operator
+           passes rows through and its stat is unmeasured. *)
+        if query.group_cols = [] then begin
+          grouped := true;
+          record "GRP" node.Node.card rows false
+        end
+        else begin
+          let fields =
+            List.map (fun (a, c) -> Value.qualify a c) query.group_cols
+          in
+          let groups = Hashtbl.create 64 in
+          List.iter
+            (fun row ->
+              let key = key_of row fields in
+              if not (Hashtbl.mem groups key) then Hashtbl.add groups key row)
+            rows;
+          let out = Hashtbl.fold (fun _ row acc -> row :: acc) groups [] in
+          record "GRP" node.Node.card out true
+        end
+  and exec_access node alias kind =
+    let rel = Query.relation query alias in
+    let st = Database.table db rel.table in
+    let dev = Layout.table_device db.Database.layout rel.table in
+    match kind with
+    | Node.Table_scan ->
+        let out = ref [] in
+        Heap.scan st.heap db.Database.sim dev (fun _rid row ->
+            let qrow = qualify_row alias row in
+            if pass_local_preds rel alias qrow then out := qrow :: !out);
+        record ("TS:" ^ alias) node.Node.card (List.rev !out) true
+    | Node.Index_range { index; match_sel = _; index_only } ->
+        let ix = Database.index db index.Index.name in
+        let leading = List.hd index.Index.key_columns in
+        let matching_pred =
+          List.find_opt
+            (fun (p : Query.pred) -> p.column = leading)
+            rel.preds
+        in
+        let residual_preds =
+          match matching_pred with
+          | Some mp -> List.filter (fun p -> p != mp) rel.preds
+          | None -> rel.preds
+        in
+        let heap_rows = Heap.rows st.heap in
+        (* Entries in key order; the subset satisfying the matching
+           predicate is charged as a contiguous leaf run starting at the
+           first match, mirroring the cost model's matching-scan
+           assumption. *)
+        let entries = Btree.entries ix.tree in
+        let matched = ref [] and first_rank = ref None and rank = ref 0 in
+        List.iter
+          (fun (_, rid) ->
+            let qrow = qualify_row alias heap_rows.(rid) in
+            let passes =
+              match matching_pred with
+              | Some p -> pred_passes p qrow
+              | None -> true
+            in
+            if passes then begin
+              if !first_rank = None then first_rank := Some !rank;
+              matched := (rid, qrow) :: !matched
+            end;
+            incr rank)
+          entries;
+        let matched = List.rev !matched in
+        Database.charge_leaf_pages db ix
+          ~first_rank:(Option.value ~default:0 !first_rank)
+          ~count:(List.length matched);
+        let out =
+          List.filter_map
+            (fun (rid, qrow) ->
+              if not index_only then
+                ignore (Heap.fetch st.heap db.Database.sim dev rid);
+              if List.for_all (fun p -> pred_passes p qrow) residual_preds
+              then Some qrow
+              else None)
+            matched
+        in
+        record ("IXS:" ^ alias) node.Node.card out true
+  and exec_index_nlj node outer inner_alias index join index_only =
+    let outer_rows = exec outer in
+    let rel = Query.relation query inner_alias in
+    let st = Database.table db rel.table in
+    let dev = Layout.table_device db.Database.layout rel.table in
+    let ix = Database.index db index.Index.name in
+    let heap_rows = Heap.rows st.heap in
+    let outer_field =
+      if join.Query.left = inner_alias then
+        Value.qualify join.Query.right join.Query.right_col
+      else Value.qualify join.Query.left join.Query.left_col
+    in
+    (* Residual edges: other joins connecting inner to the outer set. *)
+    let residual_edges =
+      List.filter (fun j -> j <> join)
+        (edges_between query [ inner_alias ] outer.Node.aliases)
+    in
+    let out = ref [] in
+    List.iter
+      (fun orow ->
+        let key = Value.get orow outer_field in
+        let rank, rids = Btree.search ix.tree key in
+        Database.charge_leaf_pages db ix ~first_rank:rank
+          ~count:(max 1 (List.length rids));
+        List.iter
+          (fun rid ->
+            let row =
+              if index_only then heap_rows.(rid)
+              else Heap.fetch st.heap db.Database.sim dev rid
+            in
+            let qrow = qualify_row inner_alias row in
+            if pass_local_preds rel inner_alias qrow then begin
+              let joined = Value.concat orow qrow in
+              let residual_ok =
+                List.for_all
+                  (fun (j : Query.join) ->
+                    let lf = Value.qualify j.left j.left_col
+                    and rf = Value.qualify j.right j.right_col in
+                    Value.equal (Value.get joined lf) (Value.get joined rf))
+                  residual_edges
+              in
+              if residual_ok then out := joined :: !out
+            end)
+          rids)
+      outer_rows;
+    record ("INLJ:" ^ inner_alias) node.Node.card (List.rev !out) true
+  and generic_join node left_rows left_aliases right_rows =
+    let right_aliases =
+      List.filter (fun a -> not (List.mem a left_aliases)) node.Node.aliases
+    in
+    let edges = edges_between query left_aliases right_aliases in
+    match edges with
+    | [] ->
+        (* Cartesian product (disconnected query components). *)
+        List.concat_map
+          (fun l -> List.map (fun r -> Value.concat l r) right_rows)
+          left_rows
+    | _ ->
+        let lfields = List.map (fun j -> fst (edge_fields j left_aliases)) edges in
+        let rfields = List.map (fun j -> snd (edge_fields j left_aliases)) edges in
+        let table = Hashtbl.create (List.length left_rows) in
+        List.iter
+          (fun l -> Hashtbl.add table (key_of l lfields) l)
+          left_rows;
+        List.concat_map
+          (fun r ->
+            List.map
+              (fun l -> Value.concat l r)
+              (Hashtbl.find_all table (key_of r rfields)))
+          right_rows
+  in
+  let rows = exec plan in
+  { rows; stats = List.rev !stats }
+
+let max_relative_card_error r =
+  List.fold_left
+    (fun acc s ->
+      if Float.is_nan s.actual then acc
+      else
+        Float.max acc
+          (Float.abs (s.actual -. s.estimated) /. Float.max 1. s.actual))
+    0. r.stats

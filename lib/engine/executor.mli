@@ -1,0 +1,36 @@
+(** Interpretation of physical plans over a materialized database.
+
+    [run] executes exactly the plan the optimizer chose — same access
+    paths, same join methods, same spills — charging I/O through the
+    simulated devices, and records each operator's actual output
+    cardinality next to the optimizer's estimate.  This closes the
+    validation loop the paper could not close against a closed-source
+    system: with uniform generated data, the estimates should track the
+    actuals, and the usage vectors the analysis reasons about should
+    track the counted I/O.
+
+    Local predicates are applied as deterministic pseudo-filters (see
+    {!Value.pseudo_filter}); grouping operators are pass-through for
+    cardinality purposes (their stat is marked unknown) because query
+    specifications carry only an estimated group count. *)
+
+open Qsens_plan
+
+type node_stat = {
+  label : string;
+  estimated : float;
+  actual : float;  (** [nan] when the engine cannot measure it *)
+}
+
+type result = {
+  rows : Value.row list;
+  stats : node_stat list;  (** bottom-up, one entry per plan node *)
+}
+
+val run : Database.t -> Query.t -> Node.t -> result
+(** Raises [Failure] for plans inconsistent with the database (unknown
+    alias/index), which indicates a bug rather than a user error. *)
+
+val max_relative_card_error : result -> float
+(** Largest [|actual - estimated| / max(1, actual)] over the measured
+    stats — the headline validation number. *)

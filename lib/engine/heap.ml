@@ -1,0 +1,30 @@
+type t = { name : string; rows : Value.row array; rows_per_page : int }
+
+let create ~name ~rows_per_page rows =
+  if rows_per_page < 1 then invalid_arg "Heap.create: rows_per_page < 1";
+  { name; rows; rows_per_page }
+
+let name t = t.name
+let cardinality t = Array.length t.rows
+
+let pages t =
+  max 1 ((Array.length t.rows + t.rows_per_page - 1) / t.rows_per_page)
+
+let page_of_rid t rid = rid / t.rows_per_page
+
+let fetch t sim dev rid =
+  if rid < 0 || rid >= Array.length t.rows then invalid_arg "Heap.fetch: bad rid";
+  Sim_device.access sim dev ~obj:t.name ~page:(page_of_rid t rid);
+  t.rows.(rid)
+
+let scan t sim dev f =
+  let n = Array.length t.rows in
+  if n = 0 then Sim_device.access sim dev ~obj:t.name ~page:0
+  else
+    for rid = 0 to n - 1 do
+      if rid mod t.rows_per_page = 0 then
+        Sim_device.access sim dev ~obj:t.name ~page:(page_of_rid t rid);
+      f rid t.rows.(rid)
+    done
+
+let rows t = t.rows

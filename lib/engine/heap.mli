@@ -1,0 +1,29 @@
+(** Heap files: rows placed in pages in insertion order.
+
+    Row identifiers (rids) are dense indices; the page of a rid follows
+    from the table's rows-per-page.  All I/O is routed through a
+    {!Sim_device} so that scans and fetches are charged like the cost
+    model charges them. *)
+
+open Qsens_catalog
+
+type t
+
+val create : name:string -> rows_per_page:int -> Value.row array -> t
+
+val name : t -> string
+
+val cardinality : t -> int
+
+val pages : t -> int
+
+val page_of_rid : t -> int -> int
+
+val fetch : t -> Sim_device.t -> Device.t -> int -> Value.row
+(** Read the row with the given rid, charging the page access. *)
+
+val scan : t -> Sim_device.t -> Device.t -> (int -> Value.row -> unit) -> unit
+(** Full sequential scan; the callback receives (rid, row). *)
+
+val rows : t -> Value.row array
+(** Direct access for index building (no I/O charged). *)

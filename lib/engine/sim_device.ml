@@ -1,0 +1,104 @@
+open Qsens_catalog
+
+let extent = 64
+
+type counters = { mutable seeks : float; mutable transfers : float;
+                  mutable last : (string * int) option;
+                  mutable run_len : int }
+
+type t = {
+  devices : (string, counters) Hashtbl.t;
+  pool : (string * int, unit) Hashtbl.t;
+  fifo : (string * int) Queue.t;
+  capacity : int;
+}
+
+let create ?buffer_pages () =
+  let capacity =
+    match buffer_pages with
+    | Some n -> n
+    | None -> Float.to_int Qsens_cost.Defaults.buffer_pool_pages
+  in
+  {
+    devices = Hashtbl.create 8;
+    pool = Hashtbl.create 1024;
+    fifo = Queue.create ();
+    capacity;
+  }
+
+let counters t dev =
+  let name = Device.name dev in
+  match Hashtbl.find_opt t.devices name with
+  | Some c -> c
+  | None ->
+      let c = { seeks = 0.; transfers = 0.; last = None; run_len = 0 } in
+      Hashtbl.add t.devices name c;
+      c
+
+let pool_admit t key =
+  if t.capacity > 0 then begin
+    if Hashtbl.length t.pool >= t.capacity then begin
+      match Queue.take_opt t.fifo with
+      | Some victim -> Hashtbl.remove t.pool victim
+      | None -> ()
+    end;
+    if not (Hashtbl.mem t.pool key) then begin
+      Hashtbl.add t.pool key ();
+      Queue.add key t.fifo
+    end
+  end
+
+let charge_io c ~obj ~page =
+  c.transfers <- c.transfers +. 1.;
+  let sequential =
+    match c.last with
+    | Some (o, p) -> o = obj && page = p + 1
+    | None -> false
+  in
+  if sequential then begin
+    c.run_len <- c.run_len + 1;
+    if c.run_len mod extent = 0 then c.seeks <- c.seeks +. 1.
+  end
+  else begin
+    c.seeks <- c.seeks +. 1.;
+    c.run_len <- 1
+  end;
+  c.last <- Some (obj, page)
+
+let access t dev ~obj ~page =
+  let key = (obj, page) in
+  if Hashtbl.mem t.pool key then ()
+  else begin
+    charge_io (counters t dev) ~obj ~page;
+    pool_admit t key
+  end
+
+let write t dev ~obj ~page =
+  charge_io (counters t dev) ~obj ~page;
+  pool_admit t (obj, page)
+
+let seeks t dev =
+  match Hashtbl.find_opt t.devices (Device.name dev) with
+  | Some c -> c.seeks
+  | None -> 0.
+
+let transfers t dev =
+  match Hashtbl.find_opt t.devices (Device.name dev) with
+  | Some c -> c.transfers
+  | None -> 0.
+
+let usage t space =
+  let u = Qsens_cost.Space.zero_usage space in
+  Array.iteri
+    (fun i r ->
+      match r with
+      | Qsens_cost.Resource.Cpu -> ()
+      | Qsens_cost.Resource.Seek d -> u.(i) <- seeks t d
+      | Qsens_cost.Resource.Transfer d -> u.(i) <- transfers t d)
+    (Qsens_cost.Space.resources space);
+  u
+
+let reset t =
+  Hashtbl.reset t.devices;
+  Hashtbl.reset t.pool;
+  Queue.clear t.fifo

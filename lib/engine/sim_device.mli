@@ -1,0 +1,38 @@
+(** Simulated storage devices with seek/transfer accounting and a shared
+    buffer pool.
+
+    Every page access goes through here.  A page found in the buffer pool
+    is free; a miss costs one transfer, plus one positioning seek when the
+    access does not continue the device's current sequential run (an
+    extent boundary within a run still costs a track-to-track seek every
+    {!extent} pages, matching the optimizer's cost model).  The pool is
+    approximated with a FIFO of page identities, adequate for validating
+    aggregate I/O counts. *)
+
+open Qsens_catalog
+
+type t
+
+val create : ?buffer_pages:int -> unit -> t
+(** Buffer capacity defaults to
+    {!Qsens_cost.Defaults.buffer_pool_pages}. *)
+
+val extent : int
+(** Pages per sequential-run seek (64, as in the cost model). *)
+
+val access : t -> Device.t -> obj:string -> page:int -> unit
+(** Record an access to page [page] of object [obj] (a table, index or
+    temp file name) residing on the device. *)
+
+val write : t -> Device.t -> obj:string -> page:int -> unit
+(** Writes bypass the pool (force-style) and always pay a transfer. *)
+
+val seeks : t -> Device.t -> float
+
+val transfers : t -> Device.t -> float
+
+val usage : t -> Qsens_cost.Space.t -> Qsens_linalg.Vec.t
+(** Fold the counters into a resource usage vector over a space (CPU is
+    left at zero: the engine validates I/O accounting). *)
+
+val reset : t -> unit

@@ -1,0 +1,38 @@
+type t = Int of int | Float of float | Str of string
+
+let rank = function Int _ -> 0 | Float _ -> 1 | Str _ -> 2
+
+let compare a b =
+  match (a, b) with
+  | Int x, Int y -> Int.compare x y
+  | Float x, Float y -> Float.compare x y
+  | Str x, Str y -> String.compare x y
+  | _ -> Int.compare (rank a) (rank b)
+
+let equal a b = compare a b = 0
+
+let hash = function
+  | Int x -> Hashtbl.hash (0, x)
+  | Float x -> Hashtbl.hash (1, x)
+  | Str x -> Hashtbl.hash (2, x)
+
+let to_string = function
+  | Int x -> string_of_int x
+  | Float x -> Printf.sprintf "%g" x
+  | Str x -> x
+
+type row = (string * t) list
+
+let row_of_list fields = fields
+let get row name = List.assoc name row
+let fields row = row
+let concat a b = a @ b
+let qualify alias column = alias ^ "." ^ column
+
+(* A multiplicative hash keeps the kept-set stable as selectivity grows:
+   if sel1 <= sel2, every value kept at sel1 is kept at sel2. *)
+let pseudo_filter ~selectivity v =
+  if selectivity >= 1. then true
+  else
+    let h = hash v land 0xFFFFFF in
+    Float.of_int h /. 16_777_216. < selectivity

@@ -1,0 +1,42 @@
+(** Runtime values and rows for the execution engine. *)
+
+type t =
+  | Int of int
+  | Float of float
+  | Str of string
+
+val compare : t -> t -> int
+(** Total order within a constructor; across constructors by constructor
+    rank (engine schemas are homogeneous per column, so cross-constructor
+    comparisons only arise from misuse). *)
+
+val equal : t -> t -> bool
+
+val hash : t -> int
+
+val to_string : t -> string
+
+(** A row is a set of named fields.  Field names are qualified with the
+    producing alias ("l.l_partkey") so self-joins stay unambiguous. *)
+type row
+
+val row_of_list : (string * t) list -> row
+
+val get : row -> string -> t
+(** Raises [Not_found]. *)
+
+val fields : row -> (string * t) list
+
+val concat : row -> row -> row
+(** Merge two rows (disjoint field sets). *)
+
+val qualify : string -> string -> string
+(** [qualify alias column] is the canonical field name. *)
+
+(** Deterministic pseudo-filter: local predicates in query specifications
+    carry a selectivity rather than literal text, so the engine applies
+    them as a deterministic hash test that keeps approximately the stated
+    fraction of distinct column values — preserving the selectivity and
+    its correlation structure (the same column and selectivity always
+    keep the same rows) without needing the literal predicate. *)
+val pseudo_filter : selectivity:float -> t -> bool

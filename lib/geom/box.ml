@@ -1,0 +1,56 @@
+open Qsens_linalg
+
+type t = { lo : Vec.t; hi : Vec.t }
+
+let make lo hi =
+  if Vec.dim lo <> Vec.dim hi then invalid_arg "Box.make: dimension mismatch";
+  Array.iteri
+    (fun i l -> if l > hi.(i) then invalid_arg "Box.make: lo > hi")
+    lo;
+  { lo; hi }
+
+let around c ~delta =
+  if delta < 1. then invalid_arg "Box.around: delta must be >= 1";
+  Array.iter (fun x -> if x <= 0. then invalid_arg "Box.around: c must be > 0") c;
+  { lo = Vec.map (fun x -> x /. delta) c; hi = Vec.map (fun x -> x *. delta) c }
+
+let dim b = Vec.dim b.lo
+
+let contains ?(eps = 1e-9) b x =
+  Vec.dim x = dim b
+  &&
+  let ok = ref true in
+  Array.iteri
+    (fun i v -> if v < b.lo.(i) -. eps || v > b.hi.(i) +. eps then ok := false)
+    x;
+  !ok
+
+let center b = Vec.map2 (fun l h -> 0.5 *. (l +. h)) b.lo b.hi
+let num_vertices b = 1 lsl dim b
+
+let vertex b k =
+  Vec.init (dim b) (fun i -> if (k lsr i) land 1 = 1 then b.hi.(i) else b.lo.(i))
+
+let vertices b =
+  let n = dim b in
+  if n > 20 then invalid_arg "Box.vertices: too many dimensions";
+  List.init (1 lsl n) (vertex b)
+
+let sample st b =
+  Vec.map2
+    (fun l h ->
+      if l <= 0. then l +. (Random.State.float st 1. *. (h -. l))
+      else exp (log l +. (Random.State.float st 1. *. (log h -. log l))))
+    b.lo b.hi
+
+let to_halfspaces b =
+  let n = dim b in
+  List.concat
+    (List.init n (fun i ->
+         [ Halfspace.make (Vec.basis n i) b.hi.(i);
+           Halfspace.make (Vec.neg (Vec.basis n i)) (-.b.lo.(i)) ]))
+
+let corner_maximizing b w =
+  Vec.init (dim b) (fun i -> if w.(i) > 0. then b.hi.(i) else b.lo.(i))
+
+let pp ppf b = Format.fprintf ppf "@[[%a ..@ %a]@]" Vec.pp b.lo Vec.pp b.hi

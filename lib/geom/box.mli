@@ -1,0 +1,47 @@
+(** Axis-aligned boxes in the cost vector space.
+
+    The feasible cost region of the paper's experiments is the box
+    [[c_i / delta, c_i * delta]] in each resource dimension (Section 6.1):
+    every true cost is within a multiplicative factor [delta] of the
+    optimizer's estimate. *)
+
+open Qsens_linalg
+
+type t = { lo : Vec.t; hi : Vec.t }
+
+val make : Vec.t -> Vec.t -> t
+(** Raises [Invalid_argument] if dimensions differ or some [lo > hi]. *)
+
+val around : Vec.t -> delta:float -> t
+(** [around c ~delta] is the feasible cost region
+    [{ x | c_i / delta <= x_i <= c_i * delta }].  Requires [delta >= 1.]
+    and [c] strictly positive. *)
+
+val dim : t -> int
+
+val contains : ?eps:float -> t -> Vec.t -> bool
+
+val center : t -> Vec.t
+(** Geometric (componentwise arithmetic) midpoint. *)
+
+val vertices : t -> Vec.t list
+(** All [2^n] corners.  Raises [Invalid_argument] beyond 20 dimensions. *)
+
+val num_vertices : t -> int
+
+val vertex : t -> int -> Vec.t
+(** [vertex b k] is the corner selected by the bit pattern of [k]
+    (bit [i] set picks [hi] in dimension [i]). *)
+
+val sample : Random.State.t -> t -> Vec.t
+(** Uniform sample in log-space between [lo] and [hi] — appropriate for
+    multiplicative cost uncertainty. *)
+
+val to_halfspaces : t -> Halfspace.t list
+(** The [2n] facet inequalities. *)
+
+val corner_maximizing : t -> Vec.t -> Vec.t
+(** [corner_maximizing b w] is the corner of [b] maximizing [w . x]
+    (picks [hi_i] where [w_i > 0], else [lo_i]). *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,60 @@
+open Qsens_linalg
+
+let check_nonneg name v =
+  Array.iter
+    (fun x -> if x < 0. then invalid_arg ("Fractional." ^ name ^ ": negative component"))
+    v
+
+(* The maximum of [(num - t * den) . x] over the box, achieved
+   coordinatewise: hi where the coefficient is positive, lo otherwise. *)
+let slack ~num ~den box t =
+  let w = Vec.map2 (fun a b -> a -. (t *. b)) num den in
+  let corner = Box.corner_maximizing box w in
+  (Vec.dot w corner, corner)
+
+let max_ratio ?(tol = 1e-12) ~num ~den box =
+  check_nonneg "max_ratio" num;
+  check_nonneg "max_ratio" den;
+  if Vec.dim num <> Box.dim box || Vec.dim den <> Box.dim box then
+    invalid_arg "Fractional.max_ratio: dimension mismatch";
+  let corner_hi = box.Box.hi in
+  if Vec.dot den corner_hi <= 0. then
+    (* The denominator vanishes everywhere (den = 0 or box degenerate). *)
+    if Vec.dot num corner_hi > 0. then (infinity, corner_hi) else (nan, corner_hi)
+  else begin
+    (* Establish an upper bound by doubling, then bisect. *)
+    let lo0 =
+      let c = Box.center box in
+      let d = Vec.dot den c in
+      if d > 0. then Vec.dot num c /. d else 0.
+    in
+    let rec grow hi =
+      let s, corner = slack ~num ~den box hi in
+      if s > 0. && Vec.dot den corner <= 0. then (`Inf corner, hi)
+      else if s > 0. then grow (hi *. 2.)
+      else (`Fin, hi)
+    in
+    match grow (Float.max 1. (lo0 *. 2.)) with
+    | `Inf corner, _ -> (infinity, corner)
+    | `Fin, hi0 ->
+        let rec bisect lo hi n =
+          if n = 0 || hi -. lo <= tol *. Float.max 1. (Float.abs hi) then lo
+          else
+            let mid = 0.5 *. (lo +. hi) in
+            let s, _ = slack ~num ~den box mid in
+            if s > 0. then bisect mid hi (n - 1) else bisect lo mid (n - 1)
+        in
+        let r = bisect 0. hi0 200 in
+        let _, corner = slack ~num ~den box r in
+        let d = Vec.dot den corner in
+        let r = if d > 0. then Vec.dot num corner /. d else r in
+        (r, corner)
+  end
+
+let min_ratio ?tol ~num ~den box =
+  (* min num/den = 1 / (max den/num); handle the zero-numerator corner
+     directly to avoid dividing by an infinite ratio prematurely. *)
+  let r, corner = max_ratio ?tol ~num:den ~den:num box in
+  if r = infinity then (0., corner)
+  else if Float.is_nan r then (nan, corner)
+  else (1. /. r, corner)

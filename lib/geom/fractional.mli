@@ -1,0 +1,31 @@
+(** Maximization of a ratio of linear forms over a box.
+
+    The worst-case global relative cost of a plan [a] over the feasible
+    cost region is
+
+    {v max_{C in box} (A . C) / (min_b B . C)
+       = max_b max_{C in box} (A . C) / (B . C) v}
+
+    where [b] ranges over the candidate optimal plans (Section 5.2 and
+    Observation 2 of the paper).  Each inner problem is a linear-fractional
+    program over a box.  Because [(A - t B) . C] is linear in [C], the test
+    "is a ratio of at least [t] attainable?" reduces to evaluating the
+    maximizing corner of the box, and the optimum is found by bisection on
+    [t].  This is exact (to the requested tolerance) and avoids the [2^n]
+    vertex enumeration of the naive approach while agreeing with
+    Observation 2, which guarantees the maximum is attained at a vertex. *)
+
+open Qsens_linalg
+
+val max_ratio :
+  ?tol:float -> num:Vec.t -> den:Vec.t -> Box.t -> float * Vec.t
+(** [max_ratio ~num ~den box] is [(r, c)] with
+    [r = max_{x in box} (num . x) / (den . x)] attained at corner [c].
+    Requires [num] and [den] componentwise nonnegative, and [den] nonzero.
+    [tol] is the relative tolerance of the bisection (default [1e-12]).
+    Returns [infinity] when [den . x = 0] is attainable with
+    [num . x > 0]. *)
+
+val min_ratio :
+  ?tol:float -> num:Vec.t -> den:Vec.t -> Box.t -> float * Vec.t
+(** Minimizing counterpart of {!max_ratio}. *)

@@ -1,0 +1,15 @@
+open Qsens_linalg
+
+type t = { normal : Vec.t; offset : float }
+
+let make normal offset = { normal; offset }
+let dim h = Vec.dim h.normal
+let eval h x = Vec.dot h.normal x -. h.offset
+let contains ?(eps = 1e-9) h x = eval h x <= eps
+let on_boundary ?(eps = 1e-9) h x = Float.abs (eval h x) <= eps
+let shift d h = { h with offset = h.offset -. (d *. Vec.norm2 h.normal) }
+let complement h = { normal = Vec.neg h.normal; offset = -.h.offset }
+let switchover a b = { normal = Vec.sub a b; offset = 0. }
+
+let pp ppf h =
+  Format.fprintf ppf "@[%a . x <= %g@]" Vec.pp h.normal h.offset

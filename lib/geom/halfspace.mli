@@ -1,0 +1,41 @@
+(** Half-spaces and hyperplanes of the resource cost vector space.
+
+    A half-space is the solution set of one linear inequality
+    [normal . x <= offset].  Switchover planes (Section 4.2 of the paper)
+    are hyperplanes through the origin with normal [A - B]; the two open
+    half-spaces they bound are the A-dominated and B-dominated regions of
+    Section 4.3. *)
+
+open Qsens_linalg
+
+type t = { normal : Vec.t; offset : float }
+(** The set [{ x | normal . x <= offset }]. *)
+
+val make : Vec.t -> float -> t
+
+val dim : t -> int
+
+val contains : ?eps:float -> t -> Vec.t -> bool
+(** Membership with tolerance: [normal . x <= offset + eps]. *)
+
+val on_boundary : ?eps:float -> t -> Vec.t -> bool
+
+val eval : t -> Vec.t -> float
+(** [eval h x] is [normal . x - offset]; negative strictly inside. *)
+
+val shift : float -> t -> t
+(** [shift d h] translates the boundary inward by [d] along the unit
+    normal, i.e. replaces [offset] with [offset - d * |normal|].  Used to
+    contract regions of influence by a small amount before probing their
+    vertices (Section 6.2.1). *)
+
+val complement : t -> t
+(** The closed complement [{ x | normal . x >= offset }], expressed again
+    as a [<=] half-space by negating. *)
+
+val switchover : Vec.t -> Vec.t -> t
+(** [switchover a b] is the half-space [(a - b) . x <= 0] whose boundary is
+    the switchover plane of plans with usage vectors [a] and [b]: cost
+    vectors inside it make plan [a] no more expensive than plan [b]. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,34 @@
+(** A dense two-phase simplex solver for small linear programs.
+
+    The sensitivity analysis needs linear programming in two places:
+    deciding whether a plan is candidate optimal (is the intersection of
+    its switchover half-spaces with the feasible cost region nonempty?,
+    Section 4.4) and probing regions of influence (Section 6.2.1).  The
+    programs involved have at most a few dozen variables and constraints,
+    so a straightforward dense tableau implementation with Bland's
+    anti-cycling rule is appropriate. *)
+
+open Qsens_linalg
+
+type result =
+  | Optimal of Vec.t * float  (** optimal point and objective value *)
+  | Unbounded
+  | Infeasible
+
+val maximize : obj:Vec.t -> constraints:(Vec.t * float) list -> result
+(** [maximize ~obj ~constraints] solves
+
+    {v max  obj . x   subject to   a_k . x <= b_k  for each constraint,
+                                   x >= 0 v}
+
+    Right-hand sides may be negative (phase one handles them). *)
+
+val feasible : constraints:(Vec.t * float) list -> dim:int -> Vec.t option
+(** [feasible ~constraints ~dim] returns a point [x >= 0] of dimension
+    [dim] satisfying every [a_k . x <= b_k], or [None] if the system is
+    infeasible. *)
+
+val feasible_in_box : Box.t -> Halfspace.t list -> Vec.t option
+(** [feasible_in_box box hs] returns a point of [box] satisfying every
+    half-space in [hs], or [None].  The box lower bounds need not be
+    nonnegative internally; the solver shifts coordinates. *)

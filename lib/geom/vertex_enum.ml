@@ -1,0 +1,65 @@
+open Qsens_linalg
+
+exception Too_large
+
+let count_subsets n k =
+  if k < 0 || k > n then 0
+  else begin
+    let k = min k (n - k) in
+    let acc = ref 1 in
+    (try
+       for i = 1 to k do
+         let next = !acc * (n - k + i) in
+         if next < !acc then raise Exit;
+         acc := next / i
+       done
+     with Exit -> acc := max_int);
+    !acc
+  end
+
+(* Iterate over all [k]-subsets of [0 .. n-1]. *)
+let iter_subsets n k f =
+  let idx = Array.init k (fun i -> i) in
+  let rec next () =
+    f idx;
+    (* Advance the rightmost index that can move. *)
+    let rec bump i =
+      if i < 0 then false
+      else if idx.(i) < n - (k - i) then begin
+        idx.(i) <- idx.(i) + 1;
+        for j = i + 1 to k - 1 do
+          idx.(j) <- idx.(j - 1) + 1
+        done;
+        true
+      end
+      else bump (i - 1)
+    in
+    if bump (k - 1) then next ()
+  in
+  if k >= 1 && k <= n then next ()
+
+let vertices ?(eps = 1e-7) ?(max_subsets = 200_000) hs =
+  match hs with
+  | [] -> []
+  | h0 :: _ ->
+      let n = Halfspace.dim h0 in
+      let arr = Array.of_list hs in
+      let count = Array.length arr in
+      if count_subsets count n > max_subsets then raise Too_large;
+      let found : Vec.t list ref = ref [] in
+      let satisfies_all x =
+        Array.for_all (fun h -> Halfspace.contains ~eps h x) arr
+      in
+      let already_seen x =
+        List.exists (fun y -> Vec.norm_inf (Vec.sub x y) <= eps) !found
+      in
+      iter_subsets count n (fun idx ->
+          let m =
+            Mat.init n n (fun i j -> (arr.(idx.(i))).Halfspace.normal.(j))
+          in
+          let b = Vec.init n (fun i -> (arr.(idx.(i))).Halfspace.offset) in
+          match Mat.solve m b with
+          | exception Mat.Singular -> ()
+          | x -> if satisfies_all x && not (already_seen x) then
+                   found := x :: !found);
+      List.rev !found

@@ -1,0 +1,26 @@
+(** Vertex enumeration for H-polytopes in low dimension.
+
+    A region of influence (Section 4.5) is the intersection of switchover
+    half-spaces with the feasible cost region — a convex polytope.  The
+    candidate-plan completeness check of Section 6.2.1 probes the
+    optimizer at (slightly contracted) vertices of these polytopes.  This
+    module enumerates vertices by solving every [n]-subset of boundary
+    hyperplanes and keeping the solutions that satisfy all constraints:
+    adequate for the low-dimensional layouts; higher-dimensional layouts
+    fall back to sampling (see {!Qsens_core}). *)
+
+open Qsens_linalg
+
+exception Too_large
+(** Raised when the number of hyperplane subsets to examine exceeds the
+    [max_subsets] budget. *)
+
+val vertices :
+  ?eps:float -> ?max_subsets:int -> Halfspace.t list -> Vec.t list
+(** [vertices hs] enumerates the vertices of [{ x | h . x <= o for all
+    (h, o) in hs }].  Duplicate vertices (within [eps], default [1e-7])
+    are merged.  Raises [Too_large] if [C(|hs|, n) > max_subsets]
+    (default [200_000]). *)
+
+val count_subsets : int -> int -> int
+(** [count_subsets n k] is [C(n, k)], saturating at [max_int]. *)

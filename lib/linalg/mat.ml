@@ -1,0 +1,156 @@
+type t = { nr : int; nc : int; a : float array }
+
+let make nr nc x = { nr; nc; a = Array.make (nr * nc) x }
+
+let init nr nc f =
+  { nr; nc; a = Array.init (nr * nc) (fun k -> f (k / nc) (k mod nc)) }
+
+let of_rows = function
+  | [] -> invalid_arg "Mat.of_rows: empty"
+  | r0 :: _ as rs ->
+      let nc = Array.length r0 in
+      let rows = Array.of_list rs in
+      Array.iter
+        (fun r ->
+          if Array.length r <> nc then invalid_arg "Mat.of_rows: ragged rows")
+        rows;
+      init (Array.length rows) nc (fun i j -> rows.(i).(j))
+
+let identity n = init n n (fun i j -> if i = j then 1. else 0.)
+let rows m = m.nr
+let cols m = m.nc
+let get m i j = m.a.((i * m.nc) + j)
+let set m i j x = m.a.((i * m.nc) + j) <- x
+let row m i = Array.init m.nc (fun j -> get m i j)
+let col m j = Array.init m.nr (fun i -> get m i j)
+let transpose m = init m.nc m.nr (fun i j -> get m j i)
+
+let mul m n =
+  if m.nc <> n.nr then invalid_arg "Mat.mul: dimension mismatch";
+  init m.nr n.nc (fun i j ->
+      let acc = ref 0. in
+      for k = 0 to m.nc - 1 do
+        acc := !acc +. (get m i k *. get n k j)
+      done;
+      !acc)
+
+let mul_vec m v =
+  if m.nc <> Array.length v then invalid_arg "Mat.mul_vec: dimension mismatch";
+  Array.init m.nr (fun i ->
+      let acc = ref 0. in
+      for j = 0 to m.nc - 1 do
+        acc := !acc +. (get m i j *. v.(j))
+      done;
+      !acc)
+
+let add m n =
+  if m.nr <> n.nr || m.nc <> n.nc then invalid_arg "Mat.add: dimension mismatch";
+  { m with a = Array.mapi (fun k x -> x +. n.a.(k)) m.a }
+
+let scale k m = { m with a = Array.map (fun x -> k *. x) m.a }
+
+let equal ?(eps = 1e-9) m n =
+  m.nr = n.nr && m.nc = n.nc
+  && Array.for_all2 (fun x y -> Float.abs (x -. y) <= eps) m.a n.a
+
+exception Singular
+
+(* Gaussian elimination with partial pivoting, reducing [aug] (a copy of
+   the system matrix augmented with one or more right-hand-side columns)
+   in place.  Returns the permutation sign for determinant computation. *)
+let forward_eliminate aug n ncols =
+  let sign = ref 1. in
+  for k = 0 to n - 1 do
+    let piv = ref k in
+    for i = k + 1 to n - 1 do
+      if Float.abs (get aug i k) > Float.abs (get aug !piv k) then piv := i
+    done;
+    if Float.abs (get aug !piv k) < 1e-12 then raise Singular;
+    if !piv <> k then begin
+      sign := -. !sign;
+      for j = 0 to ncols - 1 do
+        let t = get aug k j in
+        set aug k j (get aug !piv j);
+        set aug !piv j t
+      done
+    end;
+    for i = k + 1 to n - 1 do
+      let f = get aug i k /. get aug k k in
+      if f <> 0. then
+        for j = k to ncols - 1 do
+          set aug i j (get aug i j -. (f *. get aug k j))
+        done
+    done
+  done;
+  !sign
+
+let solve m b =
+  let n = m.nr in
+  if m.nc <> n then invalid_arg "Mat.solve: matrix not square";
+  if Array.length b <> n then invalid_arg "Mat.solve: rhs dimension mismatch";
+  let aug = init n (n + 1) (fun i j -> if j = n then b.(i) else get m i j) in
+  ignore (forward_eliminate aug n (n + 1));
+  let x = Array.make n 0. in
+  for i = n - 1 downto 0 do
+    let acc = ref (get aug i n) in
+    for j = i + 1 to n - 1 do
+      acc := !acc -. (get aug i j *. x.(j))
+    done;
+    x.(i) <- !acc /. get aug i i
+  done;
+  x
+
+let inverse m =
+  let n = m.nr in
+  if m.nc <> n then invalid_arg "Mat.inverse: matrix not square";
+  let aug =
+    init n (2 * n) (fun i j ->
+        if j < n then get m i j else if j - n = i then 1. else 0.)
+  in
+  ignore (forward_eliminate aug n (2 * n));
+  (* Back substitution on each identity column. *)
+  let inv = make n n 0. in
+  for c = 0 to n - 1 do
+    for i = n - 1 downto 0 do
+      let acc = ref (get aug i (n + c)) in
+      for j = i + 1 to n - 1 do
+        acc := !acc -. (get aug i j *. get inv j c)
+      done;
+      set inv i c (!acc /. get aug i i)
+    done
+  done;
+  inv
+
+let determinant m =
+  let n = m.nr in
+  if m.nc <> n then invalid_arg "Mat.determinant: matrix not square";
+  let aug = init n n (fun i j -> get m i j) in
+  match forward_eliminate aug n n with
+  | sign ->
+      let d = ref sign in
+      for i = 0 to n - 1 do
+        d := !d *. get aug i i
+      done;
+      !d
+  | exception Singular -> 0.
+
+let least_squares c t =
+  if rows c < cols c then
+    invalid_arg "Mat.least_squares: underdetermined system";
+  let ct = transpose c in
+  let normal = mul ct c in
+  let rhs = mul_vec ct t in
+  solve normal rhs
+
+let pp ppf m =
+  Format.fprintf ppf "@[<v>";
+  for i = 0 to m.nr - 1 do
+    if i > 0 then Format.fprintf ppf "@,";
+    Format.fprintf ppf "[";
+    for j = 0 to m.nc - 1 do
+      if j > 0 then Format.fprintf ppf ", ";
+      Format.fprintf ppf "%g" (get m i j)
+    done;
+    Format.fprintf ppf "]"
+  done;
+  Format.fprintf ppf "@]"

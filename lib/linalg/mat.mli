@@ -1,0 +1,69 @@
+(** Dense matrices and linear solvers.
+
+    Provides the Gaussian elimination and least-squares machinery used to
+    recover resource usage vectors from total-cost observations through a
+    narrow optimizer interface (Section 6.1.1 of the paper). *)
+
+type t
+(** A dense [rows x cols] matrix of floats. *)
+
+val make : int -> int -> float -> t
+(** [make rows cols x] is the matrix with every entry [x]. *)
+
+val init : int -> int -> (int -> int -> float) -> t
+(** [init rows cols f] has entry [f i j] at row [i], column [j]. *)
+
+val of_rows : Vec.t list -> t
+(** Builds a matrix whose rows are the given vectors; they must share a
+    dimension.  Raises [Invalid_argument] on an empty list or ragged rows. *)
+
+val identity : int -> t
+
+val rows : t -> int
+
+val cols : t -> int
+
+val get : t -> int -> int -> float
+
+val set : t -> int -> int -> float -> unit
+
+val row : t -> int -> Vec.t
+
+val col : t -> int -> Vec.t
+
+val transpose : t -> t
+
+val mul : t -> t -> t
+(** Matrix product; raises [Invalid_argument] on dimension mismatch. *)
+
+val mul_vec : t -> Vec.t -> Vec.t
+(** [mul_vec m v] is the matrix-vector product [m v]. *)
+
+val add : t -> t -> t
+
+val scale : float -> t -> t
+
+val equal : ?eps:float -> t -> t -> bool
+
+exception Singular
+(** Raised by the solvers when the system matrix is (numerically)
+    singular. *)
+
+val solve : t -> Vec.t -> Vec.t
+(** [solve a b] solves the square system [a x = b] by Gaussian elimination
+    with partial pivoting.  Raises [Singular] when no unique solution
+    exists.  This is the elimination routine referenced in Section 6.1.1. *)
+
+val inverse : t -> t
+(** Matrix inverse via Gaussian elimination.  Raises [Singular]. *)
+
+val determinant : t -> float
+
+val least_squares : t -> Vec.t -> Vec.t
+(** [least_squares c t] returns the least-squares estimate
+    [(cᵀc)⁻¹ cᵀ t] of [u] in the overdetermined system [c u = t]
+    (Section 6.1.1: recovering a plan's resource usage vector from [m >= n]
+    observed total costs).  Raises [Singular] when the observations do not
+    span the resource space. *)
+
+val pp : Format.formatter -> t -> unit

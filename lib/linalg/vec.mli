@@ -1,0 +1,80 @@
+(** Dense floating-point vectors.
+
+    Vectors are immutable from the point of view of this interface: every
+    operation returns a fresh array.  They back the resource usage vectors
+    [U] and resource cost vectors [C] of the paper's framework, where the
+    cost of a plan is the dot product [U . C] (Equation 3). *)
+
+type t = float array
+
+val make : int -> float -> t
+(** [make n x] is the [n]-dimensional vector with every component [x]. *)
+
+val init : int -> (int -> float) -> t
+(** [init n f] is [| f 0; ...; f (n-1) |]. *)
+
+val of_list : float list -> t
+
+val to_list : t -> float list
+
+val dim : t -> int
+(** Number of components. *)
+
+val get : t -> int -> float
+
+val copy : t -> t
+
+val zero : int -> t
+(** [zero n] is the [n]-dimensional zero vector. *)
+
+val basis : int -> int -> t
+(** [basis n i] is the [i]-th standard basis vector of dimension [n]. *)
+
+val dot : t -> t -> float
+(** [dot u c] is the inner product; raises [Invalid_argument] on dimension
+    mismatch.  This is the total plan cost [T = U . C] of Equation 3. *)
+
+val add : t -> t -> t
+
+val sub : t -> t -> t
+(** [sub a b] is the normal direction [A - B] of the switchover plane
+    between two plans (Section 4.2). *)
+
+val scale : float -> t -> t
+
+val neg : t -> t
+
+val norm2 : t -> float
+(** Euclidean norm. *)
+
+val norm_inf : t -> float
+
+val normalize : t -> t
+(** Unit vector in the same direction; the zero vector is returned
+    unchanged. *)
+
+val equal : ?eps:float -> t -> t -> bool
+(** Componentwise comparison with absolute tolerance [eps]
+    (default [1e-9]). *)
+
+val dominates : t -> t -> bool
+(** [dominates a b] is true when [b] lies in the positive first quadrant
+    relative to [a] (Section 4.4): [b = a + q] with [q >= 0] componentwise
+    and [b <> a].  A dominated plan can never be candidate optimal. *)
+
+val map : (float -> float) -> t -> t
+
+val map2 : (float -> float -> float) -> t -> t -> t
+
+val fold : ('a -> float -> 'a) -> 'a -> t -> 'a
+
+val max_elt : t -> float
+
+val min_elt : t -> float
+
+val argmax : t -> int
+
+val pp : Format.formatter -> t -> unit
+(** Prints as [(x1, x2, ..., xn)] with compact float formatting. *)
+
+val to_string : t -> string

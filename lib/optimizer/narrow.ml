@@ -1,0 +1,25 @@
+open Qsens_plan
+
+type t = {
+  env : Env.t;
+  query : Query.t;
+  seen : (string, Node.t) Hashtbl.t;
+  mutable calls : int;
+}
+
+let create env query = { env; query; seen = Hashtbl.create 16; calls = 0 }
+let dim t = Qsens_cost.Space.dim t.env.Env.space
+
+let explain t ~costs =
+  t.calls <- t.calls + 1;
+  let r = Optimizer.optimize t.env t.query ~costs in
+  if not (Hashtbl.mem t.seen r.signature) then
+    Hashtbl.add t.seen r.signature r.plan;
+  (r.signature, r.total_cost)
+
+let recost t ~signature ~costs =
+  match Hashtbl.find_opt t.seen signature with
+  | None -> None
+  | Some plan -> Some (Node.cost plan costs)
+
+let calls t = t.calls

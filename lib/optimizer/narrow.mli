@@ -1,0 +1,35 @@
+(** The narrow optimizer interface.
+
+    Commercial optimizers do not expose resource usage vectors; they
+    expose an EXPLAIN facility reporting the chosen plan (identifiable
+    uniquely) and its estimated total cost (Section 7.1).  The paper's
+    methodology recovers usage vectors from this interface alone by
+    least-squares estimation over multiple cost vectors (Section 6.1.1).
+
+    This module deliberately restricts {!Optimizer} to that contract so
+    the probing algorithms can be written — and validated — against the
+    same interface the paper had. *)
+
+open Qsens_linalg
+open Qsens_plan
+
+type t
+
+val create : Env.t -> Query.t -> t
+
+val dim : t -> int
+(** Dimension of the resource cost vectors the interface accepts. *)
+
+val explain : t -> costs:Vec.t -> string * float
+(** [explain t ~costs] is the plan signature and estimated total cost of
+    the estimated optimal plan under [costs] — and nothing else. *)
+
+val recost : t -> signature:string -> costs:Vec.t -> float option
+(** [recost t ~signature ~costs] is the estimated total cost of the
+    previously seen plan [signature] under new [costs], as a commercial
+    system allows by pinning a plan (or re-EXPLAINing with the plan
+    forced).  [None] if the signature was never produced by
+    {!explain}. *)
+
+val calls : t -> int
+(** Number of optimizer invocations so far (experiment bookkeeping). *)

@@ -1,0 +1,21 @@
+open Qsens_catalog
+open Qsens_cost
+
+type t = {
+  schema : Schema.t;
+  layout : Layout.t;
+  space : Space.t;
+  buffer_pages : float;
+  sort_heap_pages : float;
+}
+
+let make ?(buffer_pages = Defaults.buffer_pool_pages)
+    ?(sort_heap_pages = Defaults.sort_heap_pages) ~schema ~policy () =
+  let layout = Layout.make policy schema in
+  { schema; layout; space = Space.of_layout layout; buffer_pages;
+    sort_heap_pages }
+
+let table env name = Schema.table env.schema name
+let table_dev env name = Layout.table_device env.layout name
+let index_dev env name = Layout.index_device env.layout name
+let temp_dev env = Layout.temp_device env.layout

@@ -1,0 +1,33 @@
+(** Costing environment: everything the plan cost model needs besides the
+    plan itself — schema statistics, storage layout, the resource space
+    induced by the layout, and memory configuration. *)
+
+open Qsens_catalog
+open Qsens_cost
+
+type t = {
+  schema : Schema.t;
+  layout : Layout.t;
+  space : Space.t;
+  buffer_pages : float;  (** buffer pool size, pages (OPT_BUFFPAGE) *)
+  sort_heap_pages : float;  (** sort/hash work memory, pages (OPT_SORTHEAP) *)
+}
+
+val make :
+  ?buffer_pages:float ->
+  ?sort_heap_pages:float ->
+  schema:Schema.t ->
+  policy:Layout.policy ->
+  unit ->
+  t
+(** Buffer and sort-heap sizes default to the paper's configuration
+    ({!Qsens_cost.Defaults.buffer_pool_pages} and
+    {!Qsens_cost.Defaults.sort_heap_pages}). *)
+
+val table : t -> string -> Table.t
+
+val table_dev : t -> string -> Device.t
+
+val index_dev : t -> string -> Device.t
+
+val temp_dev : t -> Device.t

@@ -1,0 +1,111 @@
+type pred = { column : string; selectivity : float; equality : bool }
+
+type relation = {
+  alias : string;
+  table : string;
+  preds : pred list;
+  projected : string list;
+}
+
+type join = {
+  left : string;
+  left_col : string;
+  right : string;
+  right_col : string;
+  selectivity : float option;
+}
+
+type t = {
+  name : string;
+  relations : relation list;
+  joins : join list;
+  group_by : float option;
+  group_cols : (string * string) list;
+  order_by : bool;
+  distinct : bool;
+}
+
+let make ~name ~relations ?(joins = []) ?group_by ?(group_cols = [])
+    ?(order_by = false) ?(distinct = false) () =
+  let aliases = List.map (fun r -> r.alias) relations in
+  let sorted = List.sort String.compare aliases in
+  let rec check_dup = function
+    | a :: (b :: _ as rest) ->
+        if a = b then
+          invalid_arg (Printf.sprintf "Query.make: duplicate alias %s" a)
+        else check_dup rest
+    | _ -> ()
+  in
+  check_dup sorted;
+  List.iter
+    (fun j ->
+      if not (List.mem j.left aliases && List.mem j.right aliases) then
+        invalid_arg
+          (Printf.sprintf "Query.make: join references unknown alias (%s, %s)"
+             j.left j.right);
+      match j.selectivity with
+      | Some s when s <= 0. || s > 1. ->
+          invalid_arg "Query.make: join selectivity out of (0, 1]"
+      | Some _ | None -> ())
+    joins;
+  List.iter
+    (fun (alias, _) ->
+      if not (List.exists (fun r -> r.alias = alias) relations) then
+        invalid_arg
+          (Printf.sprintf "Query.make: group column references unknown alias %s"
+             alias))
+    group_cols;
+  { name; relations; joins; group_by; group_cols; order_by; distinct }
+
+let relation q alias = List.find (fun r -> r.alias = alias) q.relations
+let num_relations q = List.length q.relations
+
+let local_selectivity r =
+  List.fold_left (fun acc (p : pred) -> acc *. p.selectivity) 1. r.preds
+
+let joins_between q a b =
+  List.filter
+    (fun j -> (j.left = a && j.right = b) || (j.left = b && j.right = a))
+    q.joins
+
+let neighbors q alias =
+  List.filter_map
+    (fun j ->
+      if j.left = alias then Some j.right
+      else if j.right = alias then Some j.left
+      else None)
+    q.joins
+  |> List.sort_uniq String.compare
+
+let is_connected q =
+  match q.relations with
+  | [] -> true
+  | r0 :: _ ->
+      let visited = Hashtbl.create 16 in
+      let rec dfs alias =
+        if not (Hashtbl.mem visited alias) then begin
+          Hashtbl.add visited alias ();
+          List.iter dfs (neighbors q alias)
+        end
+      in
+      dfs r0.alias;
+      Hashtbl.length visited = List.length q.relations
+
+let pp ppf q =
+  Format.fprintf ppf "@[<v>query %s:@," q.name;
+  List.iter
+    (fun r ->
+      Format.fprintf ppf "  %s = %s (sel %.3g)@," r.alias r.table
+        (local_selectivity r))
+    q.relations;
+  List.iter
+    (fun j ->
+      Format.fprintf ppf "  %s.%s = %s.%s@," j.left j.left_col j.right
+        j.right_col)
+    q.joins;
+  (match q.group_by with
+  | Some g -> Format.fprintf ppf "  group by (~%g groups)@," g
+  | None -> ());
+  if q.order_by then Format.fprintf ppf "  order by@,";
+  if q.distinct then Format.fprintf ppf "  distinct@,";
+  Format.fprintf ppf "@]"

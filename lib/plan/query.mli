@@ -1,0 +1,79 @@
+(** Logical query specifications.
+
+    A query is a join graph: a set of table references (with local
+    predicates), equality join edges between them, and top-level
+    aggregation/ordering requirements.  This mirrors the information a
+    query optimizer has after parsing and rewriting, and is the level at
+    which the paper's analysis operates — it assumes the optimizer's
+    selectivity and cardinality estimates are exact (Section 3.3) and
+    studies only the effect of resource cost errors. *)
+
+type pred = {
+  column : string;
+  selectivity : float;
+  equality : bool;
+      (** equality predicates can be answered by a matching index probe;
+          range or LIKE predicates by a matching index range scan *)
+}
+
+type relation = {
+  alias : string;  (** unique within the query; allows self-joins *)
+  table : string;
+  preds : pred list;
+  projected : string list;
+      (** columns needed above the scan (for index-only detection),
+          beyond predicate and join columns *)
+}
+
+type join = {
+  left : string;  (** alias *)
+  left_col : string;
+  right : string;
+  right_col : string;
+  selectivity : float option;
+      (** [None] uses the textbook [1 / max(ndv_l, ndv_r)] estimate *)
+}
+
+type t = {
+  name : string;
+  relations : relation list;
+  joins : join list;
+  group_by : float option;  (** estimated number of groups *)
+  group_cols : (string * string) list;
+      (** optional concrete grouping columns as (alias, column) pairs —
+          not needed for optimization (the estimate above drives
+          costing) but they let the execution engine group faithfully *)
+  order_by : bool;
+  distinct : bool;
+}
+
+val make :
+  name:string ->
+  relations:relation list ->
+  ?joins:join list ->
+  ?group_by:float ->
+  ?group_cols:(string * string) list ->
+  ?order_by:bool ->
+  ?distinct:bool ->
+  unit ->
+  t
+(** Validates alias uniqueness and that joins reference known aliases. *)
+
+val relation : t -> string -> relation
+(** Lookup by alias; raises [Not_found]. *)
+
+val num_relations : t -> int
+
+val local_selectivity : relation -> float
+(** Product of the relation's predicate selectivities. *)
+
+val joins_between : t -> string -> string -> join list
+(** Join edges between two aliases, in either orientation. *)
+
+val neighbors : t -> string -> string list
+(** Aliases connected to the given alias by at least one join edge. *)
+
+val is_connected : t -> bool
+(** Whether the join graph is connected (no cartesian product needed). *)
+
+val pp : Format.formatter -> t -> unit

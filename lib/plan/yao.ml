@@ -1,0 +1,19 @@
+let touched ~pages k =
+  if pages <= 0. || k <= 0. then 0.
+  else if pages <= 1. then 1.
+  else
+    (* P (1 - (1 - 1/P)^k), computed stably via expm1/log1p. *)
+    let log_miss = k *. Float.log1p (-1. /. pages) in
+    -.pages *. Float.expm1 log_miss
+
+let io_pages ~pages ~buffer k =
+  if k <= 0. then 0.
+  else
+    let distinct = touched ~pages k in
+    if pages <= buffer then distinct
+    else
+      (* Only a [buffer / pages] fraction of references hits the pool;
+         the rest pay a physical read each (but never fewer than the
+         distinct-page lower bound). *)
+      let hit_ratio = buffer /. pages in
+      Float.max distinct (k *. (1. -. hit_ratio))

@@ -1,0 +1,19 @@
+(** Page-access estimation formulas.
+
+    [touched ~pages ~rows_per_page k] is the classic Cardenas/Yao estimate
+    of the number of distinct pages referenced when fetching [k] rows at
+    random from a table of [pages] pages: [P * (1 - (1 - 1/P)^k)].  The
+    cost model uses it both for unclustered row fetches and for modelling
+    buffer-pool reuse of hot index leaves (a page referenced repeatedly is
+    read once when the object fits in the buffer pool, per Section 7.3's
+    OPT_BUFFPAGE configuration). *)
+
+val touched : pages:float -> float -> float
+(** [touched ~pages k] — distinct pages referenced by [k] uniform random
+    row references. *)
+
+val io_pages : pages:float -> buffer:float -> float -> float
+(** [io_pages ~pages ~buffer k] — physical page reads for [k] random row
+    references: the Cardenas/Yao distinct-page count when the object fits
+    in the buffer pool (each hot page read once), otherwise every
+    reference that misses, interpolated smoothly. *)

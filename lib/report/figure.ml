@@ -1,0 +1,96 @@
+open Qsens_core
+
+let series_table series =
+  let deltas =
+    match series with
+    | (_, points) :: _ -> List.map (fun p -> p.Worst_case.delta) points
+    | [] -> []
+  in
+  let table =
+    Table.make ~header:("delta" :: List.map fst series)
+  in
+  List.iteri
+    (fun i delta ->
+      let row =
+        Table.cell_f delta
+        :: List.map
+             (fun (_, points) ->
+               match List.nth_opt points i with
+               | Some p -> Table.cell_f p.Worst_case.gtc
+               | None -> "-")
+             series
+      in
+      Table.add_row table row)
+    deltas;
+  table
+
+let ascii_plot ?(width = 72) ?(height = 24) series =
+  let letters = "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ" in
+  let points =
+    List.concat_map (fun (_, ps) -> ps) series
+  in
+  if points = [] then "(no data)\n"
+  else begin
+    let log10 x = Float.log10 (Float.max x 1e-12) in
+    let xs = List.map (fun p -> log10 p.Worst_case.delta) points in
+    let ys = List.map (fun p -> log10 p.Worst_case.gtc) points in
+    let xmin = List.fold_left Float.min infinity xs
+    and xmax = List.fold_left Float.max neg_infinity xs
+    and ymin = List.fold_left Float.min infinity ys
+    and ymax = List.fold_left Float.max neg_infinity ys in
+    let xmax = if xmax -. xmin < 1e-9 then xmin +. 1. else xmax in
+    let ymax = if ymax -. ymin < 1e-9 then ymin +. 1. else ymax in
+    let grid = Array.make_matrix height width ' ' in
+    List.iteri
+      (fun k (_, ps) ->
+        let ch = letters.[k mod String.length letters] in
+        List.iter
+          (fun p ->
+            let x = log10 p.Worst_case.delta and y = log10 p.Worst_case.gtc in
+            let col =
+              int_of_float
+                (Float.round ((x -. xmin) /. (xmax -. xmin) *. Float.of_int (width - 1)))
+            in
+            let row =
+              height - 1
+              - int_of_float
+                  (Float.round
+                     ((y -. ymin) /. (ymax -. ymin) *. Float.of_int (height - 1)))
+            in
+            if row >= 0 && row < height && col >= 0 && col < width then
+              grid.(row).(col) <- ch)
+          ps)
+      series;
+    let buf = Buffer.create ((width + 8) * (height + 4)) in
+    Buffer.add_string buf
+      (Printf.sprintf "log10(worst-case GTC): %.1f .. %.1f (vertical)\n" ymin ymax);
+    Array.iter
+      (fun row ->
+        Buffer.add_string buf "  |";
+        Array.iter (Buffer.add_char buf) row;
+        Buffer.add_char buf '\n')
+      grid;
+    Buffer.add_string buf ("  +" ^ String.make width '-' ^ "\n");
+    Buffer.add_string buf
+      (Printf.sprintf "   log10(delta): %.1f .. %.1f   " xmin xmax);
+    List.iteri
+      (fun k (name, _) ->
+        Buffer.add_string buf
+          (Printf.sprintf "%c=%s " letters.[k mod String.length letters] name))
+      series;
+    Buffer.add_char buf '\n';
+    Buffer.contents buf
+  end
+
+let asymptote_summary series =
+  let table = Table.make ~header:[ "query"; "regime"; "value" ] in
+  List.iter
+    (fun (name, points) ->
+      match Worst_case.asymptote points with
+      | `Bounded c ->
+          Table.add_row table [ name; "bounded (Thm 2)"; Table.cell_f c ]
+      | `Quadratic s ->
+          Table.add_row table
+            [ name; "quadratic (Thm 1)"; "gtc ~ " ^ Table.cell_f s ^ " * delta^2" ])
+    series;
+  table

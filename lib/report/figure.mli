@@ -1,0 +1,20 @@
+(** Rendering of worst-case sensitivity curves (the paper's Figures 5-7)
+    as data tables and ASCII log-log plots. *)
+
+val series_table :
+  (string * Qsens_core.Worst_case.point list) list -> Table.t
+(** One row per delta, one column per query: the exact data series behind
+    a figure. *)
+
+val ascii_plot :
+  ?width:int ->
+  ?height:int ->
+  (string * Qsens_core.Worst_case.point list) list ->
+  string
+(** A log-log character plot of all series overlaid (each series drawn
+    with its own letter), for eyeballing curve shapes in a terminal. *)
+
+val asymptote_summary :
+  (string * Qsens_core.Worst_case.point list) list -> Table.t
+(** Classification of each curve's tail: bounded (Theorem 2 regime)
+    versus quadratic in delta (Theorem 1 regime). *)

@@ -1,0 +1,46 @@
+type t = { header : string list; mutable rows : string list list }
+
+let make ~header = { header; rows = [] }
+
+let add_row t row =
+  if List.length row <> List.length t.header then
+    invalid_arg "Table.add_row: width mismatch";
+  t.rows <- row :: t.rows
+
+let cell_f x =
+  if Float.is_integer x && Float.abs x < 1e7 then
+    Printf.sprintf "%.0f" x
+  else Printf.sprintf "%.4g" x
+
+let print ?(out = stdout) t =
+  let rows = List.rev t.rows in
+  let all = t.header :: rows in
+  let ncols = List.length t.header in
+  let widths = Array.make ncols 0 in
+  List.iter
+    (List.iteri (fun i cell ->
+         if String.length cell > widths.(i) then widths.(i) <- String.length cell))
+    all;
+  let print_row cells =
+    List.iteri
+      (fun i cell ->
+        output_string out (if i = 0 then "" else "  ");
+        output_string out cell;
+        output_string out (String.make (widths.(i) - String.length cell) ' '))
+      cells;
+    output_char out '\n'
+  in
+  print_row t.header;
+  let total = Array.fold_left ( + ) (2 * (ncols - 1)) widths in
+  output_string out (String.make total '-');
+  output_char out '\n';
+  List.iter print_row rows
+
+let to_csv t =
+  let quote cell =
+    if String.exists (fun c -> c = ',' || c = '"' || c = '\n') cell then
+      "\"" ^ String.concat "\"\"" (String.split_on_char '"' cell) ^ "\""
+    else cell
+  in
+  let line cells = String.concat "," (List.map quote cells) in
+  String.concat "\n" (List.map line (t.header :: List.rev t.rows)) ^ "\n"

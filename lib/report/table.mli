@@ -1,0 +1,17 @@
+(** Plain-text table rendering for experiment output. *)
+
+type t
+
+val make : header:string list -> t
+
+val add_row : t -> string list -> unit
+(** Raises [Invalid_argument] when the row width differs from the
+    header. *)
+
+val print : ?out:out_channel -> t -> unit
+(** Renders with column-width alignment and a header separator. *)
+
+val to_csv : t -> string
+
+val cell_f : float -> string
+(** Compact significant-figure formatting for numeric cells. *)

@@ -1,0 +1,43 @@
+type column = { table : string option; name : string }
+type literal = Num of float | Text of string
+type comparison = Ceq | Cneq | Clt | Cgt | Cle | Cge
+
+type condition =
+  | Join of column * column
+  | Compare of column * comparison * literal
+  | Between of column * literal * literal
+  | In_list of column * literal list
+  | Like of column * string
+
+type t = {
+  distinct : bool;
+  projection : column list;
+  relations : (string * string) list;
+  where : condition list;
+  group_by : column list;
+  order_by : column list;
+}
+
+let pp_column ppf (c : column) =
+  match c.table with
+  | Some t -> Format.fprintf ppf "%s.%s" t c.name
+  | None -> Format.pp_print_string ppf c.name
+
+let pp ppf q =
+  Format.fprintf ppf "select%s " (if q.distinct then " distinct" else "");
+  (match q.projection with
+  | [] -> Format.pp_print_string ppf "*"
+  | cols ->
+      Format.pp_print_list
+        ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+        pp_column ppf cols);
+  Format.fprintf ppf " from ";
+  Format.pp_print_list
+    ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+    (fun ppf (t, a) ->
+      if t = a then Format.pp_print_string ppf t
+      else Format.fprintf ppf "%s %s" t a)
+    ppf q.relations;
+  if q.where <> [] then Format.fprintf ppf " where %d condition(s)" (List.length q.where);
+  if q.group_by <> [] then Format.fprintf ppf " group by %d col(s)" (List.length q.group_by);
+  if q.order_by <> [] then Format.fprintf ppf " order by %d col(s)" (List.length q.order_by)

@@ -1,0 +1,36 @@
+(** Abstract syntax for the SQL subset:
+
+    {v SELECT [DISTINCT] cols | *
+       FROM table [alias] (, table [alias])*
+       [WHERE cond (AND cond)*]
+       [GROUP BY cols]
+       [ORDER BY cols] v}
+
+    where a condition is a column-to-column equality (a join edge) or a
+    comparison / BETWEEN / IN / LIKE between a column and literals (a
+    local predicate).  This covers the select-project-join block shape
+    the paper's analysis operates on. *)
+
+type column = { table : string option; name : string }
+
+type literal = Num of float | Text of string
+
+type comparison = Ceq | Cneq | Clt | Cgt | Cle | Cge
+
+type condition =
+  | Join of column * column
+  | Compare of column * comparison * literal
+  | Between of column * literal * literal
+  | In_list of column * literal list
+  | Like of column * string
+
+type t = {
+  distinct : bool;
+  projection : column list;  (** empty means [*] *)
+  relations : (string * string) list;  (** (table, alias) *)
+  where : condition list;
+  group_by : column list;
+  order_by : column list;
+}
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,169 @@
+open Qsens_catalog
+
+exception Error of string
+
+let err fmt = Format.kasprintf (fun s -> raise (Error s)) fmt
+
+type bound_relation = { alias : string; table : Table.t }
+
+let resolve_column relations (c : Ast.column) =
+  match c.table with
+  | Some alias -> begin
+      match List.find_opt (fun r -> r.alias = alias) relations with
+      | None -> err "unknown alias %s" alias
+      | Some r ->
+          if Table.has_column r.table c.name then (r, c.name)
+          else err "table %s has no column %s" r.table.Table.name c.name
+    end
+  | None -> begin
+      match
+        List.filter (fun r -> Table.has_column r.table c.name) relations
+      with
+      | [ r ] -> (r, c.name)
+      | [] -> err "unknown column %s" c.name
+      | _ :: _ -> err "ambiguous column %s" c.name
+    end
+
+let ndv_of r col = (Table.column r.table col).Column.ndv
+let histogram_of r col = (Table.column r.table col).Column.histogram
+
+let num = function Ast.Num x -> Some x | Ast.Text _ -> None
+
+(* Clamp away exact-0/1 selectivities: a predicate the user wrote should
+   neither be free nor annihilate the relation in the estimate. *)
+let clamp sel = Float.min 0.999 (Float.max 1e-9 sel)
+
+let selectivity relations (cond : Ast.condition) =
+  match cond with
+  | Ast.Join _ -> assert false
+  | Ast.Compare (c, Ast.Ceq, _) ->
+      let r, col = resolve_column relations c in
+      (r, col, 1. /. Float.max 1. (ndv_of r col), true)
+  | Ast.Compare (c, Ast.Cneq, _) ->
+      let r, col = resolve_column relations c in
+      (r, col, 1. -. (1. /. Float.max 1. (ndv_of r col)), false)
+  | Ast.Compare (c, op, lit) ->
+      let r, col = resolve_column relations c in
+      let sel =
+        (* Histogram-based estimate when the catalog has a distribution
+           and the literal is numeric; the System-R default 1/3
+           otherwise. *)
+        match (histogram_of r col, num lit) with
+        | Some h, Some x -> begin
+            match op with
+            | Ast.Clt | Ast.Cle ->
+                clamp (Histogram.selectivity_range h ~hi:x ())
+            | Ast.Cgt | Ast.Cge ->
+                clamp (Histogram.selectivity_range h ~lo:x ())
+            | Ast.Ceq | Ast.Cneq -> assert false
+          end
+        | _ -> 1. /. 3.
+      in
+      (r, col, sel, false)
+  | Ast.Between (c, lo, hi) ->
+      let r, col = resolve_column relations c in
+      let sel =
+        match (histogram_of r col, num lo, num hi) with
+        | Some h, Some l, Some u ->
+            clamp (Histogram.selectivity_range h ~lo:l ~hi:u ())
+        | _ -> 0.25
+      in
+      (r, col, sel, false)
+  | Ast.In_list (c, values) ->
+      let r, col = resolve_column relations c in
+      let k = Float.of_int (List.length values) in
+      (r, col, Float.min 0.5 (k /. Float.max 1. (ndv_of r col)), true)
+  | Ast.Like (c, _) ->
+      let r, col = resolve_column relations c in
+      (r, col, 0.1, false)
+
+let bind schema ~name (ast : Ast.t) =
+  let relations =
+    List.map
+      (fun (table, alias) ->
+        match Schema.table schema table with
+        | t -> { alias; table = t }
+        | exception Not_found -> err "unknown table %s" table)
+      ast.Ast.relations
+  in
+  if relations = [] then err "empty FROM clause";
+  (* Split conditions into join edges and local predicates. *)
+  let joins = ref [] and preds = ref [] in
+  List.iter
+    (fun cond ->
+      match cond with
+      | Ast.Join (a, b) ->
+          let ra, ca = resolve_column relations a in
+          let rb, cb = resolve_column relations b in
+          if ra.alias = rb.alias then
+            (* same-relation equality: treat as a local predicate *)
+            preds := (ra, ca, 1. /. Float.max 1. (ndv_of ra ca), false) :: !preds
+          else
+            joins :=
+              {
+                Qsens_plan.Query.left = ra.alias;
+                left_col = ca;
+                right = rb.alias;
+                right_col = cb;
+                selectivity = None;
+              }
+              :: !joins
+      | _ -> preds := selectivity relations cond :: !preds)
+    ast.Ast.where;
+  (* Columns each alias must deliver upward. *)
+  let needed = Hashtbl.create 8 in
+  let note_column c =
+    match resolve_column relations c with
+    | r, col ->
+        let cur = Option.value ~default:[] (Hashtbl.find_opt needed r.alias) in
+        if not (List.mem col cur) then Hashtbl.replace needed r.alias (col :: cur)
+  in
+  List.iter note_column ast.Ast.projection;
+  List.iter note_column ast.Ast.group_by;
+  List.iter note_column ast.Ast.order_by;
+  let query_relations =
+    List.map
+      (fun r ->
+        let my_preds =
+          List.filter_map
+            (fun (pr, col, sel, eq) ->
+              if pr.alias = r.alias then
+                Some { Qsens_plan.Query.column = col; selectivity = sel;
+                       equality = eq }
+              else None)
+            !preds
+        in
+        {
+          Qsens_plan.Query.alias = r.alias;
+          table = r.table.Table.name;
+          preds = my_preds;
+          projected =
+            Option.value ~default:[] (Hashtbl.find_opt needed r.alias);
+        })
+      relations
+  in
+  let group_by =
+    match ast.Ast.group_by with
+    | [] -> None
+    | cols ->
+        let groups =
+          List.fold_left
+            (fun acc c ->
+              let r, col = resolve_column relations c in
+              acc *. ndv_of r col)
+            1. cols
+        in
+        Some (Float.min groups 1e12)
+  in
+  let group_cols =
+    List.map
+      (fun c ->
+        let r, col = resolve_column relations c in
+        (r.alias, col))
+      ast.Ast.group_by
+  in
+  Qsens_plan.Query.make ~name ~relations:query_relations ~joins:!joins
+    ?group_by ~group_cols ~order_by:(ast.Ast.order_by <> [])
+    ~distinct:ast.Ast.distinct ()
+
+let parse_and_bind schema ~name text = bind schema ~name (Parser.parse text)

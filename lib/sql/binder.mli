@@ -1,0 +1,18 @@
+(** Name resolution and selectivity estimation: lowers a parsed SQL block
+    to the optimizer's join-graph representation.
+
+    Literal predicates get the classic System-R default selectivities
+    (Selinger et al. 1979, as surveyed in the paper's references):
+    equality [1/ndv], inequality [1 - 1/ndv], range comparisons [1/3],
+    BETWEEN [1/4], IN of k values [min(k/ndv, 1/2)], LIKE [1/10].
+    Equality and IN predicates are marked index-matchable. *)
+
+open Qsens_catalog
+
+exception Error of string
+
+val bind : Schema.t -> name:string -> Ast.t -> Qsens_plan.Query.t
+(** Raises {!Error} on unknown tables/columns or ambiguous references. *)
+
+val parse_and_bind : Schema.t -> name:string -> string -> Qsens_plan.Query.t
+(** Convenience composition of {!Parser.parse} and {!bind}. *)

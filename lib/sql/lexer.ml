@@ -1,0 +1,99 @@
+type token =
+  | Ident of string
+  | Number of float
+  | String of string
+  | Comma
+  | Dot
+  | Star
+  | Lparen
+  | Rparen
+  | Eq
+  | Neq
+  | Lt
+  | Gt
+  | Le
+  | Ge
+  | Eof
+
+exception Error of string
+
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9')
+
+let is_digit c = c >= '0' && c <= '9'
+
+let tokenize input =
+  let n = String.length input in
+  let tokens = ref [] in
+  let emit t = tokens := t :: !tokens in
+  let rec go i =
+    if i >= n then emit Eof
+    else
+      match input.[i] with
+      | ' ' | '\t' | '\n' | '\r' -> go (i + 1)
+      | ',' -> emit Comma; go (i + 1)
+      | '.' when i + 1 >= n || not (is_digit input.[i + 1]) ->
+          emit Dot;
+          go (i + 1)
+      | '*' -> emit Star; go (i + 1)
+      | '(' -> emit Lparen; go (i + 1)
+      | ')' -> emit Rparen; go (i + 1)
+      | '=' -> emit Eq; go (i + 1)
+      | '!' when i + 1 < n && input.[i + 1] = '=' -> emit Neq; go (i + 2)
+      | '<' when i + 1 < n && input.[i + 1] = '>' -> emit Neq; go (i + 2)
+      | '<' when i + 1 < n && input.[i + 1] = '=' -> emit Le; go (i + 2)
+      | '<' -> emit Lt; go (i + 1)
+      | '>' when i + 1 < n && input.[i + 1] = '=' -> emit Ge; go (i + 2)
+      | '>' -> emit Gt; go (i + 1)
+      | '\'' ->
+          let rec close j =
+            if j >= n then raise (Error "unterminated string literal")
+            else if input.[j] = '\'' then j
+            else close (j + 1)
+          in
+          let j = close (i + 1) in
+          emit (String (String.sub input (i + 1) (j - i - 1)));
+          go (j + 1)
+      | c when is_digit c || c = '.' ->
+          let rec finish j =
+            if j < n && (is_digit input.[j] || input.[j] = '.' || input.[j] = 'e'
+                        || input.[j] = 'E'
+                        || ((input.[j] = '+' || input.[j] = '-')
+                           && j > i
+                           && (input.[j - 1] = 'e' || input.[j - 1] = 'E')))
+            then finish (j + 1)
+            else j
+          in
+          let j = finish i in
+          let text = String.sub input i (j - i) in
+          (match float_of_string_opt text with
+          | Some x -> emit (Number x)
+          | None -> raise (Error (Printf.sprintf "bad number %S" text)));
+          go j
+      | c when is_ident_start c ->
+          let rec finish j = if j < n && is_ident_char input.[j] then finish (j + 1) else j in
+          let j = finish i in
+          emit (Ident (String.lowercase_ascii (String.sub input i (j - i))));
+          go j
+      | c -> raise (Error (Printf.sprintf "unexpected character %C" c))
+  in
+  go 0;
+  List.rev !tokens
+
+let pp_token ppf = function
+  | Ident s -> Format.fprintf ppf "identifier %S" s
+  | Number x -> Format.fprintf ppf "number %g" x
+  | String s -> Format.fprintf ppf "string %S" s
+  | Comma -> Format.pp_print_string ppf "','"
+  | Dot -> Format.pp_print_string ppf "'.'"
+  | Star -> Format.pp_print_string ppf "'*'"
+  | Lparen -> Format.pp_print_string ppf "'('"
+  | Rparen -> Format.pp_print_string ppf "')'"
+  | Eq -> Format.pp_print_string ppf "'='"
+  | Neq -> Format.pp_print_string ppf "'<>'"
+  | Lt -> Format.pp_print_string ppf "'<'"
+  | Gt -> Format.pp_print_string ppf "'>'"
+  | Le -> Format.pp_print_string ppf "'<='"
+  | Ge -> Format.pp_print_string ppf "'>='"
+  | Eof -> Format.pp_print_string ppf "end of input"

@@ -1,0 +1,26 @@
+(** Tokenizer for the SQL subset. *)
+
+type token =
+  | Ident of string  (** lower-cased *)
+  | Number of float
+  | String of string  (** contents of a '...' literal *)
+  | Comma
+  | Dot
+  | Star
+  | Lparen
+  | Rparen
+  | Eq
+  | Neq
+  | Lt
+  | Gt
+  | Le
+  | Ge
+  | Eof
+
+exception Error of string
+
+val tokenize : string -> token list
+(** Keywords are returned as [Ident] (lower-cased); the parser
+    distinguishes them.  Raises {!Error} on malformed input. *)
+
+val pp_token : Format.formatter -> token -> unit

@@ -1,0 +1,149 @@
+open Lexer
+
+exception Error of string
+
+type state = { mutable tokens : token list }
+
+let peek st = match st.tokens with t :: _ -> t | [] -> Eof
+
+let advance st =
+  match st.tokens with _ :: rest -> st.tokens <- rest | [] -> ()
+
+let fail expected st =
+  raise
+    (Error
+       (Format.asprintf "expected %s but found %a" expected pp_token (peek st)))
+
+let expect st tok what =
+  if peek st = tok then advance st else fail what st
+
+let keyword st kw =
+  match peek st with
+  | Ident s when s = kw -> advance st; true
+  | _ -> false
+
+let require_keyword st kw = if not (keyword st kw) then fail ("'" ^ kw ^ "'") st
+
+let reserved =
+  [ "select"; "from"; "where"; "group"; "order"; "by"; "and"; "distinct";
+    "between"; "in"; "like"; "not"; "as"; "asc"; "desc" ]
+
+let ident st =
+  match peek st with
+  | Ident s when not (List.mem s reserved) -> advance st; s
+  | _ -> fail "an identifier" st
+
+let column st =
+  let first = ident st in
+  if peek st = Dot then begin
+    advance st;
+    let name = ident st in
+    { Ast.table = Some first; name }
+  end
+  else { Ast.table = None; name = first }
+
+let literal st =
+  match peek st with
+  | Number x -> advance st; Ast.Num x
+  | String s -> advance st; Ast.Text s
+  | _ -> fail "a literal" st
+
+let column_list st =
+  let rec more acc =
+    let c = column st in
+    if peek st = Comma then begin advance st; more (c :: acc) end
+    else List.rev (c :: acc)
+  in
+  more []
+
+let condition st =
+  let col = column st in
+  match peek st with
+  | Eq -> begin
+      advance st;
+      (* column = column is a join; column = literal a predicate *)
+      match peek st with
+      | Ident _ -> Ast.Join (col, column st)
+      | _ -> Ast.Compare (col, Ast.Ceq, literal st)
+    end
+  | Neq -> advance st; Ast.Compare (col, Ast.Cneq, literal st)
+  | Lt -> advance st; Ast.Compare (col, Ast.Clt, literal st)
+  | Gt -> advance st; Ast.Compare (col, Ast.Cgt, literal st)
+  | Le -> advance st; Ast.Compare (col, Ast.Cle, literal st)
+  | Ge -> advance st; Ast.Compare (col, Ast.Cge, literal st)
+  | Ident "between" ->
+      advance st;
+      let lo = literal st in
+      require_keyword st "and";
+      let hi = literal st in
+      Ast.Between (col, lo, hi)
+  | Ident "like" -> begin
+      advance st;
+      match peek st with
+      | String s -> advance st; Ast.Like (col, s)
+      | _ -> fail "a string pattern" st
+    end
+  | Ident "in" ->
+      advance st;
+      expect st Lparen "'('";
+      let rec items acc =
+        let l = literal st in
+        if peek st = Comma then begin advance st; items (l :: acc) end
+        else List.rev (l :: acc)
+      in
+      let values = items [] in
+      expect st Rparen "')'";
+      Ast.In_list (col, values)
+  | _ -> fail "a comparison operator" st
+
+let parse text =
+  let st = { tokens = Lexer.tokenize text } in
+  require_keyword st "select";
+  let distinct = keyword st "distinct" in
+  let projection =
+    if peek st = Star then begin advance st; [] end else column_list st
+  in
+  require_keyword st "from";
+  let relations =
+    let rec more acc =
+      let table = ident st in
+      let alias =
+        ignore (keyword st "as");
+        match peek st with
+        | Ident s when not (List.mem s reserved) -> advance st; s
+        | _ -> table
+      in
+      if peek st = Comma then begin advance st; more ((table, alias) :: acc) end
+      else List.rev ((table, alias) :: acc)
+    in
+    more []
+  in
+  let where =
+    if keyword st "where" then begin
+      let rec more acc =
+        let c = condition st in
+        if keyword st "and" then more (c :: acc) else List.rev (c :: acc)
+      in
+      more []
+    end
+    else []
+  in
+  let group_by =
+    if keyword st "group" then begin
+      require_keyword st "by";
+      column_list st
+    end
+    else []
+  in
+  let order_by =
+    if keyword st "order" then begin
+      require_keyword st "by";
+      let cols = column_list st in
+      ignore (keyword st "asc");
+      ignore (keyword st "desc");
+      cols
+    end
+    else []
+  in
+  if peek st <> Eof then fail "end of query" st;
+  { Ast.distinct; projection; relations; where; group_by; order_by }

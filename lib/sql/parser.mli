@@ -1,0 +1,6 @@
+(** Recursive-descent parser for the SQL subset (see {!Ast}). *)
+
+exception Error of string
+
+val parse : string -> Ast.t
+(** Raises {!Error} (with a human-readable message) or {!Lexer.Error}. *)

@@ -1,0 +1,160 @@
+open Qsens_engine
+
+let v_int x = Value.Int x
+let v_float x = Value.Float x
+let v_str x = Value.Str x
+
+let regions = [| "AFRICA"; "AMERICA"; "ASIA"; "EUROPE"; "MIDDLE EAST" |]
+
+let nations =
+  [| "ALGERIA"; "ARGENTINA"; "BRAZIL"; "CANADA"; "EGYPT"; "ETHIOPIA";
+     "FRANCE"; "GERMANY"; "INDIA"; "INDONESIA"; "IRAN"; "IRAQ"; "JAPAN";
+     "JORDAN"; "KENYA"; "MOROCCO"; "MOZAMBIQUE"; "PERU"; "CHINA"; "ROMANIA";
+     "SAUDI ARABIA"; "VIETNAM"; "RUSSIA"; "UNITED KINGDOM"; "UNITED STATES" |]
+
+let segments = [| "AUTOMOBILE"; "BUILDING"; "FURNITURE"; "MACHINERY"; "HOUSEHOLD" |]
+let priorities = [| "1-URGENT"; "2-HIGH"; "3-MEDIUM"; "4-NOT SPECIFIED"; "5-LOW" |]
+let ship_modes = [| "REG AIR"; "AIR"; "RAIL"; "SHIP"; "TRUCK"; "MAIL"; "FOB" |]
+let instructs = [| "DELIVER IN PERSON"; "COLLECT COD"; "NONE"; "TAKE BACK RETURN" |]
+let containers_n = 40
+let types_n = 150
+
+let counts ~sf name = Float.to_int (Spec.rows ~sf name)
+
+let rows ~sf ~seed name =
+  let st = Random.State.make [| seed; Hashtbl.hash name |] in
+  let rand n = Random.State.int st (max 1 n) in
+  let money () = v_float (Float.of_int (rand 1_000_000) /. 100.) in
+  match name with
+  | "region" ->
+      Array.init 5 (fun i ->
+          Value.row_of_list
+            [ ("r_regionkey", v_int i); ("r_name", v_str regions.(i));
+              ("r_comment", v_str "") ])
+  | "nation" ->
+      Array.init 25 (fun i ->
+          Value.row_of_list
+            [ ("n_nationkey", v_int i); ("n_name", v_str nations.(i));
+              ("n_regionkey", v_int (i mod 5)); ("n_comment", v_str "") ])
+  | "supplier" ->
+      Array.init (counts ~sf "supplier") (fun i ->
+          Value.row_of_list
+            [ ("s_suppkey", v_int (i + 1));
+              ("s_name", v_str (Printf.sprintf "Supplier#%09d" (i + 1)));
+              ("s_address", v_str "");
+              ("s_nationkey", v_int (rand 25));
+              ("s_phone", v_str "");
+              ("s_acctbal", money ());
+              ("s_comment", v_str "") ])
+  | "customer" ->
+      Array.init (counts ~sf "customer") (fun i ->
+          Value.row_of_list
+            [ ("c_custkey", v_int (i + 1));
+              ("c_name", v_str (Printf.sprintf "Customer#%09d" (i + 1)));
+              ("c_address", v_str "");
+              ("c_nationkey", v_int (rand 25));
+              ("c_phone", v_str (Printf.sprintf "%02d-000" (10 + rand 25)));
+              ("c_acctbal", money ());
+              ("c_mktsegment", v_str segments.(rand 5));
+              ("c_comment", v_str "") ])
+  | "part" ->
+      Array.init (counts ~sf "part") (fun i ->
+          Value.row_of_list
+            [ ("p_partkey", v_int (i + 1));
+              ("p_name", v_str (Printf.sprintf "part %d" (i + 1)));
+              ("p_mfgr", v_str (Printf.sprintf "Manufacturer#%d" (1 + rand 5)));
+              ("p_brand", v_str (Printf.sprintf "Brand#%d" (11 + rand 25)));
+              ("p_type", v_str (Printf.sprintf "TYPE %d" (rand types_n)));
+              ("p_size", v_int (1 + rand 50));
+              ("p_container", v_str (Printf.sprintf "CONT %d" (rand containers_n)));
+              ("p_retailprice", money ());
+              ("p_comment", v_str "") ])
+  | "partsupp" ->
+      let parts = counts ~sf "part" in
+      let supps = counts ~sf "supplier" in
+      Array.init (4 * parts) (fun k ->
+          let p = (k / 4) + 1 and i = k mod 4 in
+          (* The spec's supplier-spreading formula keeps the pairs unique
+             and the suppliers-per-part count exact. *)
+          let s = ((p + (i * ((supps / 4) + ((p - 1) / supps)))) mod supps) + 1 in
+          Value.row_of_list
+            [ ("ps_partkey", v_int p);
+              ("ps_suppkey", v_int s);
+              ("ps_availqty", v_int (1 + rand 9_999));
+              ("ps_supplycost", money ());
+              ("ps_comment", v_str "") ])
+  | "orders" ->
+      let customers = counts ~sf "customer" in
+      Array.init (counts ~sf "orders") (fun i ->
+          (* Only two thirds of customers place orders (custkey not
+             divisible by three), as in the spec. *)
+          let rec cust () =
+            let c = 1 + rand customers in
+            if c mod 3 = 0 then cust () else c
+          in
+          Value.row_of_list
+            [ ("o_orderkey", v_int (i + 1));
+              ("o_custkey", v_int (cust ()));
+              ("o_orderstatus", v_str (if rand 2 = 0 then "F" else "O"));
+              ("o_totalprice", money ());
+              ("o_orderdate", v_int (rand (Float.to_int Spec.orderdate_days)));
+              ("o_orderpriority", v_str priorities.(rand 5));
+              ("o_clerk", v_str "");
+              ("o_shippriority", v_int 0);
+              ("o_comment", v_str "") ])
+  | "lineitem" ->
+      let orders = counts ~sf "orders" in
+      let parts = counts ~sf "part" in
+      let supps = counts ~sf "supplier" in
+      let target = counts ~sf "lineitem" in
+      let acc = ref [] and produced = ref 0 in
+      let order_dates =
+        (* regenerate order dates deterministically so ship dates follow
+           their order, without holding the orders table *)
+        let st_o = Random.State.make [| seed; Hashtbl.hash "orders" |] in
+        fun () -> Random.State.int st_o (Float.to_int Spec.orderdate_days)
+      in
+      let okey = ref 0 in
+      while !produced < target && !okey < orders do
+        incr okey;
+        (* skip through the orders PRNG the way the orders generator
+           does not matter: dates just need the right domain *)
+        let odate = order_dates () in
+        let nlines = 1 + rand 7 in
+        for line = 1 to min nlines (target - !produced) do
+          let row =
+            Value.row_of_list
+              [ ("l_orderkey", v_int !okey);
+                ("l_partkey", v_int (1 + rand parts));
+                ("l_suppkey", v_int (1 + rand supps));
+                ("l_linenumber", v_int line);
+                ("l_quantity", v_float (Float.of_int (1 + rand 50)));
+                ("l_extendedprice", money ());
+                ("l_discount", v_float (Float.of_int (rand 11) /. 100.));
+                ("l_tax", v_float (Float.of_int (rand 9) /. 100.));
+                ("l_returnflag", v_str [| "R"; "A"; "N" |].(rand 3));
+                ("l_linestatus", v_str (if rand 2 = 0 then "O" else "F"));
+                ("l_shipdate", v_int (odate + 1 + rand 121));
+                ("l_commitdate", v_int (odate + 30 + rand 60));
+                ("l_receiptdate", v_int (odate + 2 + rand 150));
+                ("l_shipinstruct", v_str instructs.(rand 4));
+                ("l_shipmode", v_str ship_modes.(rand 7));
+                ("l_comment", v_str "") ]
+          in
+          acc := row :: !acc;
+          incr produced
+        done
+      done;
+      Array.of_list (List.rev !acc)
+  | _ -> raise Not_found
+
+let cache : (string, Value.row array) Hashtbl.t = Hashtbl.create 8
+
+let all ~sf ~seed name =
+  let key = Printf.sprintf "%g/%d/%s" sf seed name in
+  match Hashtbl.find_opt cache key with
+  | Some r -> r
+  | None ->
+      let r = rows ~sf ~seed name in
+      Hashtbl.add cache key r;
+      r

@@ -1,0 +1,20 @@
+(** A miniature, deterministic TPC-H data generator.
+
+    The official dbgen produces the deterministic dataset whose statistics
+    IBM's benchmark run transplanted into the paper's test catalog.  For
+    validating our optimizer's estimates against actual execution we only
+    need data with the same {e statistical} structure — cardinality
+    ratios, key relationships, value domains — at laptop scale, so this
+    generator reproduces those: dense primary keys in load order (the
+    clustered-index assumption), foreign keys uniform over their domains
+    (two thirds of customers have orders, four suppliers per part, one to
+    seven lineitems per order), and value domains matching
+    {!Spec.schema}'s distinct-value counts.  All randomness is seeded. *)
+
+val rows : sf:float -> seed:int -> string -> Qsens_engine.Value.row array
+(** [rows ~sf ~seed table] — rows for one of the eight TPC-H tables.
+    Raises [Not_found] for unknown table names.  Practical for
+    [sf <= ~0.05] (lineitem = 6M rows per unit of sf). *)
+
+val all : sf:float -> seed:int -> string -> Qsens_engine.Value.row array
+(** Memoizing variant: generates each table once per (sf, seed). *)

@@ -1,0 +1,440 @@
+open Qsens_plan
+
+(* Selectivity constants derived from the TPC-H value domains.
+   O_ORDERDATE spans 2406 days, L_SHIPDATE 2526 days. *)
+let od_year = 365. /. Spec.orderdate_days (* one-year orderdate interval *)
+let od_quarter = 90. /. Spec.orderdate_days
+let od_2years = 2. *. od_year
+let sd_year = 365. /. Spec.shipdate_days (* one-year shipdate interval *)
+let sd_quarter = 90. /. Spec.shipdate_days
+let sd_month = 30. /. Spec.shipdate_days
+
+let pred ?(eq = false) column selectivity : Query.pred =
+  { column; selectivity; equality = eq }
+
+let rel ?(preds = []) ?(proj = []) alias table : Query.relation =
+  { alias; table; preds; projected = proj }
+
+let join ?sel left left_col right right_col : Query.join =
+  { left; left_col; right; right_col; selectivity = sel }
+
+(* L_PARTKEY+L_SUPPKEY jointly reference the PARTSUPP primary key: each
+   lineitem matches exactly one partsupp row.  Encoded as a single edge on
+   partkey with the exact pair selectivity, so that cardinalities compose
+   correctly while index nested loops can still probe pk_partsupp. *)
+let lineitem_partsupp ~sf l ps =
+  join ~sel:(1. /. (800_000. *. sf)) l "l_partkey" ps "ps_partkey"
+
+let q ~name ~relations ?joins ?group_by ?group_cols ?order_by ?distinct () =
+  Query.make ~name ~relations ?joins ?group_by ?group_cols ?order_by ?distinct
+    ()
+
+let all ~sf =
+  [
+    (* Q1: pricing summary report.  Single-table scan with a wide date
+       predicate, heavy aggregation into 4 groups. *)
+    q ~name:"Q1"
+      ~relations:
+        [
+          rel "l" "lineitem"
+            ~preds:[ pred "l_shipdate" 0.96 ]
+            ~proj:[ "l_quantity"; "l_extendedprice"; "l_discount"; "l_tax";
+                    "l_returnflag"; "l_linestatus" ];
+        ]
+      ~group_by:4.
+      ~group_cols:[ ("l", "l_returnflag"); ("l", "l_linestatus") ]
+      ~order_by:true ();
+    (* Q2: minimum cost supplier.  The correlated MIN subquery is modelled
+       as an extra 1/4 filter on partsupp (average four suppliers per
+       part, one survives). *)
+    q ~name:"Q2"
+      ~relations:
+        [
+          rel "p" "part"
+            ~preds:[ pred ~eq:true "p_size" (1. /. 50.); pred "p_type" 0.2 ]
+            ~proj:[ "p_mfgr" ];
+          rel "ps" "partsupp"
+            ~preds:[ pred "ps_supplycost" 0.25 ]
+            ~proj:[ "ps_supplycost" ];
+          rel "s" "supplier" ~proj:[ "s_acctbal"; "s_name"; "s_address" ];
+          rel "n" "nation" ~proj:[ "n_name" ];
+          rel "r" "region" ~preds:[ pred ~eq:true "r_name" 0.2 ];
+        ]
+      ~joins:
+        [
+          join "p" "p_partkey" "ps" "ps_partkey";
+          join "ps" "ps_suppkey" "s" "s_suppkey";
+          join "s" "s_nationkey" "n" "n_nationkey";
+          join "n" "n_regionkey" "r" "r_regionkey";
+        ]
+      ~order_by:true ();
+    (* Q3: shipping priority. *)
+    q ~name:"Q3"
+      ~relations:
+        [
+          rel "c" "customer" ~preds:[ pred ~eq:true "c_mktsegment" 0.2 ];
+          rel "o" "orders"
+            ~preds:[ pred "o_orderdate" 0.48 ]
+            ~proj:[ "o_shippriority" ];
+          rel "l" "lineitem"
+            ~preds:[ pred "l_shipdate" 0.54 ]
+            ~proj:[ "l_extendedprice"; "l_discount" ];
+        ]
+      ~joins:
+        [
+          join "c" "c_custkey" "o" "o_custkey";
+          join "o" "o_orderkey" "l" "l_orderkey";
+        ]
+      ~group_by:(144_000. *. sf) ~order_by:true ();
+    (* Q4: order priority checking.  EXISTS(lineitem) as a semijoin. *)
+    q ~name:"Q4"
+      ~relations:
+        [
+          rel "o" "orders"
+            ~preds:[ pred "o_orderdate" od_quarter ]
+            ~proj:[ "o_orderpriority" ];
+          rel "l" "lineitem" ~preds:[ pred "l_commitdate" 0.5 ];
+        ]
+      ~joins:[ join "o" "o_orderkey" "l" "l_orderkey" ]
+      ~group_by:5.
+      ~group_cols:[ ("o", "o_orderpriority") ]
+      ~order_by:true ();
+    (* Q5: local supplier volume.  The c_nationkey = s_nationkey predicate
+       is an extra join edge between customer and supplier. *)
+    q ~name:"Q5"
+      ~relations:
+        [
+          rel "c" "customer";
+          rel "o" "orders" ~preds:[ pred "o_orderdate" od_year ];
+          rel "l" "lineitem" ~proj:[ "l_extendedprice"; "l_discount" ];
+          rel "s" "supplier";
+          rel "n" "nation" ~proj:[ "n_name" ];
+          rel "r" "region" ~preds:[ pred ~eq:true "r_name" 0.2 ];
+        ]
+      ~joins:
+        [
+          join "c" "c_custkey" "o" "o_custkey";
+          join "o" "o_orderkey" "l" "l_orderkey";
+          join "l" "l_suppkey" "s" "s_suppkey";
+          join "c" "c_nationkey" "s" "s_nationkey";
+          join "s" "s_nationkey" "n" "n_nationkey";
+          join "n" "n_regionkey" "r" "r_regionkey";
+        ]
+      ~group_by:5.
+      ~group_cols:[ ("n", "n_name") ]
+      ~order_by:true ();
+    (* Q6: forecasting revenue change. *)
+    q ~name:"Q6"
+      ~relations:
+        [
+          rel "l" "lineitem"
+            ~preds:
+              [
+                pred "l_shipdate" sd_year;
+                pred "l_discount" (3. /. 11.);
+                pred "l_quantity" 0.46;
+              ]
+            ~proj:[ "l_extendedprice" ];
+        ]
+      ~group_by:1. ();
+    (* Q7: volume shipping.  Nation self-join (n1 supplier side, n2
+       customer side); the two-country disjunction is a 2/25 filter on
+       each nation reference plus a 1/2 cross condition folded into the
+       n1-n2 ... there is no n1-n2 edge, so fold it into n2's filter. *)
+    q ~name:"Q7"
+      ~relations:
+        [
+          rel "s" "supplier";
+          rel "l" "lineitem"
+            ~preds:[ pred "l_shipdate" od_2years ]
+            ~proj:[ "l_extendedprice"; "l_discount" ];
+          rel "o" "orders";
+          rel "c" "customer";
+          rel "n1" "nation" ~preds:[ pred ~eq:true "n_name" (2. /. 25.) ];
+          rel "n2" "nation" ~preds:[ pred ~eq:true "n_name" (1. /. 25.) ];
+        ]
+      ~joins:
+        [
+          join "s" "s_suppkey" "l" "l_suppkey";
+          join "o" "o_orderkey" "l" "l_orderkey";
+          join "c" "c_custkey" "o" "o_custkey";
+          join "s" "s_nationkey" "n1" "n_nationkey";
+          join "c" "c_nationkey" "n2" "n_nationkey";
+        ]
+      ~group_by:4. ~order_by:true ();
+    (* Q8: national market share.  Eight relations — the largest join
+       graph in the suite. *)
+    q ~name:"Q8"
+      ~relations:
+        [
+          rel "p" "part" ~preds:[ pred ~eq:true "p_type" (1. /. 150.) ];
+          rel "l" "lineitem"
+            ~proj:[ "l_extendedprice"; "l_discount" ];
+          rel "o" "orders" ~preds:[ pred "o_orderdate" od_2years ];
+          rel "c" "customer";
+          rel "n1" "nation";
+          rel "r" "region" ~preds:[ pred ~eq:true "r_name" 0.2 ];
+          rel "s" "supplier";
+          rel "n2" "nation" ~proj:[ "n_name" ];
+        ]
+      ~joins:
+        [
+          join "p" "p_partkey" "l" "l_partkey";
+          join "o" "o_orderkey" "l" "l_orderkey";
+          join "c" "c_custkey" "o" "o_custkey";
+          join "c" "c_nationkey" "n1" "n_nationkey";
+          join "n1" "n_regionkey" "r" "r_regionkey";
+          join "s" "s_suppkey" "l" "l_suppkey";
+          join "s" "s_nationkey" "n2" "n_nationkey";
+        ]
+      ~group_by:2. ~order_by:true ();
+    (* Q9: product type profit measure. *)
+    q ~name:"Q9"
+      ~relations:
+        [
+          rel "p" "part" ~preds:[ pred "p_name" 0.055 ];
+          rel "l" "lineitem"
+            ~proj:[ "l_extendedprice"; "l_discount"; "l_quantity" ];
+          rel "ps" "partsupp" ~proj:[ "ps_supplycost" ];
+          rel "o" "orders" ~proj:[ "o_orderdate" ];
+          rel "s" "supplier";
+          rel "n" "nation" ~proj:[ "n_name" ];
+        ]
+      ~joins:
+        [
+          join "p" "p_partkey" "l" "l_partkey";
+          lineitem_partsupp ~sf "l" "ps";
+          join "o" "o_orderkey" "l" "l_orderkey";
+          join "s" "s_suppkey" "l" "l_suppkey";
+          join "s" "s_nationkey" "n" "n_nationkey";
+        ]
+      ~group_by:175. ~order_by:true ();
+    (* Q10: returned item reporting. *)
+    q ~name:"Q10"
+      ~relations:
+        [
+          rel "c" "customer"
+            ~proj:[ "c_name"; "c_acctbal"; "c_address"; "c_phone"; "c_comment" ];
+          rel "o" "orders" ~preds:[ pred "o_orderdate" od_quarter ];
+          rel "l" "lineitem"
+            ~preds:[ pred ~eq:true "l_returnflag" (1. /. 3.) ]
+            ~proj:[ "l_extendedprice"; "l_discount" ];
+          rel "n" "nation" ~proj:[ "n_name" ];
+        ]
+      ~joins:
+        [
+          join "c" "c_custkey" "o" "o_custkey";
+          join "o" "o_orderkey" "l" "l_orderkey";
+          join "c" "c_nationkey" "n" "n_nationkey";
+        ]
+      ~group_by:(50_000. *. sf)
+      ~group_cols:[ ("c", "c_custkey") ]
+      ~order_by:true ();
+    (* Q11: important stock identification.  Main block only; the HAVING
+       threshold subquery repeats the same join and is applied after
+       grouping. *)
+    q ~name:"Q11"
+      ~relations:
+        [
+          rel "ps" "partsupp" ~proj:[ "ps_supplycost"; "ps_availqty" ];
+          rel "s" "supplier";
+          rel "n" "nation" ~preds:[ pred ~eq:true "n_name" (1. /. 25.) ];
+        ]
+      ~joins:
+        [
+          join "ps" "ps_suppkey" "s" "s_suppkey";
+          join "s" "s_nationkey" "n" "n_nationkey";
+        ]
+      ~group_by:(Float.max 1. (29_000. *. sf))
+      ~group_cols:[ ("ps", "ps_partkey") ]
+      ~order_by:true ();
+    (* Q12: shipping modes and order priority. *)
+    q ~name:"Q12"
+      ~relations:
+        [
+          rel "o" "orders" ~proj:[ "o_orderpriority" ];
+          rel "l" "lineitem"
+            ~preds:
+              [
+                pred ~eq:true "l_shipmode" (2. /. 7.);
+                pred "l_receiptdate" sd_year;
+                pred "l_commitdate" 0.25;
+              ];
+        ]
+      ~joins:[ join "o" "o_orderkey" "l" "l_orderkey" ]
+      ~group_by:2.
+      ~group_cols:[ ("l", "l_shipmode") ]
+      ~order_by:true ();
+    (* Q13: customer distribution.  The outer join is modelled as a join;
+       the comment anti-filter keeps 98% of orders. *)
+    q ~name:"Q13"
+      ~relations:
+        [
+          rel "c" "customer";
+          rel "o" "orders" ~preds:[ pred "o_comment" 0.98 ];
+        ]
+      ~joins:[ join "c" "c_custkey" "o" "o_custkey" ]
+      ~group_by:(150_000. *. sf)
+      ~group_cols:[ ("c", "c_custkey") ]
+      ~order_by:true ();
+    (* Q14: promotion effect. *)
+    q ~name:"Q14"
+      ~relations:
+        [
+          rel "l" "lineitem"
+            ~preds:[ pred "l_shipdate" sd_month ]
+            ~proj:[ "l_extendedprice"; "l_discount" ];
+          rel "p" "part" ~proj:[ "p_type" ];
+        ]
+      ~joins:[ join "l" "l_partkey" "p" "p_partkey" ]
+      ~group_by:1. ();
+    (* Q15: top supplier.  The revenue view is the grouped lineitem
+       quarter. *)
+    q ~name:"Q15"
+      ~relations:
+        [
+          rel "l" "lineitem"
+            ~preds:[ pred "l_shipdate" sd_quarter ]
+            ~proj:[ "l_extendedprice"; "l_discount" ];
+          rel "s" "supplier" ~proj:[ "s_name"; "s_address"; "s_phone" ];
+        ]
+      ~joins:[ join "l" "l_suppkey" "s" "s_suppkey" ]
+      ~group_by:(10_000. *. sf)
+      ~group_cols:[ ("s", "s_suppkey") ]
+      ~order_by:true ();
+    (* Q16: parts/supplier relationship.  The NOT EXISTS supplier
+       subquery is a high-selectivity anti-filter folded into partsupp;
+       grouping is over brand/type/size combinations. *)
+    q ~name:"Q16"
+      ~relations:
+        [
+          rel "p" "part"
+            ~preds:
+              [
+                pred "p_brand" (24. /. 25.);
+                pred "p_type" 0.96;
+                pred ~eq:true "p_size" (8. /. 50.);
+              ]
+            ~proj:[ "p_brand"; "p_type"; "p_size" ];
+          rel "ps" "partsupp" ~preds:[ pred "ps_suppkey" 0.999 ];
+        ]
+      ~joins:[ join "p" "p_partkey" "ps" "ps_partkey" ]
+      ~group_by:5_000.
+      ~group_cols:[ ("p", "p_brand"); ("p", "p_type"); ("p", "p_size") ]
+      ~order_by:true ~distinct:true ();
+    (* Q17: small-quantity-order revenue.  The correlated AVG(l_quantity)
+       subquery is a second reference to lineitem joined on partkey. *)
+    q ~name:"Q17"
+      ~relations:
+        [
+          rel "p" "part"
+            ~preds:
+              [
+                pred ~eq:true "p_brand" (1. /. 25.);
+                pred ~eq:true "p_container" (1. /. 40.);
+              ];
+          rel "l" "lineitem"
+            ~preds:[ pred "l_quantity" 0.1 ]
+            ~proj:[ "l_extendedprice" ];
+          rel "lq" "lineitem" ~proj:[ "l_quantity" ];
+        ]
+      ~joins:
+        [
+          join "l" "l_partkey" "p" "p_partkey";
+          join "lq" "l_partkey" "p" "p_partkey";
+        ]
+      ~group_by:1. ();
+    (* Q18: large volume customer.  The HAVING SUM(l_quantity) > 300
+       subquery is a second lineitem reference grouped per order. *)
+    q ~name:"Q18"
+      ~relations:
+        [
+          rel "c" "customer" ~proj:[ "c_name" ];
+          rel "o" "orders" ~proj:[ "o_orderdate"; "o_totalprice" ];
+          rel "l" "lineitem" ~proj:[ "l_quantity" ];
+          rel "lq" "lineitem";
+        ]
+      ~joins:
+        [
+          join "c" "c_custkey" "o" "o_custkey";
+          join "o" "o_orderkey" "l" "l_orderkey";
+          join "o" "o_orderkey" "lq" "l_orderkey";
+        ]
+      ~group_by:(1_500_000. *. sf) ~order_by:true ();
+    (* Q19: discounted revenue.  The three OR branches combine to a
+       ~0.3% part filter and quantity/shipmode filters on lineitem. *)
+    q ~name:"Q19"
+      ~relations:
+        [
+          rel "l" "lineitem"
+            ~preds:
+              [
+                pred ~eq:true "l_shipmode" (2. /. 7.);
+                pred ~eq:true "l_shipinstruct" 0.25;
+                pred "l_quantity" 0.25;
+              ]
+            ~proj:[ "l_extendedprice"; "l_discount" ];
+          rel "p" "part"
+            ~preds:[ pred ~eq:true "p_brand" 0.003 ];
+        ]
+      ~joins:[ join "l" "l_partkey" "p" "p_partkey" ]
+      ~group_by:1. ();
+    (* Q20: potential part promotion — the paper's most sensitive query
+       (Section 8.1.2): the PART-PARTSUPP join method choice dominates.
+       The correlated half-of-shipped-quantity subquery brings in
+       lineitem. *)
+    q ~name:"Q20"
+      ~relations:
+        [
+          rel "s" "supplier" ~proj:[ "s_name"; "s_address" ];
+          rel "n" "nation" ~preds:[ pred ~eq:true "n_name" (1. /. 25.) ];
+          rel "ps" "partsupp" ~preds:[ pred "ps_availqty" 0.5 ];
+          rel "p" "part" ~preds:[ pred "p_name" 0.011 ];
+          rel "l" "lineitem" ~preds:[ pred "l_shipdate" sd_year ];
+        ]
+      ~joins:
+        [
+          join "s" "s_nationkey" "n" "n_nationkey";
+          join "s" "s_suppkey" "ps" "ps_suppkey";
+          join "ps" "ps_partkey" "p" "p_partkey";
+          lineitem_partsupp ~sf "l" "ps";
+        ]
+      ~group_by:(Float.max 1. (400. *. sf)) ~order_by:true ~distinct:true ();
+    (* Q21: suppliers who kept orders waiting.  The EXISTS(other
+       supplier) subquery is a second lineitem reference on the same
+       order; the NOT EXISTS branch is folded into its filter. *)
+    q ~name:"Q21"
+      ~relations:
+        [
+          rel "s" "supplier" ~proj:[ "s_name" ];
+          rel "l1" "lineitem" ~preds:[ pred "l_receiptdate" 0.5 ];
+          rel "o" "orders"
+            ~preds:[ pred ~eq:true "o_orderstatus" (1. /. 3.) ];
+          rel "n" "nation" ~preds:[ pred ~eq:true "n_name" (1. /. 25.) ];
+          rel "l2" "lineitem" ~preds:[ pred "l_suppkey" 0.75 ];
+        ]
+      ~joins:
+        [
+          join "s" "s_suppkey" "l1" "l_suppkey";
+          join "o" "o_orderkey" "l1" "l_orderkey";
+          join "o" "o_orderkey" "l2" "l_orderkey";
+          join "s" "s_nationkey" "n" "n_nationkey";
+        ]
+      ~group_by:(Float.max 1. (400. *. sf)) ~order_by:true ();
+    (* Q22: global sales opportunity.  The NOT EXISTS(orders) anti-join
+       still has to consult orders per candidate customer. *)
+    q ~name:"Q22"
+      ~relations:
+        [
+          rel "c" "customer"
+            ~preds:[ pred ~eq:true "c_phone" (7. /. 25.); pred "c_acctbal" 0.38 ]
+            ~proj:[ "c_acctbal" ];
+          rel "o" "orders";
+        ]
+      ~joins:[ join "c" "c_custkey" "o" "o_custkey" ]
+      ~group_by:7.
+      ~group_cols:[ ("c", "c_phone") ]
+      ~order_by:true ();
+  ]
+
+let find ~sf name = List.find (fun (q : Query.t) -> q.name = name) (all ~sf)

@@ -1,0 +1,19 @@
+(** The 22 TPC-H benchmark queries as join-graph specifications.
+
+    Each query is encoded at the level the optimizer consumes: table
+    references with local predicate selectivities (derived from the
+    TPC-H specification's substitution parameter semantics and value
+    domains), equality join edges, and aggregation/ordering requirements.
+    Subqueries are flattened the way a rewriting optimizer would treat
+    them — EXISTS/IN become (semi)joins, correlated aggregates become an
+    additional reference to the inner table, HAVING filters apply after
+    grouping — with the simplifications documented per query in the
+    implementation.  The paper likewise analyzed the final join graphs
+    the DB2 rewriter produced. *)
+
+val all : sf:float -> Qsens_plan.Query.t list
+(** The 22 queries, named ["Q1"] .. ["Q22"], with cardinality-dependent
+    parameters (group counts) computed at scale factor [sf]. *)
+
+val find : sf:float -> string -> Qsens_plan.Query.t
+(** Lookup by name, e.g. [find ~sf:100. "Q8"]; raises [Not_found]. *)

@@ -1,0 +1,186 @@
+open Qsens_catalog
+
+let scale_factor_of_paper = 100.
+let orderdate_days = 2406.
+let shipdate_days = 2526.
+
+let table_names =
+  [ "region"; "nation"; "supplier"; "customer"; "part"; "partsupp";
+    "orders"; "lineitem" ]
+
+let rows ~sf = function
+  | "region" -> 5.
+  | "nation" -> 25.
+  | "supplier" -> 10_000. *. sf
+  | "customer" -> 150_000. *. sf
+  | "part" -> 200_000. *. sf
+  | "partsupp" -> 800_000. *. sf
+  | "orders" -> 1_500_000. *. sf
+  | "lineitem" -> 6_000_000. *. sf
+  | _ -> raise Not_found
+
+let col ~name ~ndv ~width ?histogram () =
+  Column.make ~name ~ndv ~width ?histogram ()
+
+(* RUNSTATS WITH DISTRIBUTION histograms for the numeric/date columns the
+   benchmark queries range over; TPC-H generates them uniformly. *)
+let hist ~lo ~hi = Histogram.uniform ~lo ~hi ~buckets:32
+
+(* No column can have more distinct values than the table has rows. *)
+let clamp_ndv (t : Table.t) =
+  Table.make ~name:t.Table.name ~rows:t.Table.rows
+    ~columns:
+      (List.map
+         (fun (c : Column.t) ->
+           Column.make ~name:c.name
+             ~ndv:(Float.max 1. (Float.min c.ndv t.Table.rows))
+             ~width:c.width ?histogram:c.histogram ())
+         t.Table.columns)
+
+let schema_gen index_set ~sf =
+  let r = rows ~sf in
+  let cap x = Float.max 1. x in
+  let tables =
+    [
+      Table.make ~name:"region" ~rows:(r "region")
+        ~columns:
+          [
+            col ~name:"r_regionkey" ~ndv:5. ~width:4 ();
+            col ~name:"r_name" ~ndv:5. ~width:25 ();
+            col ~name:"r_comment" ~ndv:5. ~width:152 ();
+          ];
+      Table.make ~name:"nation" ~rows:(r "nation")
+        ~columns:
+          [
+            col ~name:"n_nationkey" ~ndv:25. ~width:4 ();
+            col ~name:"n_name" ~ndv:25. ~width:25 ();
+            col ~name:"n_regionkey" ~ndv:5. ~width:4 ();
+            col ~name:"n_comment" ~ndv:25. ~width:152 ();
+          ];
+      Table.make ~name:"supplier" ~rows:(r "supplier")
+        ~columns:
+          [
+            col ~name:"s_suppkey" ~ndv:(cap (r "supplier")) ~width:4 ();
+            col ~name:"s_name" ~ndv:(cap (r "supplier")) ~width:25 ();
+            col ~name:"s_address" ~ndv:(cap (r "supplier")) ~width:40 ();
+            col ~name:"s_nationkey" ~ndv:25. ~width:4 ();
+            col ~name:"s_phone" ~ndv:(cap (r "supplier")) ~width:15 ();
+            col ~name:"s_acctbal" ~ndv:(cap (Float.min (r "supplier") 1_000_000.)) ~width:8 ();
+            col ~name:"s_comment" ~ndv:(cap (r "supplier")) ~width:101 ();
+          ];
+      Table.make ~name:"customer" ~rows:(r "customer")
+        ~columns:
+          [
+            col ~name:"c_custkey" ~ndv:(cap (r "customer")) ~width:4 ();
+            col ~name:"c_name" ~ndv:(cap (r "customer")) ~width:25 ();
+            col ~name:"c_address" ~ndv:(cap (r "customer")) ~width:40 ();
+            col ~name:"c_nationkey" ~ndv:25. ~width:4 ();
+            col ~name:"c_phone" ~ndv:(cap (r "customer")) ~width:15 ();
+            col ~name:"c_acctbal" ~ndv:(cap (Float.min (r "customer") 1_100_000.)) ~width:8 ();
+            col ~name:"c_mktsegment" ~ndv:5. ~width:10 ();
+            col ~name:"c_comment" ~ndv:(cap (r "customer")) ~width:117 ();
+          ];
+      Table.make ~name:"part" ~rows:(r "part")
+        ~columns:
+          [
+            col ~name:"p_partkey" ~ndv:(cap (r "part")) ~width:4 ();
+            col ~name:"p_name" ~ndv:(cap (r "part")) ~width:55 ();
+            col ~name:"p_mfgr" ~ndv:5. ~width:25 ();
+            col ~name:"p_brand" ~ndv:25. ~width:10 ();
+            col ~name:"p_type" ~ndv:150. ~width:25 ();
+            col ~name:"p_size" ~ndv:50. ~width:4 ~histogram:(hist ~lo:1. ~hi:50.) ();
+            col ~name:"p_container" ~ndv:40. ~width:10 ();
+            col ~name:"p_retailprice" ~ndv:(cap (Float.min (r "part") 100_000.)) ~width:8 ();
+            col ~name:"p_comment" ~ndv:(cap (r "part")) ~width:23 ();
+          ];
+      Table.make ~name:"partsupp" ~rows:(r "partsupp")
+        ~columns:
+          [
+            col ~name:"ps_partkey" ~ndv:(cap (r "part")) ~width:4 ();
+            col ~name:"ps_suppkey" ~ndv:(cap (r "supplier")) ~width:4 ();
+            col ~name:"ps_availqty" ~ndv:9_999. ~width:4
+              ~histogram:(hist ~lo:1. ~hi:9_999.) ();
+            col ~name:"ps_supplycost" ~ndv:99_901. ~width:8 ();
+            col ~name:"ps_comment" ~ndv:(cap (r "partsupp")) ~width:199 ();
+          ];
+      Table.make ~name:"orders" ~rows:(r "orders")
+        ~columns:
+          [
+            col ~name:"o_orderkey" ~ndv:(cap (r "orders")) ~width:4 ();
+            (* only two thirds of customers have orders *)
+            col ~name:"o_custkey" ~ndv:(cap (r "customer" *. 2. /. 3.)) ~width:4 ();
+            col ~name:"o_orderstatus" ~ndv:3. ~width:1 ();
+            col ~name:"o_totalprice" ~ndv:(cap (Float.min (r "orders") 1_500_000.)) ~width:8 ();
+            col ~name:"o_orderdate" ~ndv:orderdate_days ~width:4
+              ~histogram:(hist ~lo:0. ~hi:orderdate_days) ();
+            col ~name:"o_orderpriority" ~ndv:5. ~width:15 ();
+            col ~name:"o_clerk" ~ndv:(cap (1_000. *. sf)) ~width:15 ();
+            col ~name:"o_shippriority" ~ndv:1. ~width:4 ();
+            col ~name:"o_comment" ~ndv:(cap (r "orders")) ~width:79 ();
+          ];
+      Table.make ~name:"lineitem" ~rows:(r "lineitem")
+        ~columns:
+          [
+            col ~name:"l_orderkey" ~ndv:(cap (r "orders")) ~width:4 ();
+            col ~name:"l_partkey" ~ndv:(cap (r "part")) ~width:4 ();
+            col ~name:"l_suppkey" ~ndv:(cap (r "supplier")) ~width:4 ();
+            col ~name:"l_linenumber" ~ndv:7. ~width:4 ();
+            col ~name:"l_quantity" ~ndv:50. ~width:8 ~histogram:(hist ~lo:1. ~hi:50.) ();
+            col ~name:"l_extendedprice" ~ndv:(cap (Float.min (r "lineitem") 1_000_000.)) ~width:8 ();
+            col ~name:"l_discount" ~ndv:11. ~width:8 ~histogram:(hist ~lo:0. ~hi:0.1) ();
+            col ~name:"l_tax" ~ndv:9. ~width:8 ();
+            col ~name:"l_returnflag" ~ndv:3. ~width:1 ();
+            col ~name:"l_linestatus" ~ndv:2. ~width:1 ();
+            col ~name:"l_shipdate" ~ndv:shipdate_days ~width:4
+              ~histogram:(hist ~lo:0. ~hi:shipdate_days) ();
+            col ~name:"l_commitdate" ~ndv:(shipdate_days -. 60.) ~width:4
+              ~histogram:(hist ~lo:0. ~hi:shipdate_days) ();
+            col ~name:"l_receiptdate" ~ndv:shipdate_days ~width:4
+              ~histogram:(hist ~lo:0. ~hi:shipdate_days) ();
+            col ~name:"l_shipinstruct" ~ndv:4. ~width:25 ();
+            col ~name:"l_shipmode" ~ndv:7. ~width:10 ();
+            col ~name:"l_comment" ~ndv:(cap (r "lineitem")) ~width:44 ();
+          ];
+    ]
+  in
+  let ix = Index.make in
+  let indexes =
+    [
+      ix ~name:"pk_region" ~table:"region" ~key:[ "r_regionkey" ]
+        ~clustered:true ~unique:true ();
+      ix ~name:"pk_nation" ~table:"nation" ~key:[ "n_nationkey" ]
+        ~clustered:true ~unique:true ();
+      ix ~name:"i_n_regionkey" ~table:"nation" ~key:[ "n_regionkey" ] ();
+      ix ~name:"pk_supplier" ~table:"supplier" ~key:[ "s_suppkey" ]
+        ~clustered:true ~unique:true ();
+      ix ~name:"i_s_nationkey" ~table:"supplier" ~key:[ "s_nationkey" ] ();
+      ix ~name:"pk_customer" ~table:"customer" ~key:[ "c_custkey" ]
+        ~clustered:true ~unique:true ();
+      ix ~name:"i_c_nationkey" ~table:"customer" ~key:[ "c_nationkey" ] ();
+      ix ~name:"pk_part" ~table:"part" ~key:[ "p_partkey" ] ~clustered:true
+        ~unique:true ();
+      ix ~name:"pk_partsupp" ~table:"partsupp"
+        ~key:[ "ps_partkey"; "ps_suppkey" ] ~clustered:true ~unique:true ();
+      ix ~name:"i_ps_suppkey" ~table:"partsupp" ~key:[ "ps_suppkey" ] ();
+      ix ~name:"pk_orders" ~table:"orders" ~key:[ "o_orderkey" ]
+        ~clustered:true ~unique:true ();
+      ix ~name:"i_o_custkey" ~table:"orders" ~key:[ "o_custkey" ] ();
+      ix ~name:"i_o_orderdate" ~table:"orders" ~key:[ "o_orderdate" ] ();
+      ix ~name:"pk_lineitem" ~table:"lineitem"
+        ~key:[ "l_orderkey"; "l_linenumber" ] ~clustered:true ~unique:true ();
+      ix ~name:"i_l_partkey" ~table:"lineitem" ~key:[ "l_partkey"; "l_suppkey" ] ();
+      ix ~name:"i_l_suppkey" ~table:"lineitem" ~key:[ "l_suppkey" ] ();
+      ix ~name:"i_l_shipdate" ~table:"lineitem" ~key:[ "l_shipdate" ] ();
+    ]
+  in
+  let indexes =
+    match index_set with
+    | `Full -> indexes
+    | `Primary_only ->
+        List.filter (fun (i : Index.t) -> i.Index.clustered && i.Index.unique)
+          indexes
+  in
+  Schema.make ~tables:(List.map clamp_ndv tables) ~indexes
+
+let schema ~sf = schema_gen `Full ~sf
+let schema_primary_only ~sf = schema_gen `Primary_only ~sf

@@ -1,0 +1,41 @@
+(** The TPC-H schema and its statistics, derived analytically from the
+    benchmark specification.
+
+    The paper transplanted catalog statistics from IBM's published 100 GB
+    (scale factor 100) TPC-H run into an empty database (Section 7.2).
+    That db2look dump is not available, but TPC-H data is deterministic
+    by construction: table cardinalities are fixed multiples of the scale
+    factor and column value domains are fixed by the spec, so the
+    statistics RUNSTATS would collect are computable directly.  This
+    module builds the same catalog content — row counts, row widths, and
+    per-column distinct-value counts — for any scale factor.
+
+    The index set reproduces the typical published TPC-H configuration:
+    a clustered primary-key index per table (data is loaded in key order)
+    plus unclustered foreign-key and date indexes.  See DESIGN.md for the
+    substitution rationale. *)
+
+open Qsens_catalog
+
+val scale_factor_of_paper : float
+(** 100.0 — the 100 GB database of the paper's experiments. *)
+
+val orderdate_days : float
+(** Number of distinct O_ORDERDATE values (1992-01-01 .. 1998-08-02). *)
+
+val shipdate_days : float
+(** Number of distinct L_SHIPDATE values. *)
+
+val schema : sf:float -> Schema.t
+(** The eight TPC-H tables with statistics at scale factor [sf], plus the
+    index set described above. *)
+
+val schema_primary_only : sf:float -> Schema.t
+(** The same tables with just the clustered primary-key indexes — an
+    ablation that removes most access-path alternatives. *)
+
+val table_names : string list
+(** The eight table names in spec order. *)
+
+val rows : sf:float -> string -> float
+(** Cardinality of a table at a scale factor; raises [Not_found]. *)

@@ -1,0 +1,126 @@
+open Qsens_catalog
+
+type topology = Chain | Star | Snowflake | Clique | Cycle
+
+let topology_name = function
+  | Chain -> "chain"
+  | Star -> "star"
+  | Snowflake -> "snowflake"
+  | Clique -> "clique"
+  | Cycle -> "cycle"
+
+let all_topologies = [ Chain; Star; Snowflake; Clique; Cycle ]
+
+type spec = {
+  topology : topology;
+  tables : int;
+  base_rows : float;
+  shrink : float;
+  selectivity : float;
+}
+
+let default topology ~tables =
+  { topology; tables; base_rows = 1e6; shrink = 0.3; selectivity = 0.1 }
+
+let table_name i = Printf.sprintf "t%d" i
+
+(* Edges as (child, parent): the child table carries a foreign-key column
+   referencing the parent's primary key. *)
+let edges spec =
+  let n = spec.tables in
+  match spec.topology with
+  | Chain -> List.init (n - 1) (fun i -> (i, i + 1))
+  | Star -> List.init (n - 1) (fun j -> (0, j + 1))
+  | Cycle ->
+      if n < 3 then invalid_arg "Synthetic: cycle needs >= 3 tables";
+      List.init (n - 1) (fun i -> (i, i + 1)) @ [ (n - 1, 0) ]
+  | Snowflake ->
+      if n < 3 then invalid_arg "Synthetic: snowflake needs >= 3 tables";
+      let dims = max 1 ((n - 1) / 2) in
+      let star = List.init dims (fun j -> (0, j + 1)) in
+      let leaves =
+        List.init
+          (n - 1 - dims)
+          (fun k ->
+            let parent = (k mod dims) + 1 in
+            (parent, dims + 1 + k))
+      in
+      star @ leaves
+  | Clique ->
+      List.concat
+        (List.init n (fun i ->
+             List.init (n - 1 - i) (fun k -> (i, i + 1 + k))))
+
+let generate spec =
+  if spec.tables < 2 then invalid_arg "Synthetic.generate: need >= 2 tables";
+  if spec.shrink <= 0. || spec.shrink > 1. then
+    invalid_arg "Synthetic.generate: shrink must be in (0, 1]";
+  let n = spec.tables in
+  let edge_list = edges spec in
+  let rows i = Float.max 10. (spec.base_rows *. Float.pow spec.shrink (Float.of_int i)) in
+  let fk_columns i =
+    List.filter_map
+      (fun (child, parent) ->
+        if child = i then Some (Printf.sprintf "fk%d" parent, rows parent)
+        else None)
+      edge_list
+  in
+  let tables =
+    List.init n (fun i ->
+        let cols =
+          Column.make ~name:"k" ~ndv:(rows i) ~width:8 ()
+          :: Column.make ~name:"sel" ~ndv:(Float.min 1000. (rows i)) ~width:4 ()
+          :: Column.make ~name:"pay" ~ndv:(rows i) ~width:80 ()
+          :: List.map
+               (fun (name, ndv) ->
+                 Column.make ~name ~ndv:(Float.min ndv (rows i)) ~width:8 ())
+               (fk_columns i)
+        in
+        Table.make ~name:(table_name i) ~rows:(rows i) ~columns:cols)
+  in
+  let indexes =
+    List.concat
+      (List.init n (fun i ->
+           Index.make
+             ~name:(Printf.sprintf "pk_t%d" i)
+             ~table:(table_name i) ~key:[ "k" ] ~clustered:true ~unique:true ()
+           :: List.map
+                (fun (col, _) ->
+                  Index.make
+                    ~name:(Printf.sprintf "i_t%d_%s" i col)
+                    ~table:(table_name i) ~key:[ col ] ())
+                (fk_columns i)))
+  in
+  let schema = Schema.make ~tables ~indexes in
+  let relations =
+    List.init n (fun i ->
+        {
+          Qsens_plan.Query.alias = table_name i;
+          table = table_name i;
+          preds =
+            (if i mod 2 = 1 && spec.selectivity < 1. then
+               [ { Qsens_plan.Query.column = "sel";
+                   selectivity = spec.selectivity; equality = true } ]
+             else []);
+          projected = (if i = 0 then [ "pay" ] else []);
+        })
+  in
+  let joins =
+    List.map
+      (fun (child, parent) ->
+        {
+          Qsens_plan.Query.left = table_name child;
+          left_col = Printf.sprintf "fk%d" parent;
+          right = table_name parent;
+          right_col = "k";
+          selectivity = None;
+        })
+      edge_list
+  in
+  let query =
+    Qsens_plan.Query.make
+      ~name:
+        (Printf.sprintf "%s-%d" (topology_name spec.topology) spec.tables)
+      ~relations ~joins ()
+  in
+  (schema, query)

@@ -1,0 +1,36 @@
+(** Synthetic schemas and queries over standard join-graph topologies.
+
+    The paper characterizes one workload (TPC-H); the framework itself is
+    workload-agnostic.  This generator produces parametrized schemas and
+    queries — chains, stars, snowflakes, cliques, cycles — so the
+    sensitivity machinery can be studied as a function of query shape
+    and size (see the [ablation] part of the benchmark harness).
+
+    Every generated table gets a clustered unique primary-key index and
+    every foreign-key join column an unclustered index, so index-NLJ,
+    merge and hash alternatives all exist and the candidate plan
+    structure is rich. *)
+
+open Qsens_catalog
+
+type topology = Chain | Star | Snowflake | Clique | Cycle
+
+val topology_name : topology -> string
+
+val all_topologies : topology list
+
+type spec = {
+  topology : topology;
+  tables : int;  (** number of relations (>= 2) *)
+  base_rows : float;  (** cardinality of the largest table *)
+  shrink : float;  (** each successive table is this factor smaller *)
+  selectivity : float;  (** local predicate applied to every odd table *)
+}
+
+val default : topology -> tables:int -> spec
+(** [base_rows = 1e6], [shrink = 0.3], [selectivity = 0.1]. *)
+
+val generate : spec -> Schema.t * Qsens_plan.Query.t
+(** Deterministic: the same spec always yields the same workload.
+    Raises [Invalid_argument] for fewer than 2 tables (or 3 for
+    [Cycle]/[Snowflake]). *)

@@ -1,0 +1,186 @@
+(* Tests for the catalog: tables, columns, indexes, schema, layouts. *)
+
+open Qsens_catalog
+
+let col ~name ~ndv ~width = Column.make ~name ~ndv ~width ()
+let check_float = Alcotest.(check (float 1e-6))
+
+let small_table =
+  Table.make ~name:"t" ~rows:10_000.
+    ~columns:
+      [
+        col ~name:"id" ~ndv:10_000. ~width:4;
+        col ~name:"grp" ~ndv:100. ~width:4;
+        col ~name:"payload" ~ndv:5_000. ~width:92;
+      ]
+
+let test_row_width () =
+  (* 4 + 4 + 92 columns + 10 bytes row overhead. *)
+  Alcotest.(check int) "width" 110 (Table.row_width small_table)
+
+let test_pages () =
+  (* 4000-byte capacity / 110-byte rows = 36 rows/page; 10000/36 = 278. *)
+  check_float "pages" 278. (Table.pages small_table)
+
+let test_column_lookup () =
+  Alcotest.(check string) "find" "grp" (Table.column small_table "grp").Column.name;
+  Alcotest.(check bool) "has" true (Table.has_column small_table "payload");
+  Alcotest.(check bool) "has not" false (Table.has_column small_table "nope");
+  Alcotest.check_raises "missing" Not_found (fun () ->
+      ignore (Table.column small_table "nope"))
+
+let test_eq_selectivity () =
+  check_float "1/ndv" 0.01 (Column.eq_selectivity (Table.column small_table "grp"))
+
+let test_column_validation () =
+  Alcotest.check_raises "ndv >= 1" (Invalid_argument "Column.make: ndv must be >= 1")
+    (fun () -> ignore (col ~name:"x" ~ndv:0. ~width:4))
+
+(* ------------------------------------------------------------------ *)
+(* Histogram *)
+
+let test_histogram_uniform () =
+  let h = Histogram.uniform ~lo:0. ~hi:100. ~buckets:10 in
+  check_float "below mid" 0.5 (Histogram.selectivity_below h 50.);
+  check_float "below lo" 0. (Histogram.selectivity_below h (-1.));
+  check_float "below hi" 1. (Histogram.selectivity_below h 200.);
+  check_float "range" 0.25 (Histogram.selectivity_range h ~lo:25. ~hi:50. ());
+  check_float "open lo" 0.3 (Histogram.selectivity_range h ~hi:30. ());
+  check_float "open both" 1. (Histogram.selectivity_range h ())
+
+let test_histogram_skewed () =
+  (* 90% of the mass in the first bucket. *)
+  let h = Histogram.of_weights ~lo:0. ~hi:10. [| 9.; 1. |] in
+  check_float "first bucket" 0.9 (Histogram.selectivity_below h 5.);
+  check_float "interpolated" 0.45 (Histogram.selectivity_below h 2.5)
+
+let test_histogram_of_values () =
+  let values = List.init 100 (fun i -> Float.of_int i) in
+  let h = Histogram.of_values ~buckets:10 values in
+  Alcotest.(check int) "buckets" 10 (Histogram.buckets h);
+  Alcotest.(check bool) "roughly uniform" true
+    (Float.abs (Histogram.selectivity_below h 49.5 -. 0.5) < 0.06)
+
+let test_histogram_validation () =
+  Alcotest.check_raises "lo >= hi"
+    (Invalid_argument "Histogram.of_weights: lo >= hi") (fun () ->
+      ignore (Histogram.of_weights ~lo:1. ~hi:1. [| 1. |]));
+  Alcotest.check_raises "negative"
+    (Invalid_argument "Histogram.of_weights: negative") (fun () ->
+      ignore (Histogram.of_weights ~lo:0. ~hi:1. [| 1.; -1. |]))
+
+(* ------------------------------------------------------------------ *)
+(* Index *)
+
+let pk = Index.make ~name:"pk_t" ~table:"t" ~key:[ "id" ] ~clustered:true ~unique:true ()
+let grp_ix = Index.make ~name:"i_grp" ~table:"t" ~key:[ "grp"; "id" ] ()
+
+let test_index_stats () =
+  (* Entry = 4 (key) + 8 (rid) = 12 bytes; 4000/12 = 333/page; 10000/333 = 31. *)
+  Alcotest.(check int) "entry width" 12 (Index.entry_width pk small_table);
+  check_float "leaf pages" 31. (Index.leaf_pages pk small_table);
+  Alcotest.(check int) "levels" 2 (Index.levels pk small_table)
+
+let test_index_key_ndv () =
+  check_float "unique = rows" 10_000. (Index.key_ndv pk small_table);
+  (* Composite non-unique: 100 * 10000 capped at rows. *)
+  check_float "capped" 10_000. (Index.key_ndv grp_ix small_table)
+
+let test_index_matching () =
+  Alcotest.(check bool) "leading" true (Index.matches_column grp_ix "grp");
+  Alcotest.(check bool) "non-leading" false (Index.matches_column grp_ix "id");
+  Alcotest.(check bool) "covers subset" true (Index.covers grp_ix [ "id"; "grp" ]);
+  Alcotest.(check bool) "does not cover" false (Index.covers grp_ix [ "payload" ])
+
+(* ------------------------------------------------------------------ *)
+(* Schema *)
+
+let schema = Schema.make ~tables:[ small_table ] ~indexes:[ pk; grp_ix ]
+
+let test_schema_lookup () =
+  Alcotest.(check int) "indexes of t" 2 (List.length (Schema.indexes_of schema "t"));
+  Alcotest.(check string) "table" "t" (Schema.table schema "t").Table.name;
+  check_float "total pages" 278. (Schema.total_pages schema)
+
+let test_schema_validation () =
+  Alcotest.check_raises "duplicate table"
+    (Invalid_argument "Schema.make: duplicate table t") (fun () ->
+      ignore (Schema.make ~tables:[ small_table; small_table ] ~indexes:[]));
+  Alcotest.check_raises "unknown table"
+    (Invalid_argument "Schema.make: index pk_t on unknown table t") (fun () ->
+      ignore (Schema.make ~tables:[] ~indexes:[ pk ]));
+  let bad = Index.make ~name:"bad" ~table:"t" ~key:[ "nope" ] () in
+  Alcotest.check_raises "unknown column"
+    (Invalid_argument "Schema.make: index bad keys unknown column nope")
+    (fun () -> ignore (Schema.make ~tables:[ small_table ] ~indexes:[ bad ]))
+
+(* ------------------------------------------------------------------ *)
+(* Layout *)
+
+let two_tables =
+  let u =
+    Table.make ~name:"u" ~rows:5.
+      ~columns:[ col ~name:"k" ~ndv:5. ~width:4 ]
+  in
+  Schema.make ~tables:[ small_table; u ] ~indexes:[ pk ]
+
+let test_layout_same_device () =
+  let l = Layout.make Layout.Same_device two_tables in
+  Alcotest.(check int) "one device" 1 (List.length (Layout.devices l));
+  Alcotest.(check bool) "table = index device" true
+    (Device.equal (Layout.table_device l "t") (Layout.index_device l "t"));
+  Alcotest.(check bool) "temp shared" true
+    (Device.equal (Layout.temp_device l) (Layout.table_device l "u"))
+
+let test_layout_per_table () =
+  let l = Layout.make Layout.Per_table_devices two_tables in
+  (* 2 table devices + temp. *)
+  Alcotest.(check int) "devices" 3 (List.length (Layout.devices l));
+  Alcotest.(check bool) "t and u differ" false
+    (Device.equal (Layout.table_device l "t") (Layout.table_device l "u"));
+  Alcotest.(check bool) "index co-located" true
+    (Device.equal (Layout.table_device l "t") (Layout.index_device l "t"))
+
+let test_layout_split () =
+  let l = Layout.make Layout.Per_table_and_index_devices two_tables in
+  (* 2 table + 2 index + temp: the paper's 2k+2 minus the shared CPU. *)
+  Alcotest.(check int) "devices" 5 (List.length (Layout.devices l));
+  Alcotest.(check bool) "table and index split" false
+    (Device.equal (Layout.table_device l "t") (Layout.index_device l "t"))
+
+let () =
+  Alcotest.run "catalog"
+    [
+      ( "table",
+        [
+          Alcotest.test_case "row width" `Quick test_row_width;
+          Alcotest.test_case "pages" `Quick test_pages;
+          Alcotest.test_case "column lookup" `Quick test_column_lookup;
+          Alcotest.test_case "eq selectivity" `Quick test_eq_selectivity;
+          Alcotest.test_case "validation" `Quick test_column_validation;
+        ] );
+      ( "histogram",
+        [
+          Alcotest.test_case "uniform" `Quick test_histogram_uniform;
+          Alcotest.test_case "skewed" `Quick test_histogram_skewed;
+          Alcotest.test_case "of values" `Quick test_histogram_of_values;
+          Alcotest.test_case "validation" `Quick test_histogram_validation;
+        ] );
+      ( "index",
+        [
+          Alcotest.test_case "stats" `Quick test_index_stats;
+          Alcotest.test_case "key ndv" `Quick test_index_key_ndv;
+          Alcotest.test_case "matching" `Quick test_index_matching;
+        ] );
+      ( "schema",
+        [
+          Alcotest.test_case "lookup" `Quick test_schema_lookup;
+          Alcotest.test_case "validation" `Quick test_schema_validation;
+        ] );
+      ( "layout",
+        [
+          Alcotest.test_case "same device" `Quick test_layout_same_device;
+          Alcotest.test_case "per table" `Quick test_layout_per_table;
+          Alcotest.test_case "per table and index" `Quick test_layout_split;
+        ] );
+    ]

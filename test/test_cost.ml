@@ -1,0 +1,124 @@
+(* Tests for the resource space, base costs, and resource groups. *)
+
+open Qsens_catalog
+open Qsens_cost
+open Qsens_linalg
+
+let check_float = Alcotest.(check (float 1e-9))
+
+let schema =
+  let col ~name ~ndv ~width = Column.make ~name ~ndv ~width () in
+  Schema.make
+    ~tables:
+      [
+        Table.make ~name:"a" ~rows:100. ~columns:[ col ~name:"x" ~ndv:10. ~width:4 ];
+        Table.make ~name:"b" ~rows:100. ~columns:[ col ~name:"y" ~ndv:10. ~width:4 ];
+      ]
+    ~indexes:[]
+
+let same = Layout.make Layout.Same_device schema
+let split = Layout.make Layout.Per_table_and_index_devices schema
+
+let test_space_same_device () =
+  let space = Space.of_layout same in
+  (* cpu + (seek, transfer) for the single disk: the paper's 3 resources. *)
+  Alcotest.(check int) "dim" 3 (Space.dim space);
+  Alcotest.(check int) "cpu first" 0 (Space.index space Resource.Cpu)
+
+let test_space_split () =
+  let space = Space.of_layout split in
+  (* 2 table + 2 index + temp devices, 2 resources each, plus CPU. *)
+  Alcotest.(check int) "dim" 11 (Space.dim space)
+
+let test_usage_accumulation () =
+  let space = Space.of_layout same in
+  let u = Space.zero_usage space in
+  let disk = List.hd (Layout.devices same) in
+  Space.add_usage space u (Resource.Seek disk) 2.;
+  Space.add_usage space u (Resource.Seek disk) 3.;
+  Space.add_usage space u Resource.Cpu 100.;
+  check_float "seek accumulated" 5. u.(Space.index space (Resource.Seek disk));
+  check_float "cpu" 100. u.(Space.index space Resource.Cpu)
+
+let test_base_costs () =
+  let space = Space.of_layout same in
+  let c = Defaults.base_costs space in
+  let disk = List.hd (Layout.devices same) in
+  check_float "cpu" 1e-6 c.(Space.index space Resource.Cpu);
+  check_float "d_s" 24.1 c.(Space.index space (Resource.Seek disk));
+  check_float "d_t" 9.0 c.(Space.index space (Resource.Transfer disk))
+
+let test_groups_per_resource () =
+  let space = Space.of_layout same in
+  let g = Groups.make Groups.Per_resource space in
+  Alcotest.(check int) "one group per resource" 3 (Groups.dim g)
+
+let test_groups_per_device () =
+  let space = Space.of_layout split in
+  let g = Groups.make Groups.Per_device space in
+  (* cpu + 5 devices. *)
+  Alcotest.(check int) "cpu + devices" 6 (Groups.dim g);
+  (* Seek and transfer of the same device map to the same group. *)
+  let dev = Layout.table_device split "a" in
+  let si = Space.index space (Resource.Seek dev)
+  and ti = Space.index space (Resource.Transfer dev) in
+  Alcotest.(check int) "same group" (Groups.group_of_resource g si)
+    (Groups.group_of_resource g ti)
+
+let test_effective_usage () =
+  (* The effective usage folds base costs: theta . u~ must equal the full
+     dot product U . C(theta) for every multiplier assignment. *)
+  let space = Space.of_layout split in
+  let g = Groups.make Groups.Per_device space in
+  let base = Defaults.base_costs space in
+  let usage = Vec.init (Space.dim space) (fun i -> Float.of_int (i + 1)) in
+  let eff = Groups.effective_usage g ~base_costs:base ~usage in
+  let theta = Vec.init (Groups.dim g) (fun i -> 1. +. (0.5 *. Float.of_int i)) in
+  let full = Groups.expand_costs g ~base_costs:base ~theta in
+  check_float "linearity" (Vec.dot usage full) (Vec.dot eff theta)
+
+let test_expand_costs_ones () =
+  let space = Space.of_layout same in
+  let g = Groups.make Groups.Per_resource space in
+  let base = Defaults.base_costs space in
+  let expanded = Groups.expand_costs g ~base_costs:base ~theta:(Groups.ones g) in
+  Alcotest.(check bool) "identity at ones" true (Vec.equal base expanded)
+
+let test_feasible_box () =
+  let space = Space.of_layout same in
+  let g = Groups.make Groups.Per_resource space in
+  let box = Groups.feasible_box g ~delta:4. in
+  check_float "lo" 0.25 box.Qsens_geom.Box.lo.(0);
+  check_float "hi" 4. box.Qsens_geom.Box.hi.(0)
+
+let test_system_parameters_table () =
+  (* The Section 7.3 table must include the settings the paper lists. *)
+  let keys = List.map fst Defaults.system_parameters in
+  List.iter
+    (fun k ->
+      Alcotest.(check bool) (k ^ " present") true (List.mem k keys))
+    [ "DB2_HASH_JOIN"; "DFT_QUERYOPT"; "OPT_BUFFPAGE"; "OPT_SORTHEAP" ];
+  Alcotest.(check string) "optlevel 7" "7"
+    (List.assoc "DFT_QUERYOPT" Defaults.system_parameters)
+
+let () =
+  Alcotest.run "cost"
+    [
+      ( "space",
+        [
+          Alcotest.test_case "same device" `Quick test_space_same_device;
+          Alcotest.test_case "split" `Quick test_space_split;
+          Alcotest.test_case "usage accumulation" `Quick test_usage_accumulation;
+          Alcotest.test_case "base costs" `Quick test_base_costs;
+        ] );
+      ( "groups",
+        [
+          Alcotest.test_case "per resource" `Quick test_groups_per_resource;
+          Alcotest.test_case "per device" `Quick test_groups_per_device;
+          Alcotest.test_case "effective usage linearity" `Quick test_effective_usage;
+          Alcotest.test_case "expand at ones" `Quick test_expand_costs_ones;
+          Alcotest.test_case "feasible box" `Quick test_feasible_box;
+        ] );
+      ( "defaults",
+        [ Alcotest.test_case "parameter table" `Quick test_system_parameters_table ] );
+    ]

@@ -1,0 +1,385 @@
+(* Tests for the extension modules: plan diagrams, Monte-Carlo
+   sensitivity, the adaptive re-optimization simulator, and the synthetic
+   workload generator. *)
+
+open Qsens_core
+open Qsens_linalg
+
+(* ------------------------------------------------------------------ *)
+(* Plan diagrams *)
+
+let synthetic_oracle plans =
+  Oracle.make ~dim:(Vec.dim plans.(0)) ~probe:(fun theta ->
+      let i = Framework.optimal_index ~plans ~costs:theta in
+      (Printf.sprintf "P%d" i, plans.(i)))
+
+let test_diagram_partition () =
+  (* Two complementary plans: the diagram must split along the diagonal
+     of the swept dims with zero convexity violations. *)
+  let plans = [| [| 1.; 10.; 5. |]; [| 10.; 1.; 5. |] |] in
+  let d =
+    Plan_diagram.compute ~grid:16
+      ~oracle:(synthetic_oracle plans)
+      ~plans:[] ~dim_x:0 ~dim_y:1 ~delta:100. ()
+  in
+  Alcotest.(check int) "both plans appear" 2 (List.length d.plans);
+  Alcotest.(check int) "no violations" 0 (Plan_diagram.convexity_violations d);
+  (* Corner checks: dim 0 cheap & dim 1 expensive -> plan 0 optimal. *)
+  let grid = Array.length d.cells in
+  let cheap0 = d.cells.(grid - 1).(0) in
+  let cheap1 = d.cells.(0).(grid - 1) in
+  Alcotest.(check bool) "opposite corners differ" true (cheap0 <> cheap1)
+
+let test_diagram_geometry_only () =
+  let plans = [| [| 1.; 10. |]; [| 10.; 1. |] |] in
+  let cells =
+    Plan_diagram.optimal_cells ~plans ~dim_x:0 ~dim_y:1 ~delta:10. ~grid:9
+      ~m:2
+  in
+  (* cells.(row).(col) has theta_y = ys.(row), theta_x = xs.(col); plan 0
+     = (1, 10) wins where dim 1 is cheaper than dim 0. *)
+  Alcotest.(check int) "dim1 cheap, dim0 expensive -> plan 0" 0 cells.(0).(8);
+  Alcotest.(check int) "dim0 cheap, dim1 expensive -> plan 1" 1 cells.(8).(0)
+
+let test_diagram_render () =
+  let plans = [| [| 1.; 10. |]; [| 10.; 1. |] |] in
+  let d =
+    Plan_diagram.compute ~grid:8
+      ~oracle:(synthetic_oracle plans)
+      ~plans:[] ~dim_x:0 ~dim_y:1 ~delta:10. ()
+  in
+  let s = Plan_diagram.render d in
+  Alcotest.(check bool) "mentions legend" true
+    (String.length s > 0
+    && String.split_on_char '\n' s
+       |> List.exists (fun line -> line = "  a = P0" || line = "  a = P1")
+    )
+
+let test_diagram_bad_dims () =
+  let plans = [| [| 1.; 2. |] |] in
+  Alcotest.check_raises "same dims"
+    (Invalid_argument "Plan_diagram.compute: bad slice dimensions") (fun () ->
+      ignore
+        (Plan_diagram.compute ~oracle:(synthetic_oracle plans) ~plans:[]
+           ~dim_x:1 ~dim_y:1 ~delta:10. ()))
+
+(* ------------------------------------------------------------------ *)
+(* Monte Carlo *)
+
+let test_monte_carlo_identical_plans () =
+  (* A single plan is always optimal: GTC identically 1. *)
+  let plans = [| [| 2.; 3. |] |] in
+  let s =
+    Monte_carlo.gtc_distribution ~samples:500 ~plans ~initial:plans.(0)
+      ~delta:100. ()
+  in
+  Alcotest.(check (float 1e-9)) "mean 1" 1. s.mean;
+  Alcotest.(check (float 1e-9)) "always optimal" 1. s.still_optimal
+
+let test_monte_carlo_bounds () =
+  (* Percentiles are ordered and the sampled max never exceeds the exact
+     worst case. *)
+  let plans = [| [| 1.; 0.01 |]; [| 0.01; 1. |] |] in
+  let delta = 100. in
+  let s =
+    Monte_carlo.gtc_distribution ~samples:4000 ~plans ~initial:plans.(0)
+      ~delta ()
+  in
+  Alcotest.(check bool) "ordered percentiles" true
+    (1. <= s.p50 && s.p50 <= s.p90 && s.p90 <= s.p99 && s.p99 <= s.max_seen);
+  let wc = Worst_case.gtc_at ~plans ~initial:plans.(0) ~delta in
+  Alcotest.(check bool) "max <= worst case" true (s.max_seen <= wc +. 1e-9);
+  Alcotest.(check bool) "worst case is adversarial" true (s.p90 < wc)
+
+let test_monte_carlo_deterministic () =
+  let plans = [| [| 1.; 5. |]; [| 5.; 1. |] |] in
+  let s1 =
+    Monte_carlo.gtc_distribution ~seed:5 ~samples:100 ~plans
+      ~initial:plans.(0) ~delta:10. ()
+  in
+  let s2 =
+    Monte_carlo.gtc_distribution ~seed:5 ~samples:100 ~plans
+      ~initial:plans.(0) ~delta:10. ()
+  in
+  Alcotest.(check (float 0.)) "same mean" s1.mean s2.mean
+
+(* ------------------------------------------------------------------ *)
+(* Adaptive *)
+
+let drift_plans = [| [| 1.; 20.; 3. |]; [| 20.; 1.; 3. |]; [| 6.; 6.; 1. |] |]
+
+let test_trace_shape () =
+  let trace = Adaptive.drift_trace ~dim:3 ~horizon:500 () in
+  Alcotest.(check int) "length" 500 (Array.length trace);
+  Array.iter
+    (fun theta ->
+      Array.iter
+        (fun x ->
+          Alcotest.(check bool) "clamped" true (x >= 0.01 -. 1e-9 && x <= 100. +. 1e-9))
+        theta)
+    trace
+
+let test_policies_ordering () =
+  let trace =
+    Adaptive.drift_trace ~dim:3 ~horizon:1000 ~drift:0.2
+      ~spike_probability:0.05 ()
+  in
+  let outcomes =
+    Adaptive.compare_policies ~plans:drift_plans ~trace
+      [ Adaptive.Never; Adaptive.Threshold 1.2; Adaptive.Always ]
+  in
+  let regret p =
+    (List.find (fun (o : Adaptive.outcome) -> o.policy = p) outcomes).regret
+  in
+  Alcotest.(check (float 1e-9)) "always has regret 1" 1. (regret Adaptive.Always);
+  Alcotest.(check bool) "never >= threshold >= always" true
+    (regret Adaptive.Never >= regret (Adaptive.Threshold 1.2) -. 1e-9
+    && regret (Adaptive.Threshold 1.2) >= 1. -. 1e-9);
+  let never =
+    List.find (fun (o : Adaptive.outcome) -> o.policy = Adaptive.Never) outcomes
+  in
+  Alcotest.(check int) "never never reoptimizes" 0 never.reoptimizations
+
+let test_threshold_bounds_worst_gtc () =
+  (* With a GTC trigger of g, the endured GTC right after a trigger step
+     is 1; within a step it can exceed g only by the drift of one step.
+     Check the monitor keeps worst GTC well below the never policy's. *)
+  let trace =
+    Adaptive.drift_trace ~seed:9 ~dim:3 ~horizon:2000 ~drift:0.15
+      ~spike_probability:0.05 ()
+  in
+  let outcomes =
+    Adaptive.compare_policies ~plans:drift_plans ~trace
+      [ Adaptive.Never; Adaptive.Threshold 1.5 ]
+  in
+  let get p =
+    List.find (fun (o : Adaptive.outcome) -> o.policy = p) outcomes
+  in
+  let never = get Adaptive.Never
+  and thresh = get (Adaptive.Threshold 1.5) in
+  Alcotest.(check bool) "monitor caps endured badness" true
+    (thresh.worst_step_gtc <= never.worst_step_gtc)
+
+(* ------------------------------------------------------------------ *)
+(* Envelope *)
+
+let test_envelope_two_lines () =
+  (* cost0 = theta + 10, cost1 = 10 theta + 1: plan 1 wins while dim 0
+     is cheap (theta < 1), plan 0 once it is dear. *)
+  let plans = [| [| 1.; 10. |]; [| 10.; 1. |] |] in
+  let segs = Envelope.compute ~plans ~dim:0 ~lo:0.1 ~hi:10. in
+  Alcotest.(check int) "two segments" 2 (List.length segs);
+  Alcotest.(check int) "cheap side" 1 (Envelope.plan_at segs 0.2);
+  Alcotest.(check int) "dear side" 0 (Envelope.plan_at segs 5.);
+  (match Envelope.breakpoints segs with
+  | [ b ] -> Alcotest.(check (float 1e-9)) "breakpoint at 1" 1. b
+  | _ -> Alcotest.fail "one breakpoint expected")
+
+let test_envelope_dominated_line_absent () =
+  (* The middle line is above the envelope everywhere in range. *)
+  let plans = [| [| 1.; 10. |]; [| 50.; 50. |]; [| 10.; 1. |] |] in
+  let segs = Envelope.compute ~plans ~dim:0 ~lo:0.1 ~hi:10. in
+  Alcotest.(check bool) "plan 1 never optimal" true
+    (List.for_all (fun (s : Envelope.segment) -> s.plan <> 1) segs)
+
+let test_envelope_covers_range () =
+  let plans = [| [| 1.; 9.; 3. |]; [| 6.; 2.; 4. |]; [| 3.; 3.; 3. |] |] in
+  let segs = Envelope.compute ~plans ~dim:1 ~lo:0.01 ~hi:100. in
+  (match segs with
+  | first :: _ ->
+      Alcotest.(check (float 1e-9)) "starts at lo" 0.01 first.Envelope.from_theta
+  | [] -> Alcotest.fail "empty envelope");
+  let last = List.nth segs (List.length segs - 1) in
+  Alcotest.(check (float 1e-9)) "ends at hi" 100. last.Envelope.to_theta;
+  (* contiguity *)
+  let rec contiguous = function
+    | (a : Envelope.segment) :: (b :: _ as rest) ->
+        Float.abs (a.to_theta -. b.from_theta) < 1e-9 && contiguous rest
+    | _ -> true
+  in
+  Alcotest.(check bool) "contiguous" true (contiguous segs)
+
+let prop_envelope_matches_pointwise =
+  (* The exact envelope agrees with brute-force argmin at sampled
+     points (away from breakpoints, where ties are legitimate). *)
+  let gen =
+    QCheck.Gen.(
+      list_size (int_range 2 6) (array_size (return 3) (float_range 0.1 20.)))
+  in
+  QCheck.Test.make ~count:200 ~name:"envelope matches pointwise argmin"
+    (QCheck.make gen)
+    (fun plan_list ->
+      let plans = Array.of_list plan_list in
+      let segs = Envelope.compute ~plans ~dim:0 ~lo:0.05 ~hi:50. in
+      let thetas = List.init 25 (fun i -> 0.06 +. (Float.of_int i *. 1.9)) in
+      List.for_all
+        (fun theta ->
+          let costs = [| theta; 1.; 1. |] in
+          let best = Framework.optimal_index ~plans ~costs in
+          let env_plan = Envelope.plan_at segs theta in
+          (* accept ties *)
+          Float.abs (Vec.dot plans.(env_plan) costs -. Vec.dot plans.(best) costs)
+          <= 1e-9 *. Vec.dot plans.(best) costs)
+        thetas)
+
+(* ------------------------------------------------------------------ *)
+(* Margins *)
+
+let test_margin_example1 () =
+  (* Plans (1,0) and (0,1): equal at the estimate, so the margin is 1. *)
+  let plans = [| [| 1.; 0. |]; [| 0.; 1. |] |] in
+  match Margin.to_plan ~plans ~current:0 ~other:1 () with
+  | Some b -> Alcotest.(check (float 1e-6)) "tie at estimate" 1. b.Margin.delta
+  | None -> Alcotest.fail "expected a boundary"
+
+let test_margin_crossing () =
+  (* current (1, 10) vs other (4, 4): other wins when dim1 dear enough.
+     w = (-3, 6): max over box = -3/d + 6d... wait, w = cur - other =
+     (-3, 6); max = -3/d + 6d >= 0 already at d = 1 (3 > 0)?  At d=1:
+     -3 + 6 = 3 >= 0, so the competitor already ties at the estimate.
+     Use other = (4, 40) instead: w = (-3, -30): never wins. *)
+  let plans = [| [| 1.; 10. |]; [| 4.; 4. |] |] in
+  (match Margin.to_plan ~plans ~current:1 ~other:0 () with
+  | Some b ->
+      (* w = cur - other = (3, -6): max = 3d - 6/d >= 0 at d = sqrt 2. *)
+      Alcotest.(check bool) "sqrt 2" true
+        (Float.abs (b.Margin.delta -. sqrt 2.) < 1e-6)
+  | None -> Alcotest.fail "expected a boundary");
+  let dominated = [| [| 1.; 1. |]; [| 5.; 5. |] |] in
+  Alcotest.(check bool) "dominated never wins" true
+    (Margin.to_plan ~plans:dominated ~current:0 ~other:1 () = None)
+
+let test_margin_nearest_consistent_with_optimality () =
+  (* Just inside the margin the current plan must still be optimal; at
+     the witness it must be tied or beaten. *)
+  let plans = [| [| 2.; 9.; 1. |]; [| 6.; 3.; 2. |]; [| 4.; 4.; 4. |] |] in
+  let current = Framework.optimal_index ~plans ~costs:[| 1.; 1.; 1. |] in
+  match Margin.nearest ~plans ~current () with
+  | None -> Alcotest.fail "expected a boundary"
+  | Some b ->
+      let at_witness =
+        Framework.global_relative_cost ~plans ~a:plans.(current)
+          ~costs:b.Margin.witness
+      in
+      Alcotest.(check bool) "witness reaches the boundary" true
+        (at_witness >= 1. -. 1e-9);
+      (* Shrink the box slightly: the current plan stays optimal at the
+         analogous corner. *)
+      let d = 1. +. ((b.Margin.delta -. 1.) *. 0.9) in
+      let inner =
+        Array.map (fun x -> if x > 1. then d else 1. /. d) b.Margin.witness
+      in
+      Alcotest.(check bool) "still optimal inside" true
+        (Framework.global_relative_cost ~plans ~a:plans.(current) ~costs:inner
+         <= 1. +. 1e-9)
+
+let test_margin_ordering () =
+  let plans = [| [| 1.; 10. |]; [| 2.; 5. |]; [| 10.; 1. |] |] in
+  let current = Framework.optimal_index ~plans ~costs:[| 1.; 1. |] in
+  let all = Margin.all ~plans ~current () in
+  let rec sorted = function
+    | a :: (b :: _ as rest) -> a.Margin.delta <= b.Margin.delta && sorted rest
+    | _ -> true
+  in
+  Alcotest.(check bool) "nearest first" true (sorted all)
+
+(* ------------------------------------------------------------------ *)
+(* Synthetic workloads *)
+
+let test_topologies_generate () =
+  List.iter
+    (fun topo ->
+      let spec = Qsens_workload.Synthetic.default topo ~tables:5 in
+      let schema, query = Qsens_workload.Synthetic.generate spec in
+      Alcotest.(check int)
+        (Qsens_workload.Synthetic.topology_name topo ^ " tables")
+        5
+        (List.length (Qsens_catalog.Schema.tables schema));
+      Alcotest.(check bool)
+        (Qsens_workload.Synthetic.topology_name topo ^ " connected")
+        true
+        (Qsens_plan.Query.is_connected query))
+    Qsens_workload.Synthetic.all_topologies
+
+let test_edge_counts () =
+  let count topo tables =
+    let spec = Qsens_workload.Synthetic.default topo ~tables in
+    let _, q = Qsens_workload.Synthetic.generate spec in
+    List.length q.Qsens_plan.Query.joins
+  in
+  Alcotest.(check int) "chain n-1" 4 (count Qsens_workload.Synthetic.Chain 5);
+  Alcotest.(check int) "star n-1" 4 (count Qsens_workload.Synthetic.Star 5);
+  Alcotest.(check int) "cycle n" 5 (count Qsens_workload.Synthetic.Cycle 5);
+  Alcotest.(check int) "clique n(n-1)/2" 10
+    (count Qsens_workload.Synthetic.Clique 5)
+
+let test_workload_optimizes_and_analyzes () =
+  let spec =
+    Qsens_workload.Synthetic.default Qsens_workload.Synthetic.Star ~tables:4
+  in
+  let schema, query = Qsens_workload.Synthetic.generate spec in
+  let s =
+    Experiment.setup ~schema
+      ~policy:Qsens_catalog.Layout.Per_table_and_index_devices query
+  in
+  let r = Experiment.run ~deltas:[ 1.; 10. ] ~max_probes:300 s in
+  Alcotest.(check bool) "finds candidates" true
+    (List.length r.candidates.plans >= 1);
+  Alcotest.(check (float 1e-6)) "gtc(1) = 1" 1.
+    (List.hd r.curve).Worst_case.gtc
+
+let test_workload_determinism () =
+  let spec =
+    Qsens_workload.Synthetic.default Qsens_workload.Synthetic.Chain ~tables:4
+  in
+  let _, q1 = Qsens_workload.Synthetic.generate spec in
+  let _, q2 = Qsens_workload.Synthetic.generate spec in
+  Alcotest.(check bool) "same query" true (q1 = q2)
+
+let () =
+  Alcotest.run "extensions"
+    [
+      ( "plan-diagram",
+        [
+          Alcotest.test_case "partition" `Quick test_diagram_partition;
+          Alcotest.test_case "geometry only" `Quick test_diagram_geometry_only;
+          Alcotest.test_case "render" `Quick test_diagram_render;
+          Alcotest.test_case "bad dims" `Quick test_diagram_bad_dims;
+        ] );
+      ( "monte-carlo",
+        [
+          Alcotest.test_case "single plan" `Quick test_monte_carlo_identical_plans;
+          Alcotest.test_case "bounds" `Quick test_monte_carlo_bounds;
+          Alcotest.test_case "deterministic" `Quick test_monte_carlo_deterministic;
+        ] );
+      ( "adaptive",
+        [
+          Alcotest.test_case "trace shape" `Quick test_trace_shape;
+          Alcotest.test_case "policy ordering" `Quick test_policies_ordering;
+          Alcotest.test_case "threshold caps badness" `Quick
+            test_threshold_bounds_worst_gtc;
+        ] );
+      ( "envelope",
+        [
+          Alcotest.test_case "two lines" `Quick test_envelope_two_lines;
+          Alcotest.test_case "dominated absent" `Quick
+            test_envelope_dominated_line_absent;
+          Alcotest.test_case "covers range" `Quick test_envelope_covers_range;
+          QCheck_alcotest.to_alcotest prop_envelope_matches_pointwise;
+        ] );
+      ( "margin",
+        [
+          Alcotest.test_case "example 1 tie" `Quick test_margin_example1;
+          Alcotest.test_case "crossing" `Quick test_margin_crossing;
+          Alcotest.test_case "consistent with optimality" `Quick
+            test_margin_nearest_consistent_with_optimality;
+          Alcotest.test_case "ordering" `Quick test_margin_ordering;
+        ] );
+      ( "workload",
+        [
+          Alcotest.test_case "topologies generate" `Quick test_topologies_generate;
+          Alcotest.test_case "edge counts" `Quick test_edge_counts;
+          Alcotest.test_case "end to end" `Slow test_workload_optimizes_and_analyzes;
+          Alcotest.test_case "determinism" `Quick test_workload_determinism;
+        ] );
+    ]

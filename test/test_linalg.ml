@@ -1,0 +1,201 @@
+(* Unit and property tests for the dense linear algebra substrate. *)
+
+open Qsens_linalg
+
+let check_float = Alcotest.(check (float 1e-9))
+
+let vec_close msg a b =
+  Alcotest.(check bool) msg true (Vec.equal ~eps:1e-7 a b)
+
+(* ------------------------------------------------------------------ *)
+(* Vec *)
+
+let test_dot () =
+  check_float "dot" 32. (Vec.dot [| 1.; 2.; 3. |] [| 4.; 5.; 6. |]);
+  check_float "dot zero" 0. (Vec.dot (Vec.zero 3) [| 4.; 5.; 6. |]);
+  check_float "dot basis" 5. (Vec.dot (Vec.basis 3 1) [| 4.; 5.; 6. |])
+
+let test_dot_mismatch () =
+  Alcotest.check_raises "mismatch"
+    (Invalid_argument "Vec.dot: dimension mismatch (2 vs 3)") (fun () ->
+      ignore (Vec.dot [| 1.; 2. |] [| 1.; 2.; 3. |]))
+
+let test_arith () =
+  vec_close "add" [| 5.; 7. |] (Vec.add [| 1.; 2. |] [| 4.; 5. |]);
+  vec_close "sub" [| -3.; -3. |] (Vec.sub [| 1.; 2. |] [| 4.; 5. |]);
+  vec_close "scale" [| 2.; 4. |] (Vec.scale 2. [| 1.; 2. |]);
+  vec_close "neg" [| -1.; 2. |] (Vec.neg [| 1.; -2. |])
+
+let test_norms () =
+  check_float "norm2" 5. (Vec.norm2 [| 3.; 4. |]);
+  check_float "norm_inf" 4. (Vec.norm_inf [| 3.; -4. |]);
+  vec_close "normalize" [| 0.6; 0.8 |] (Vec.normalize [| 3.; 4. |]);
+  vec_close "normalize zero" (Vec.zero 2) (Vec.normalize (Vec.zero 2))
+
+let test_dominates () =
+  (* Section 4.4: a dominates b when b = a + q, q >= 0, b <> a. *)
+  Alcotest.(check bool) "dominates" true (Vec.dominates [| 1.; 2. |] [| 1.; 3. |]);
+  Alcotest.(check bool) "equal not dominated" false
+    (Vec.dominates [| 1.; 2. |] [| 1.; 2. |]);
+  Alcotest.(check bool) "incomparable" false
+    (Vec.dominates [| 1.; 2. |] [| 2.; 1. |]);
+  Alcotest.(check bool) "reverse" false (Vec.dominates [| 1.; 3. |] [| 1.; 2. |])
+
+let test_minmax () =
+  check_float "max" 7. (Vec.max_elt [| 3.; 7.; 1. |]);
+  check_float "min" 1. (Vec.min_elt [| 3.; 7.; 1. |]);
+  Alcotest.(check int) "argmax" 1 (Vec.argmax [| 3.; 7.; 1. |])
+
+(* ------------------------------------------------------------------ *)
+(* Mat *)
+
+let test_mul () =
+  let a = Mat.of_rows [ [| 1.; 2. |]; [| 3.; 4. |] ] in
+  let b = Mat.of_rows [ [| 5.; 6. |]; [| 7.; 8. |] ] in
+  let c = Mat.mul a b in
+  check_float "c00" 19. (Mat.get c 0 0);
+  check_float "c01" 22. (Mat.get c 0 1);
+  check_float "c10" 43. (Mat.get c 1 0);
+  check_float "c11" 50. (Mat.get c 1 1)
+
+let test_mul_vec () =
+  let a = Mat.of_rows [ [| 1.; 2. |]; [| 3.; 4. |] ] in
+  vec_close "Av" [| 5.; 11. |] (Mat.mul_vec a [| 1.; 2. |])
+
+let test_transpose () =
+  let a = Mat.of_rows [ [| 1.; 2.; 3. |]; [| 4.; 5.; 6. |] ] in
+  let t = Mat.transpose a in
+  Alcotest.(check int) "rows" 3 (Mat.rows t);
+  Alcotest.(check int) "cols" 2 (Mat.cols t);
+  check_float "t21" 6. (Mat.get t 2 1)
+
+let test_solve () =
+  (* 2x + y = 5, x - y = 1 -> x = 2, y = 1 *)
+  let a = Mat.of_rows [ [| 2.; 1. |]; [| 1.; -1. |] ] in
+  vec_close "solve" [| 2.; 1. |] (Mat.solve a [| 5.; 1. |])
+
+let test_solve_pivoting () =
+  (* Leading zero forces a row swap. *)
+  let a = Mat.of_rows [ [| 0.; 1. |]; [| 1.; 0. |] ] in
+  vec_close "pivot" [| 7.; 3. |] (Mat.solve a [| 3.; 7. |])
+
+let test_solve_singular () =
+  let a = Mat.of_rows [ [| 1.; 2. |]; [| 2.; 4. |] ] in
+  Alcotest.check_raises "singular" Mat.Singular (fun () ->
+      ignore (Mat.solve a [| 1.; 2. |]))
+
+let test_inverse () =
+  let a = Mat.of_rows [ [| 4.; 7. |]; [| 2.; 6. |] ] in
+  let inv = Mat.inverse a in
+  Alcotest.(check bool) "A * A^-1 = I" true
+    (Mat.equal ~eps:1e-9 (Mat.mul a inv) (Mat.identity 2))
+
+let test_determinant () =
+  let a = Mat.of_rows [ [| 4.; 7. |]; [| 2.; 6. |] ] in
+  check_float "det" 10. (Mat.determinant a);
+  let s = Mat.of_rows [ [| 1.; 2. |]; [| 2.; 4. |] ] in
+  check_float "singular det" 0. (Mat.determinant s);
+  (* Row swap flips the sign. *)
+  let b = Mat.of_rows [ [| 0.; 1. |]; [| 1.; 0. |] ] in
+  check_float "swap det" (-1.) (Mat.determinant b)
+
+let test_least_squares_exact () =
+  (* With square consistent systems least squares equals solve. *)
+  let c = Mat.of_rows [ [| 1.; 0. |]; [| 0.; 1. |]; [| 1.; 1. |] ] in
+  let u = [| 2.; 3. |] in
+  let t = Mat.mul_vec c u in
+  vec_close "recover" u (Mat.least_squares c t)
+
+let test_least_squares_overdetermined () =
+  (* Observations with symmetric noise: LS averages it out. *)
+  let c =
+    Mat.of_rows [ [| 1.; 0. |]; [| 1.; 0. |]; [| 0.; 1. |]; [| 0.; 1. |] ]
+  in
+  let t = [| 1.9; 2.1; 3.2; 2.8 |] in
+  vec_close "average" [| 2.; 3. |] (Mat.least_squares c t)
+
+(* ------------------------------------------------------------------ *)
+(* Properties *)
+
+let vec_gen n =
+  QCheck.Gen.(array_size (return n) (float_bound_inclusive 100.))
+
+let arb_vec n = QCheck.make ~print:Vec.to_string (vec_gen n)
+
+let prop_dot_symmetric =
+  QCheck.Test.make ~count:200 ~name:"dot symmetric"
+    (QCheck.pair (arb_vec 5) (arb_vec 5)) (fun (a, b) ->
+      Float.abs (Vec.dot a b -. Vec.dot b a) <= 1e-6)
+
+let prop_dot_linear =
+  QCheck.Test.make ~count:200 ~name:"dot linear in scaling"
+    (QCheck.triple (arb_vec 4) (arb_vec 4)
+       (QCheck.float_range 0.1 10.)) (fun (a, b, k) ->
+      let lhs = Vec.dot (Vec.scale k a) b and rhs = k *. Vec.dot a b in
+      Float.abs (lhs -. rhs) <= 1e-6 *. Float.max 1. (Float.abs rhs))
+
+let prop_solve_roundtrip =
+  (* Random diagonally dominant systems are well conditioned. *)
+  QCheck.Test.make ~count:200 ~name:"solve then multiply"
+    (QCheck.pair (arb_vec 4) (arb_vec 4)) (fun (d, b) ->
+      let n = 4 in
+      let a =
+        Mat.init n n (fun i j ->
+            if i = j then 10. +. d.(i) else Float.of_int ((i + (2 * j)) mod 3))
+      in
+      let x = Mat.solve a b in
+      Vec.equal ~eps:1e-6 (Mat.mul_vec a x) b)
+
+let prop_least_squares_recovers =
+  (* Noise-free overdetermined systems recover the generator exactly:
+     the core guarantee behind the paper's usage-vector estimation. *)
+  QCheck.Test.make ~count:200 ~name:"least squares recovers usage vector"
+    (QCheck.pair (arb_vec 3) (QCheck.make (vec_gen 24)))
+    (fun (u, raw) ->
+      let rows =
+        List.init 8 (fun i ->
+            [| 1. +. raw.((3 * i)); 1. +. raw.((3 * i) + 1);
+               1. +. raw.((3 * i) + 2) |])
+      in
+      let c = Mat.of_rows rows in
+      let t = Mat.mul_vec c u in
+      match Mat.least_squares c t with
+      | x -> Vec.equal ~eps:1e-4 x u
+      | exception Mat.Singular -> QCheck.assume_fail ())
+
+let prop_dominates_irreflexive =
+  QCheck.Test.make ~count:200 ~name:"dominates is irreflexive"
+    (arb_vec 4) (fun a -> not (Vec.dominates a a))
+
+let () =
+  let qsuite = List.map QCheck_alcotest.to_alcotest
+      [ prop_dot_symmetric; prop_dot_linear; prop_solve_roundtrip;
+        prop_least_squares_recovers; prop_dominates_irreflexive ]
+  in
+  Alcotest.run "linalg"
+    [
+      ( "vec",
+        [
+          Alcotest.test_case "dot" `Quick test_dot;
+          Alcotest.test_case "dot mismatch" `Quick test_dot_mismatch;
+          Alcotest.test_case "arith" `Quick test_arith;
+          Alcotest.test_case "norms" `Quick test_norms;
+          Alcotest.test_case "dominates" `Quick test_dominates;
+          Alcotest.test_case "minmax" `Quick test_minmax;
+        ] );
+      ( "mat",
+        [
+          Alcotest.test_case "mul" `Quick test_mul;
+          Alcotest.test_case "mul_vec" `Quick test_mul_vec;
+          Alcotest.test_case "transpose" `Quick test_transpose;
+          Alcotest.test_case "solve" `Quick test_solve;
+          Alcotest.test_case "solve pivoting" `Quick test_solve_pivoting;
+          Alcotest.test_case "solve singular" `Quick test_solve_singular;
+          Alcotest.test_case "inverse" `Quick test_inverse;
+          Alcotest.test_case "determinant" `Quick test_determinant;
+          Alcotest.test_case "least squares exact" `Quick test_least_squares_exact;
+          Alcotest.test_case "least squares overdetermined" `Quick
+            test_least_squares_overdetermined;
+        ] );
+      ("properties", qsuite);
+    ]

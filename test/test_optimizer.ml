@@ -1,0 +1,267 @@
+(* Tests for the DP optimizer and the narrow EXPLAIN-style interface. *)
+
+open Qsens_catalog
+open Qsens_cost
+open Qsens_plan
+open Qsens_optimizer
+open Qsens_linalg
+
+let sf = 100.
+let schema = Qsens_tpch.Spec.schema ~sf
+let env policy = Env.make ~schema ~policy ()
+let query name = Qsens_tpch.Queries.find ~sf name
+
+let scaled_costs env ~seek ~xfer ~cpu =
+  Array.map
+    (function
+      | Resource.Cpu -> Defaults.cpu_per_instruction *. cpu
+      | Resource.Seek _ -> Defaults.d_s *. seek
+      | Resource.Transfer _ -> Defaults.d_t *. xfer)
+    (Space.resources env.Env.space)
+
+let test_consistency () =
+  (* The reported total cost is exactly usage . costs. *)
+  let env = env Layout.Same_device in
+  let costs = Defaults.base_costs env.Env.space in
+  List.iter
+    (fun q ->
+      let r = Optimizer.optimize env q ~costs in
+      Alcotest.(check bool)
+        (q.Query.name ^ " cost = usage . C")
+        true
+        (Float.abs (r.total_cost -. Vec.dot r.plan.Node.usage costs)
+         <= 1e-6 *. r.total_cost))
+    (Qsens_tpch.Queries.all ~sf)
+
+let test_single_table () =
+  let env = env Layout.Same_device in
+  let costs = Defaults.base_costs env.Env.space in
+  let r = Optimizer.optimize env (query "Q1") ~costs in
+  (* Q1 has no joins: the plan is an access plus aggregation/sort. *)
+  Alcotest.(check bool) "covers l" true (r.plan.Node.aliases = [ "l" ])
+
+let test_optimal_among_alternatives () =
+  (* The DP result is never beaten by hand-built two-table plans. *)
+  let env = env Layout.Same_device in
+  let costs = Defaults.base_costs env.Env.space in
+  let q = query "Q14" in
+  let ctx = Node.make_ctx env q in
+  let r = Optimizer.optimize env q ~costs in
+  let l = Node.table_scan ctx "l" and p = Node.table_scan ctx "p" in
+  let finalize node =
+    List.fold_left
+      (fun acc n -> if Node.cost n costs < Node.cost acc costs then n else acc)
+      (Node.finalize ctx node)
+      (Node.finalize_variants ctx node)
+  in
+  List.iter
+    (fun alt ->
+      Alcotest.(check bool) "dp at least as good" true
+        (r.total_cost <= Node.cost (finalize alt) costs +. 1e-6))
+    [
+      Node.hash_join ctx ~build:p ~probe:l;
+      Node.hash_join ctx ~build:l ~probe:p;
+      Node.block_nlj ctx ~outer:p ~inner:l;
+    ]
+
+let test_seek_cost_flips_join_method () =
+  (* Section 8.1.1: the LINEITEM-PART join method is sensitive to the
+     relative cost of random and sequential I/O.  Expensive seeks must
+     drive the optimizer away from index-probe-heavy plans; expensive
+     transfers away from full scans. *)
+  let env = env Layout.Same_device in
+  let q = query "Q19" in
+  let expensive_seeks = scaled_costs env ~seek:10_000. ~xfer:1. ~cpu:1. in
+  let expensive_xfer = scaled_costs env ~seek:0.0001 ~xfer:1. ~cpu:1. in
+  let r_seek = Optimizer.optimize env q ~costs:expensive_seeks in
+  let r_xfer = Optimizer.optimize env q ~costs:expensive_xfer in
+  Alcotest.(check bool) "different plans" false
+    (r_seek.signature = r_xfer.signature);
+  (* Under expensive seeks, no index-NLJ into lineitem (random fetches). *)
+  let has_sub needle hay =
+    let n = String.length needle and h = String.length hay in
+    let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "no INLJ when seeks cost 10000x" false
+    (has_sub "INLJ" r_seek.signature);
+  Alcotest.(check bool) "INLJ when seeks are nearly free" true
+    (has_sub "INLJ" r_xfer.signature)
+
+let test_estimated_optimality_over_samples () =
+  (* Whatever cost vector we optimize under, re-optimizing under the same
+     vector can never find something cheaper than re-costing the chosen
+     plan (sanity of the DP + linear model). *)
+  let env = env Layout.Per_table_devices in
+  let q = query "Q14" in
+  let st = Random.State.make [| 5 |] in
+  for _ = 1 to 10 do
+    let costs =
+      Array.map
+        (fun c -> c *. Float.pow 10. (Random.State.float st 4. -. 2.))
+        (Defaults.base_costs env.Env.space)
+    in
+    let r = Optimizer.optimize env q ~costs in
+    let other = Optimizer.optimize env q ~costs:(Defaults.base_costs env.Env.space) in
+    Alcotest.(check bool) "chosen plan cheapest under its costs" true
+      (r.total_cost <= Optimizer.cost_of_plan other.plan costs +. 1e-6)
+  done
+
+let test_access_paths_exposed () =
+  let env = env Layout.Same_device in
+  let paths = Optimizer.candidate_access_paths env (query "Q6") "l" in
+  (* Table scan plus at least the matching shipdate index. *)
+  Alcotest.(check bool) "several paths" true (List.length paths >= 2)
+
+let test_no_relations_fails () =
+  let env = env Layout.Same_device in
+  let empty = Query.make ~name:"empty" ~relations:[] () in
+  Alcotest.check_raises "failure"
+    (Failure "Optimizer.optimize: query has no relations") (fun () ->
+      ignore
+        (Optimizer.optimize env empty
+           ~costs:(Defaults.base_costs env.Env.space)))
+
+(* An exhaustive reference enumerator for two-relation queries: every
+   combination of access paths, join methods, orders and finalizations.
+   The DP must match its optimum exactly under any cost vector. *)
+let exhaustive_best env (q : Query.t) costs =
+  let ctx = Node.make_ctx env q in
+  let aliases = List.map (fun (r : Query.relation) -> r.alias) q.relations in
+  match aliases with
+  | [ a; b ] ->
+      let pa = Node.access_paths ctx a and pb = Node.access_paths ctx b in
+      let joins = Query.joins_between q a b in
+      let sorted_versions alias node (j : Query.join) =
+        let key =
+          if j.left = alias then (j.left, j.left_col) else (j.right, j.right_col)
+        in
+        [ node; Node.sort ctx ~key:(Some key) node ]
+      in
+      let plans = ref [] in
+      let add p = plans := p :: !plans in
+      List.iter
+        (fun l ->
+          List.iter
+            (fun r ->
+              add (Node.block_nlj ctx ~outer:l ~inner:r);
+              add (Node.block_nlj ctx ~outer:r ~inner:l);
+              if joins <> [] then begin
+                add (Node.hash_join ctx ~build:l ~probe:r);
+                add (Node.hash_join ctx ~build:r ~probe:l)
+              end;
+              List.iter
+                (fun j ->
+                  List.iter
+                    (fun l' ->
+                      List.iter
+                        (fun r' ->
+                          match Node.merge_join ctx ~left:l' ~right:r' j with
+                          | Some m -> add m
+                          | None -> ())
+                        (sorted_versions b r j))
+                    (sorted_versions a l j))
+                joins)
+            pb)
+        pa;
+      (* Index nested loops in both directions over every index. *)
+      List.iter
+        (fun j ->
+          List.iter
+            (fun (outer_alias, inner_alias, outers) ->
+              ignore outer_alias;
+              List.iter
+                (fun outer ->
+                  List.iter
+                    (fun idx ->
+                      match Node.index_nlj ctx ~outer ~inner_alias idx j with
+                      | Some p -> add p
+                      | None -> ())
+                    (Qsens_catalog.Schema.indexes_of env.Env.schema
+                       (Query.relation q inner_alias).table))
+                outers)
+            [ (a, b, pa); (b, a, pb) ])
+        joins;
+      let finalized = List.concat_map (Node.finalize_variants ctx) !plans in
+      List.fold_left
+        (fun acc p -> Float.min acc (Node.cost p costs))
+        infinity finalized
+  | _ -> invalid_arg "exhaustive_best: want exactly two relations"
+
+let test_dp_matches_exhaustive () =
+  let env = env Layout.Per_table_and_index_devices in
+  let st = Random.State.make [| 11 |] in
+  List.iter
+    (fun qname ->
+      let q = query qname in
+      for _ = 1 to 8 do
+        let costs =
+          Array.map
+            (fun c -> c *. Float.pow 10. (Random.State.float st 6. -. 3.))
+            (Defaults.base_costs env.Env.space)
+        in
+        let dp = Optimizer.optimize env q ~costs in
+        let best = exhaustive_best env q costs in
+        Alcotest.(check bool)
+          (qname ^ ": dp = exhaustive")
+          true
+          (Float.abs (dp.total_cost -. best) <= 1e-6 *. best)
+      done)
+    [ "Q14"; "Q19"; "Q13"; "Q22"; "Q16" ]
+
+(* ------------------------------------------------------------------ *)
+(* Narrow interface *)
+
+let test_narrow_explain_matches_white_box () =
+  let env = env Layout.Same_device in
+  let q = query "Q3" in
+  let narrow = Narrow.create env q in
+  let costs = Defaults.base_costs env.Env.space in
+  let signature, cost = Narrow.explain narrow ~costs in
+  let r = Optimizer.optimize env q ~costs in
+  Alcotest.(check string) "same plan" r.signature signature;
+  Alcotest.(check bool) "same cost" true
+    (Float.abs (cost -. r.total_cost) <= 1e-9 *. cost)
+
+let test_narrow_recost () =
+  let env = env Layout.Same_device in
+  let q = query "Q3" in
+  let narrow = Narrow.create env q in
+  let costs = Defaults.base_costs env.Env.space in
+  let signature, cost = Narrow.explain narrow ~costs in
+  (match Narrow.recost narrow ~signature ~costs with
+  | Some c -> Alcotest.(check (float 1e-9)) "recost at same point" cost c
+  | None -> Alcotest.fail "known signature must recost");
+  (* Doubling every cost doubles the plan's linear cost. *)
+  (match Narrow.recost narrow ~signature ~costs:(Vec.scale 2. costs) with
+  | Some c -> Alcotest.(check bool) "linear" true (Float.abs (c -. (2. *. cost)) <= 1e-6 *. c)
+  | None -> Alcotest.fail "recost failed");
+  Alcotest.(check bool) "unknown signature" true
+    (Narrow.recost narrow ~signature:"nope" ~costs = None);
+  Alcotest.(check int) "one optimizer call" 1 (Narrow.calls narrow)
+
+let () =
+  Alcotest.run "optimizer"
+    [
+      ( "dp",
+        [
+          Alcotest.test_case "cost consistency" `Quick test_consistency;
+          Alcotest.test_case "single table" `Quick test_single_table;
+          Alcotest.test_case "beats hand alternatives" `Quick
+            test_optimal_among_alternatives;
+          Alcotest.test_case "seek cost flips join method" `Quick
+            test_seek_cost_flips_join_method;
+          Alcotest.test_case "optimality over samples" `Quick
+            test_estimated_optimality_over_samples;
+          Alcotest.test_case "access paths" `Quick test_access_paths_exposed;
+          Alcotest.test_case "dp matches exhaustive" `Slow
+            test_dp_matches_exhaustive;
+          Alcotest.test_case "empty query" `Quick test_no_relations_fails;
+        ] );
+      ( "narrow",
+        [
+          Alcotest.test_case "explain matches white box" `Quick
+            test_narrow_explain_matches_white_box;
+          Alcotest.test_case "recost" `Quick test_narrow_recost;
+        ] );
+    ]

@@ -1,0 +1,88 @@
+(* Tests for table and figure rendering. *)
+
+open Qsens_core
+
+let points = List.map (fun (delta, gtc) ->
+    { Worst_case.delta; gtc; witness = [| 1. |] })
+
+let test_table_basics () =
+  let t = Qsens_report.Table.make ~header:[ "a"; "b" ] in
+  Qsens_report.Table.add_row t [ "1"; "2" ];
+  Qsens_report.Table.add_row t [ "3"; "4" ];
+  let csv = Qsens_report.Table.to_csv t in
+  Alcotest.(check string) "csv" "a,b\n1,2\n3,4\n" csv
+
+let test_table_width_mismatch () =
+  let t = Qsens_report.Table.make ~header:[ "a"; "b" ] in
+  Alcotest.check_raises "mismatch" (Invalid_argument "Table.add_row: width mismatch")
+    (fun () -> Qsens_report.Table.add_row t [ "only one" ])
+
+let test_csv_quoting () =
+  let t = Qsens_report.Table.make ~header:[ "x" ] in
+  Qsens_report.Table.add_row t [ "a,b" ];
+  Qsens_report.Table.add_row t [ "say \"hi\"" ];
+  Alcotest.(check string) "quoted" "x\n\"a,b\"\n\"say \"\"hi\"\"\"\n"
+    (Qsens_report.Table.to_csv t)
+
+let test_cell_formatting () =
+  Alcotest.(check string) "integral" "42" (Qsens_report.Table.cell_f 42.);
+  Alcotest.(check string) "compact" "3.142" (Qsens_report.Table.cell_f 3.14159);
+  Alcotest.(check string) "large integral" "263100" (Qsens_report.Table.cell_f 263100.);
+  Alcotest.(check string) "large" "2.631e+05" (Qsens_report.Table.cell_f 263100.5)
+
+let test_series_table () =
+  let series =
+    [ ("Q1", points [ (1., 1.); (10., 1.5) ]);
+      ("Q2", points [ (1., 1.); (10., 42.) ]) ]
+  in
+  let t = Qsens_report.Figure.series_table series in
+  let csv = Qsens_report.Table.to_csv t in
+  Alcotest.(check string) "table" "delta,Q1,Q2\n1,1,1\n10,1.5,42\n" csv
+
+let test_ascii_plot_renders () =
+  let series = [ ("Q1", points [ (1., 1.); (10., 100.); (100., 10000.) ]) ] in
+  let plot = Qsens_report.Figure.ascii_plot ~width:30 ~height:10 series in
+  Alcotest.(check bool) "mentions legend" true
+    (String.length plot > 0
+    &&
+    let has_sub needle hay =
+      let n = String.length needle and h = String.length hay in
+      let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
+      go 0
+    in
+    has_sub "a=Q1" plot)
+
+let test_asymptote_summary () =
+  let series =
+    [
+      ("flat", points [ (1., 1.); (10., 2.); (100., 2.); (1000., 2.); (10000., 2.) ]);
+      ("quad", points (List.map (fun d -> (d, d *. d)) [ 1.; 10.; 100.; 1000.; 10000. ]));
+    ]
+  in
+  let t = Qsens_report.Figure.asymptote_summary series in
+  let csv = Qsens_report.Table.to_csv t in
+  let has_sub needle hay =
+    let n = String.length needle and h = String.length hay in
+    let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "flat bounded" true (has_sub "bounded" csv);
+  Alcotest.(check bool) "quad quadratic" true (has_sub "quadratic" csv)
+
+let () =
+  Alcotest.run "report"
+    [
+      ( "table",
+        [
+          Alcotest.test_case "basics" `Quick test_table_basics;
+          Alcotest.test_case "width mismatch" `Quick test_table_width_mismatch;
+          Alcotest.test_case "csv quoting" `Quick test_csv_quoting;
+          Alcotest.test_case "cell formatting" `Quick test_cell_formatting;
+        ] );
+      ( "figure",
+        [
+          Alcotest.test_case "series table" `Quick test_series_table;
+          Alcotest.test_case "ascii plot" `Quick test_ascii_plot_renders;
+          Alcotest.test_case "asymptote summary" `Quick test_asymptote_summary;
+        ] );
+    ]

@@ -1,0 +1,233 @@
+(* Tests for the SQL front-end: lexer, parser, binder. *)
+
+open Qsens_sql
+open Qsens_plan
+
+let schema = Qsens_tpch.Spec.schema ~sf:1.
+
+let bind sql = Binder.parse_and_bind schema ~name:"t" sql
+
+(* ------------------------------------------------------------------ *)
+(* Lexer *)
+
+let test_lexer_basics () =
+  let tokens = Lexer.tokenize "SELECT a.x, 3.5 FROM t WHERE x >= 'abc'" in
+  Alcotest.(check int) "token count" 13 (List.length tokens);
+  (match tokens with
+  | Lexer.Ident "select" :: Lexer.Ident "a" :: Lexer.Dot :: Lexer.Ident "x"
+    :: Lexer.Comma :: Lexer.Number 3.5 :: Lexer.Ident "from" :: _ ->
+      ()
+  | _ -> Alcotest.fail "unexpected token stream");
+  Alcotest.(check bool) "string literal" true
+    (List.exists (fun t -> t = Lexer.String "abc") tokens)
+
+let test_lexer_operators () =
+  let tokens = Lexer.tokenize "< <= > >= = <> !=" in
+  Alcotest.(check bool) "ops" true
+    (tokens
+    = [ Lexer.Lt; Lexer.Le; Lexer.Gt; Lexer.Ge; Lexer.Eq; Lexer.Neq;
+        Lexer.Neq; Lexer.Eof ])
+
+let test_lexer_errors () =
+  Alcotest.check_raises "unterminated" (Lexer.Error "unterminated string literal")
+    (fun () -> ignore (Lexer.tokenize "select 'oops"));
+  (match Lexer.tokenize "a ; b" with
+  | exception Lexer.Error _ -> ()
+  | _ -> Alcotest.fail "expected error on ';'")
+
+(* ------------------------------------------------------------------ *)
+(* Parser *)
+
+let test_parse_shapes () =
+  let ast =
+    Parser.parse
+      "select distinct l.l_partkey from lineitem l, part where \
+       l.l_partkey = part.p_partkey and p_size = 15 group by p_brand \
+       order by p_brand desc"
+  in
+  Alcotest.(check bool) "distinct" true ast.Ast.distinct;
+  Alcotest.(check int) "relations" 2 (List.length ast.Ast.relations);
+  Alcotest.(check (list (pair string string))) "aliases"
+    [ ("lineitem", "l"); ("part", "part") ]
+    ast.Ast.relations;
+  Alcotest.(check int) "conditions" 2 (List.length ast.Ast.where);
+  Alcotest.(check int) "group" 1 (List.length ast.Ast.group_by);
+  Alcotest.(check int) "order" 1 (List.length ast.Ast.order_by)
+
+let test_parse_star_and_between () =
+  let ast =
+    Parser.parse
+      "select * from lineitem where l_quantity between 1 and 24 and \
+       l_shipmode in ('AIR', 'MAIL') and l_comment like 'x%'"
+  in
+  Alcotest.(check int) "star projection" 0 (List.length ast.Ast.projection);
+  match ast.Ast.where with
+  | [ Ast.Between _; Ast.In_list (_, values); Ast.Like _ ] ->
+      Alcotest.(check int) "in values" 2 (List.length values)
+  | _ -> Alcotest.fail "unexpected condition shapes"
+
+let test_parse_errors () =
+  let expect_fail sql =
+    match Parser.parse sql with
+    | exception Parser.Error _ -> ()
+    | _ -> Alcotest.fail ("expected parse error: " ^ sql)
+  in
+  expect_fail "select";
+  expect_fail "select x from";
+  expect_fail "select x from t where";
+  expect_fail "select x from t where a = ";
+  expect_fail "select x from t extra junk"
+
+(* ------------------------------------------------------------------ *)
+(* Binder *)
+
+let test_bind_join_graph () =
+  let q =
+    bind
+      "select s_name from supplier, nation where s_nationkey = n_nationkey \
+       and n_name = 'FRANCE'"
+  in
+  Alcotest.(check int) "two relations" 2 (Query.num_relations q);
+  Alcotest.(check int) "one join" 1 (List.length q.Query.joins);
+  let n = Query.relation q "nation" in
+  (match n.Query.preds with
+  | [ p ] ->
+      Alcotest.(check (float 1e-9)) "eq sel = 1/ndv" (1. /. 25.) p.selectivity;
+      Alcotest.(check bool) "matchable" true p.equality
+  | _ -> Alcotest.fail "expected one predicate");
+  let s = Query.relation q "supplier" in
+  Alcotest.(check (list string)) "projected" [ "s_name" ] s.Query.projected
+
+let test_bind_magic_numbers () =
+  (* Columns without histograms fall back to the System-R defaults. *)
+  let q =
+    bind
+      "select l_orderkey from lineitem where l_extendedprice < 24 and \
+       l_tax between 1 and 2 and l_shipmode in ('AIR', 'MAIL') and \
+       l_comment like 'a%' and l_linenumber <> 3"
+  in
+  let l = Query.relation q "lineitem" in
+  let sel col =
+    (List.find (fun (p : Query.pred) -> p.column = col) l.Query.preds)
+      .selectivity
+  in
+  Alcotest.(check (float 1e-9)) "range 1/3" (1. /. 3.) (sel "l_extendedprice");
+  Alcotest.(check (float 1e-9)) "between 1/4" 0.25 (sel "l_tax");
+  Alcotest.(check (float 1e-9)) "in 2/7" (2. /. 7.) (sel "l_shipmode");
+  Alcotest.(check (float 1e-9)) "like 1/10" 0.1 (sel "l_comment");
+  Alcotest.(check (float 1e-9)) "neq" (1. -. (1. /. 7.)) (sel "l_linenumber")
+
+let test_bind_histogram_ranges () =
+  (* l_shipdate has a uniform histogram over [0, 2526]: a literal range
+     yields a data-driven estimate instead of the 1/3 default. *)
+  let q = bind "select l_orderkey from lineitem where l_shipdate < 1263" in
+  let l = Query.relation q "lineitem" in
+  (match l.Query.preds with
+  | [ p ] ->
+      Alcotest.(check bool) "about one half" true
+        (Float.abs (p.selectivity -. 0.5) < 0.01)
+  | _ -> Alcotest.fail "one predicate expected");
+  let q2 =
+    bind "select l_orderkey from lineitem where l_quantity between 11 and 20"
+  in
+  let l2 = Query.relation q2 "lineitem" in
+  (match l2.Query.preds with
+  | [ p ] ->
+      Alcotest.(check bool) "about one fifth" true
+        (Float.abs (p.selectivity -. 0.184) < 0.03)
+  | _ -> Alcotest.fail "one predicate expected");
+  (* Columns without histograms keep the System-R default. *)
+  let q3 = bind "select o_orderkey from orders where o_totalprice < 1000" in
+  let o = Query.relation q3 "orders" in
+  match o.Query.preds with
+  | [ p ] -> Alcotest.(check (float 1e-9)) "default 1/3" (1. /. 3.) p.selectivity
+  | _ -> Alcotest.fail "one predicate expected"
+
+let test_bind_group_and_order () =
+  let q =
+    bind
+      "select p_brand from part group by p_brand, p_size order by p_brand"
+  in
+  (match q.Query.group_by with
+  | Some g -> Alcotest.(check (float 1e-6)) "ndv product" (25. *. 50.) g
+  | None -> Alcotest.fail "expected group by");
+  Alcotest.(check bool) "order" true q.Query.order_by
+
+let test_bind_unqualified_resolution () =
+  (* p_partkey appears in part and (as ps_partkey) not in partsupp; the
+     unqualified name must resolve to the unique owner. *)
+  let q =
+    bind
+      "select ps_availqty from partsupp, part where ps_partkey = p_partkey"
+  in
+  let j = List.hd q.Query.joins in
+  Alcotest.(check bool) "edge endpoints" true
+    ((j.Query.left = "partsupp" && j.Query.right = "part")
+    || (j.Query.left = "part" && j.Query.right = "partsupp"))
+
+let test_bind_errors () =
+  let expect_fail sql =
+    match bind sql with
+    | exception Binder.Error _ -> ()
+    | _ -> Alcotest.fail ("expected binder error: " ^ sql)
+  in
+  expect_fail "select x from nosuchtable";
+  expect_fail "select nosuchcolumn from part";
+  expect_fail "select p_partkey from part, partsupp where comment = 'x'"
+  (* ambiguous? p_comment vs ps_comment are distinct names; use a truly
+     ambiguous probe below *)
+
+let test_bind_self_join () =
+  let q =
+    bind
+      "select n1.n_name from nation n1, nation n2 where \
+       n1.n_regionkey = n2.n_regionkey"
+  in
+  Alcotest.(check int) "two references" 2 (Query.num_relations q);
+  Alcotest.(check bool) "distinct aliases" true
+    (Query.relation q "n1" != Query.relation q "n2")
+
+let test_bind_optimizes () =
+  (* End to end: SQL -> plan. *)
+  let q =
+    bind
+      "select o_orderpriority from orders, lineitem where \
+       o_orderkey = l_orderkey and o_orderdate < 100 group by \
+       o_orderpriority order by o_orderpriority"
+  in
+  let env =
+    Env.make ~schema ~policy:Qsens_catalog.Layout.Same_device ()
+  in
+  let costs = Qsens_cost.Defaults.base_costs env.Env.space in
+  let r = Qsens_optimizer.Optimizer.optimize env q ~costs in
+  Alcotest.(check bool) "produces a plan" true (r.total_cost > 0.)
+
+let () =
+  Alcotest.run "sql"
+    [
+      ( "lexer",
+        [
+          Alcotest.test_case "basics" `Quick test_lexer_basics;
+          Alcotest.test_case "operators" `Quick test_lexer_operators;
+          Alcotest.test_case "errors" `Quick test_lexer_errors;
+        ] );
+      ( "parser",
+        [
+          Alcotest.test_case "shapes" `Quick test_parse_shapes;
+          Alcotest.test_case "star/between/in/like" `Quick
+            test_parse_star_and_between;
+          Alcotest.test_case "errors" `Quick test_parse_errors;
+        ] );
+      ( "binder",
+        [
+          Alcotest.test_case "join graph" `Quick test_bind_join_graph;
+          Alcotest.test_case "magic numbers" `Quick test_bind_magic_numbers;
+          Alcotest.test_case "histogram ranges" `Quick test_bind_histogram_ranges;
+          Alcotest.test_case "group and order" `Quick test_bind_group_and_order;
+          Alcotest.test_case "unqualified resolution" `Quick
+            test_bind_unqualified_resolution;
+          Alcotest.test_case "errors" `Quick test_bind_errors;
+          Alcotest.test_case "self join" `Quick test_bind_self_join;
+          Alcotest.test_case "optimizes" `Quick test_bind_optimizes;
+        ] );
+    ]

@@ -1,0 +1,150 @@
+(* Tests for the TPC-H statistics generator and query suite. *)
+
+open Qsens_catalog
+open Qsens_plan
+
+let check_float = Alcotest.(check (float 1e-6))
+
+let test_cardinalities_scale () =
+  check_float "lineitem sf1" 6_000_000. (Qsens_tpch.Spec.rows ~sf:1. "lineitem");
+  check_float "lineitem sf100" 600_000_000.
+    (Qsens_tpch.Spec.rows ~sf:100. "lineitem");
+  check_float "orders" 150_000_000. (Qsens_tpch.Spec.rows ~sf:100. "orders");
+  check_float "region fixed" 5. (Qsens_tpch.Spec.rows ~sf:100. "region");
+  check_float "nation fixed" 25. (Qsens_tpch.Spec.rows ~sf:100. "nation");
+  Alcotest.check_raises "unknown" Not_found (fun () ->
+      ignore (Qsens_tpch.Spec.rows ~sf:1. "bogus"))
+
+let test_schema_complete () =
+  let schema = Qsens_tpch.Spec.schema ~sf:1. in
+  Alcotest.(check int) "eight tables" 8 (List.length (Schema.tables schema));
+  List.iter
+    (fun name ->
+      let t = Schema.table schema name in
+      Alcotest.(check bool)
+        (name ^ " has pk") true
+        (List.exists
+           (fun (i : Index.t) -> i.unique && i.clustered)
+           (Schema.indexes_of schema name));
+      Alcotest.(check bool) (name ^ " nonempty") true (t.Table.rows >= 5.))
+    Qsens_tpch.Spec.table_names
+
+let test_schema_size_plausible () =
+  (* At SF 100 the eight tables must hold roughly 100 GB of data. *)
+  let schema = Qsens_tpch.Spec.schema ~sf:100. in
+  let bytes = Schema.total_pages schema *. 4096. in
+  let gb = bytes /. 1e9 in
+  Alcotest.(check bool) "between 80 and 160 GB" true (gb > 80. && gb < 160.)
+
+let test_ndv_bounds () =
+  (* No column may report more distinct values than the table has rows. *)
+  let schema = Qsens_tpch.Spec.schema ~sf:0.01 in
+  List.iter
+    (fun (t : Table.t) ->
+      List.iter
+        (fun (c : Column.t) ->
+          Alcotest.(check bool)
+            (t.name ^ "." ^ c.name ^ " ndv <= rows")
+            true
+            (c.ndv <= t.rows +. 1e-9))
+        t.columns)
+    (Schema.tables schema)
+
+let test_all_queries_present () =
+  let qs = Qsens_tpch.Queries.all ~sf:1. in
+  Alcotest.(check int) "22 queries" 22 (List.length qs);
+  List.iteri
+    (fun i q ->
+      Alcotest.(check string)
+        "ordered names"
+        (Printf.sprintf "Q%d" (i + 1))
+        q.Query.name)
+    qs
+
+let test_queries_well_formed () =
+  let schema = Qsens_tpch.Spec.schema ~sf:1. in
+  List.iter
+    (fun (q : Query.t) ->
+      (* Every relation names a real table and every predicate and
+         projected column exists in it. *)
+      List.iter
+        (fun (r : Query.relation) ->
+          let t = Schema.table schema r.table in
+          List.iter
+            (fun (p : Query.pred) ->
+              Alcotest.(check bool)
+                (q.name ^ ": pred column " ^ p.column)
+                true (Table.has_column t p.column);
+              Alcotest.(check bool)
+                (q.name ^ ": pred sel in (0,1]")
+                true
+                (p.selectivity > 0. && p.selectivity <= 1.))
+            r.preds;
+          List.iter
+            (fun c ->
+              Alcotest.(check bool)
+                (q.name ^ ": projected " ^ c)
+                true (Table.has_column t c))
+            r.projected)
+        q.relations;
+      (* Join columns exist on their side's table. *)
+      List.iter
+        (fun (j : Query.join) ->
+          let tbl alias = Schema.table schema (Query.relation q alias).table in
+          Alcotest.(check bool)
+            (q.name ^ ": join col " ^ j.left_col)
+            true
+            (Table.has_column (tbl j.left) j.left_col);
+          Alcotest.(check bool)
+            (q.name ^ ": join col " ^ j.right_col)
+            true
+            (Table.has_column (tbl j.right) j.right_col))
+        q.joins;
+      Alcotest.(check bool) (q.name ^ " connected") true (Query.is_connected q))
+    (Qsens_tpch.Queries.all ~sf:1.)
+
+let test_query_shapes () =
+  let q8 = Qsens_tpch.Queries.find ~sf:1. "Q8" in
+  Alcotest.(check int) "Q8 is the 8-relation query" 8 (Query.num_relations q8);
+  let q7 = Qsens_tpch.Queries.find ~sf:1. "Q7" in
+  (* Q7 references nation twice (supplier and customer sides). *)
+  let nation_refs =
+    List.filter (fun (r : Query.relation) -> r.table = "nation") q7.relations
+  in
+  Alcotest.(check int) "Q7 nation self-join" 2 (List.length nation_refs);
+  let q1 = Qsens_tpch.Queries.find ~sf:1. "Q1" in
+  Alcotest.(check int) "Q1 single table" 1 (Query.num_relations q1);
+  Alcotest.(check bool) "Q1 grouped" true (q1.group_by <> None)
+
+let test_cardinality_estimates_sane () =
+  (* FK-PK join cardinalities: |orders join customer| = |orders|. *)
+  let schema = Qsens_tpch.Spec.schema ~sf:1. in
+  let q3 = Qsens_tpch.Queries.find ~sf:1. "Q3" in
+  let est = Cardinality.make schema q3 in
+  let c = Cardinality.base est "c" and o = Cardinality.base est "o" in
+  let co = Cardinality.of_aliases est [ "c"; "o" ] in
+  (* Each order has exactly one customer: the join keeps the order count
+     (times the customer filter). *)
+  Alcotest.(check bool) "co <= o" true (co <= o +. 1e-6);
+  Alcotest.(check bool) "co ~ o * sel(c)" true
+    (Float.abs (co -. (o *. (c /. 150_000.))) /. co < 0.34)
+
+let () =
+  Alcotest.run "tpch"
+    [
+      ( "spec",
+        [
+          Alcotest.test_case "cardinalities scale" `Quick test_cardinalities_scale;
+          Alcotest.test_case "schema complete" `Quick test_schema_complete;
+          Alcotest.test_case "size plausible" `Quick test_schema_size_plausible;
+          Alcotest.test_case "ndv bounds" `Quick test_ndv_bounds;
+        ] );
+      ( "queries",
+        [
+          Alcotest.test_case "all present" `Quick test_all_queries_present;
+          Alcotest.test_case "well formed" `Quick test_queries_well_formed;
+          Alcotest.test_case "shapes" `Quick test_query_shapes;
+          Alcotest.test_case "cardinalities sane" `Quick
+            test_cardinality_estimates_sane;
+        ] );
+    ]
