@@ -26,7 +26,12 @@
      timing  - bechamel micro-benchmarks of the machinery
 
    Run everything: dune exec bench/main.exe
-   Run one part:   dune exec bench/main.exe -- fig5 census *)
+   Run one part:   dune exec bench/main.exe -- fig5 census
+
+   The `parallel` part sweeps the qsens_parallel domain pool over the
+   enumeration and curve workloads; `--domains N` restricts the sweep
+   to a single pool size (and, with no parts named, runs just that
+   part).  It writes BENCH_parallel.json next to the CSVs. *)
 
 open Qsens_core
 module Table_r = Qsens_report.Table
@@ -575,7 +580,7 @@ let bench_timing () =
         Test.make ~name:"optimize-Q8" (Staged.stage (fun () ->
              ignore (Qsens_optimizer.Optimizer.optimize env_same q8 ~costs)));
         Test.make ~name:"worst-case-gtc" (Staged.stage (fun () ->
-             ignore (Framework.worst_case_gtc ~plans ~a:plans.(0) ~box:box3)));
+             ignore (Framework.worst_case_gtc ~plans ~a:plans.(0) box3)));
         Test.make ~name:"least-squares-12x6" (Staged.stage (fun () ->
              ignore (Qsens_linalg.Mat.least_squares mat rhs)));
         Test.make ~name:"simplex-feasibility" (Staged.stage (fun () ->
@@ -616,6 +621,134 @@ let bench_timing () =
   Table_r.print t
 
 (* ------------------------------------------------------------------ *)
+(* Parallel sweep: the two hot analysis workloads timed sequentially
+   and under an N-domain pool.  Parallel output is compared for exact
+   equality with the sequential output before any speedup is
+   reported. *)
+
+module Pool = Qsens_parallel.Pool
+
+(* Pool sizes to sweep; overridden by --domains N on the command line. *)
+let domain_counts = ref [ 2; 4 ]
+
+let time_best ~repeats f =
+  let best = ref infinity in
+  let result = ref None in
+  for _ = 1 to repeats do
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    let dt = Unix.gettimeofday () -. t0 in
+    if dt < !best then best := dt;
+    result := Some r
+  done;
+  (Option.get !result, !best)
+
+let bench_parallel () =
+  heading "Parallel sweep: domain-pool speedup on the hot analysis paths";
+  let repeats = 3 in
+  let measure name ~seq ~par =
+    let seq_result, seq_t = time_best ~repeats seq in
+    let rows =
+      List.map
+        (fun d ->
+          Pool.with_pool ~domains:d (fun p ->
+              let par_result, par_t = time_best ~repeats (fun () -> par p) in
+              if par_result <> seq_result then
+                failwith (name ^ ": parallel result differs from sequential");
+              (d, par_t, seq_t /. par_t)))
+        !domain_counts
+    in
+    (name, seq_t, rows)
+  in
+  let st = Random.State.make [| 11 |] in
+  let random_plans ~dim ~count =
+    Array.init count (fun _ ->
+        Array.init dim (fun _ -> 0.1 +. Random.State.float st 9.9))
+  in
+  (* Workload 1: vertex enumeration over a region of influence in five
+     dimensions with twenty plans — about C(29,5) = 1.2e5 linear
+     solves. *)
+  let plans5 = random_plans ~dim:5 ~count:20 in
+  let box5 = Qsens_geom.Box.around (Qsens_linalg.Vec.make 5 1.) ~delta:100. in
+  let hs5 =
+    Qsens_geom.Region.halfspaces
+      (Qsens_geom.Region.of_plans ~plans:plans5 ~index:0 box5)
+  in
+  (* Workload 2: full worst-case curves in six dimensions with
+     twenty-four plans — plans x deltas independent linear-fractional
+     programs, repeated so a single measurement is well above timer
+     resolution. *)
+  let plans6 = random_plans ~dim:6 ~count:24 in
+  let curves = 100 in
+  let repeat_curve pool =
+    List.init curves (fun _ ->
+        Worst_case.curve ?pool ~plans:plans6 ~initial:plans6.(0) ())
+  in
+  let results =
+    [
+      measure "vertex-enum dim=5 plans=20"
+        ~seq:(fun () -> Qsens_geom.Vertex_enum.vertices hs5)
+        ~par:(fun p -> Qsens_geom.Vertex_enum.vertices ~pool:p hs5);
+      measure
+        (Printf.sprintf "worst-case-curve dim=6 plans=24 x%d" curves)
+        ~seq:(fun () -> repeat_curve None)
+        ~par:(fun p -> repeat_curve (Some p));
+    ]
+  in
+  let t =
+    Table_r.make
+      ~header:[ "workload"; "sequential (s)"; "domains"; "parallel (s)";
+                "speedup" ]
+  in
+  List.iter
+    (fun (name, seq_t, rows) ->
+      List.iter
+        (fun (d, par_t, speedup) ->
+          Table_r.add_row t
+            [ name; Printf.sprintf "%.3f" seq_t; string_of_int d;
+              Printf.sprintf "%.3f" par_t; Printf.sprintf "%.2fx" speedup ])
+        rows)
+    results;
+  Table_r.print t;
+  Printf.printf
+    "(results checked identical to sequential; %d hardware CPUs online)\n"
+    (Domain.recommended_domain_count ());
+  let dir =
+    match Sys.getenv_opt "QSENS_RESULTS_DIR" with
+    | None -> "."
+    | Some dir ->
+        (try Unix.mkdir dir 0o755
+         with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+        dir
+  in
+  let path = Filename.concat dir "BENCH_parallel.json" in
+  let oc = open_out path in
+  Printf.fprintf oc
+    "{\n  \"repeats\": %d,\n  \"cpus_online\": %d,\n  \"workloads\": [\n"
+    repeats
+    (Domain.recommended_domain_count ());
+  List.iteri
+    (fun i (name, seq_t, rows) ->
+      Printf.fprintf oc
+        "    {\n      \"name\": %S,\n      \"sequential_s\": %.6f,\n      \
+         \"runs\": [\n"
+        name seq_t;
+      List.iteri
+        (fun j (d, par_t, speedup) ->
+          Printf.fprintf oc
+            "        { \"domains\": %d, \"parallel_s\": %.6f, \"speedup\": \
+             %.4f }%s\n"
+            d par_t speedup
+            (if j = List.length rows - 1 then "" else ","))
+        rows;
+      Printf.fprintf oc "      ]\n    }%s\n"
+        (if i = List.length results - 1 then "" else ","))
+    results;
+  output_string oc "  ]\n}\n";
+  close_out oc;
+  Printf.printf "[wrote %s]\n" path
+
+(* ------------------------------------------------------------------ *)
 
 let all_parts =
   [
@@ -633,13 +766,31 @@ let all_parts =
     ("calib", bench_calibration);
     ("ablation", bench_ablation);
     ("timing", bench_timing);
+    ("parallel", bench_parallel);
   ]
 
 let () =
+  (* Strip `--domains N` anywhere in argv; the remaining words name
+     parts.  With --domains and no part, run just the parallel sweep. *)
+  let saw_domains = ref false in
+  let rec strip = function
+    | "--domains" :: n :: rest -> (
+        match int_of_string_opt n with
+        | Some d when d >= 1 ->
+            saw_domains := true;
+            domain_counts := [ d ];
+            strip rest
+        | _ ->
+            prerr_endline "--domains expects a positive integer";
+            exit 2)
+    | x :: rest -> x :: strip rest
+    | [] -> []
+  in
   let requested =
-    match Array.to_list Sys.argv with
-    | _ :: (_ :: _ as parts) -> parts
-    | _ -> List.map fst all_parts
+    match strip (List.tl (Array.to_list Sys.argv)) with
+    | [] when !saw_domains -> [ "parallel" ]
+    | [] -> List.map fst all_parts
+    | parts -> parts
   in
   let t0 = Unix.gettimeofday () in
   List.iter

@@ -50,6 +50,23 @@ let seed_arg =
   let doc = "Random seed for the discovery sampling." in
   Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc)
 
+let domains_arg =
+  let doc =
+    "OCaml domains for the analysis pool: 1 = sequential (default), 0 = \
+     auto (QSENS_DOMAINS or the recommended domain count).  Results are \
+     identical to the sequential run."
+  in
+  Arg.(value & opt int 1 & info [ "j"; "domains" ] ~docv:"N" ~doc)
+
+(* Run [f] with an optional domain pool sized per --domains. *)
+let with_domains n f =
+  if n = 1 then f None
+  else
+    let domains =
+      if n <= 0 then Qsens_parallel.Pool.default_domains () else n
+    in
+    Qsens_parallel.Pool.with_pool ~domains (fun p -> f (Some p))
+
 let lookup_query sf name =
   match Qsens_tpch.Queries.find ~sf name with
   | q -> q
@@ -81,11 +98,14 @@ let explain_cmd =
     Term.(const run $ sf_arg $ policy_arg $ query_arg)
 
 let worst_case_cmd =
-  let run sf policy name delta seed =
+  let run sf policy name delta seed domains =
     let query = lookup_query sf name in
     let schema = Qsens_tpch.Spec.schema ~sf in
     let s = Experiment.setup ~schema ~policy query in
-    let r = Experiment.run ~deltas:(deltas_upto delta) ~seed s in
+    let r =
+      with_domains domains (fun pool ->
+          Experiment.run ~deltas:(deltas_upto delta) ~seed ?pool s)
+    in
     Printf.printf
       "query %s, layout %s: %d active cost parameters, %d candidate plans%s\n"
       r.query_name
@@ -106,7 +126,9 @@ let worst_case_cmd =
   in
   let doc = "Worst-case global relative cost curve for one query." in
   Cmd.v (Cmd.info "worst-case" ~doc)
-    Term.(const run $ sf_arg $ policy_arg $ query_arg $ delta_arg $ seed_arg)
+    Term.(
+      const run $ sf_arg $ policy_arg $ query_arg $ delta_arg $ seed_arg
+      $ domains_arg)
 
 let candidates_cmd =
   let run sf policy name delta seed =
@@ -179,7 +201,7 @@ let figure_cmd =
     let doc = "Figure number: 5, 6 or 7." in
     Arg.(required & pos 0 (some int) None & info [] ~docv:"N" ~doc)
   in
-  let run sf number delta seed =
+  let run sf number delta seed domains =
     let policy =
       match number with
       | 5 -> Qsens_catalog.Layout.Same_device
@@ -191,16 +213,18 @@ let figure_cmd =
     in
     let schema = Qsens_tpch.Spec.schema ~sf in
     let series =
-      List.map
-        (fun query ->
-          let s = Experiment.setup ~schema ~policy query in
-          let r =
-            Experiment.run ~deltas:(deltas_upto delta) ~seed ~max_probes:1500 s
-          in
-          Printf.eprintf "%s done (%d plans)\n%!" r.query_name
-            (List.length r.candidates.plans);
-          (r.query_name, r.curve))
-        (Qsens_tpch.Queries.all ~sf)
+      with_domains domains (fun pool ->
+          List.map
+            (fun query ->
+              let s = Experiment.setup ~schema ~policy query in
+              let r =
+                Experiment.run ~deltas:(deltas_upto delta) ~seed
+                  ~max_probes:1500 ?pool s
+              in
+              Printf.eprintf "%s done (%d plans)\n%!" r.query_name
+                (List.length r.candidates.plans);
+              (r.query_name, r.curve))
+            (Qsens_tpch.Queries.all ~sf))
     in
     Printf.printf "Figure %d: worst-case GTC, layout %s\n" number
       (Qsens_catalog.Layout.policy_name policy);
@@ -212,7 +236,8 @@ let figure_cmd =
   in
   let doc = "Regenerate a full figure (all 22 queries; takes minutes)." in
   Cmd.v (Cmd.info "figure" ~doc)
-    Term.(const run $ sf_arg $ number_arg $ delta_arg $ seed_arg)
+    Term.(
+      const run $ sf_arg $ number_arg $ delta_arg $ seed_arg $ domains_arg)
 
 let lsq_cmd =
   let run sf policy name delta seed =

@@ -76,6 +76,6 @@ let () =
     "framework prediction from the candidate set: GTC(stale plan, degraded \
      costs) = %.2f\n"
     gtc;
-  let wc = Worst_case.gtc_at ~plans ~initial:report.candidates.initial.Candidates.eff ~delta:50. in
+  let wc = Worst_case.gtc_at ~plans ~initial:report.candidates.initial.Candidates.eff 50. in
   Printf.printf
     "and if ANY device may drift by up to 50x, the worst case is %.4g.\n" wc

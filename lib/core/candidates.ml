@@ -15,7 +15,7 @@ let clamp box v =
       Float.min box.Box.hi.(i) (Float.max box.Box.lo.(i) v.(i)))
 
 let discover ?(seed = 42) ?(random_corners = 64) ?(max_pair_rounds = 8)
-    ?(vertex_budget = 200_000) ?(max_probes = max_int) oracle ~box =
+    ?(vertex_budget = 200_000) ?(max_probes = max_int) ?pool oracle ~box =
   let m = Oracle.dim oracle in
   if Box.dim box <> m then invalid_arg "Candidates.discover: dimension mismatch";
   let st = Random.State.make [| seed |] in
@@ -100,31 +100,57 @@ let discover ?(seed = 42) ?(random_corners = 64) ?(max_pair_rounds = 8)
      restarts the loop; an oversized enumeration aborts verification. *)
   let contraction = 1e-6 in
   let verified = ref true in
+  (* Enumerating region-of-influence vertices is pure (no oracle calls),
+     so all regions of a round enumerate concurrently when a pool is
+     supplied; probing stays sequential, in region order, to preserve
+     the probe accounting of the sequential path exactly. *)
+  let enumerate_regions plans =
+    let nregions = Array.length plans in
+    let out = Array.make nregions (Ok []) in
+    let enum i =
+      let region = Region.of_plans ~plans ~index:i box in
+      let region = Region.contract contraction region in
+      match Region.vertices ~max_subsets:vertex_budget region with
+      | vs -> Ok vs
+      | exception Vertex_enum.Too_large -> Error ()
+    in
+    (match pool with
+    | Some p when Qsens_parallel.Pool.domains p > 1 && nregions > 1 ->
+        Qsens_parallel.Pool.parallel_for_chunked p ~n:nregions (fun lo hi ->
+            for i = lo to hi - 1 do
+              out.(i) <- enum i
+            done)
+    | _ ->
+        for i = 0 to nregions - 1 do
+          out.(i) <- enum i
+        done);
+    out
+  in
   let rec verify_loop iter =
     if exhausted () then verified := false
     else if iter > 20 then verified := false
     else begin
       let plans = Array.of_list (List.map (fun p -> p.eff) (snapshot ())) in
       let found = ref false in
+      (* On the first oversized region, the sequential code abandoned the
+         whole pass (discarding any fresh finds of the round); [Exit]
+         reproduces that behavior. *)
       (try
-         Array.iteri
-           (fun i _ ->
-             let region = Region.of_plans ~plans ~index:i box in
-             let region = Region.contract contraction region in
-             let vertices =
-               Region.vertices ~max_subsets:vertex_budget region
-             in
-             List.iter
-               (fun v ->
-                 if not (exhausted ()) then begin
-                   let fresh, _ = probe v in
-                   if fresh then found := true
-                 end)
-               vertices)
-           plans
-       with Vertex_enum.Too_large ->
-         verified := false;
-         found := false);
+         Array.iter
+           (function
+             | Error () ->
+                 verified := false;
+                 raise Exit
+             | Ok vertices ->
+                 List.iter
+                   (fun v ->
+                     if not (exhausted ()) then begin
+                       let fresh, _ = probe v in
+                       if fresh then found := true
+                     end)
+                   vertices)
+           (enumerate_regions plans)
+       with Exit -> found := false);
       if !found then verify_loop (iter + 1)
     end
   in

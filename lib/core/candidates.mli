@@ -43,6 +43,7 @@ val discover :
   ?max_pair_rounds:int ->
   ?vertex_budget:int ->
   ?max_probes:int ->
+  ?pool:Qsens_parallel.Pool.t ->
   Oracle.t ->
   box:Box.t ->
   result
@@ -50,4 +51,10 @@ val discover :
     (default 64) bounds the random corner probes; [vertex_budget]
     (default 200_000) bounds the hyperplane subsets examined per region
     in the verification phase — when exceeded, verification downgrades to
-    sampling. *)
+    sampling.
+
+    With [?pool], each verification round enumerates the
+    region-of-influence vertices of all known plans concurrently; oracle
+    probing stays sequential in region order, so the probe sequence,
+    probe count, and discovered plan set are identical to the sequential
+    run. *)

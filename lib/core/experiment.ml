@@ -145,7 +145,7 @@ type report = {
 }
 
 let run ?(deltas = Worst_case.default_deltas) ?(seed = 42) ?(narrow = false)
-    ?random_corners ?max_probes s =
+    ?random_corners ?max_probes ?pool s =
   let m = Projection.active_dim s.proj in
   let delta_max = List.fold_left Float.max 1. deltas in
   let box = Qsens_geom.Box.around (Vec.make m 1.) ~delta:delta_max in
@@ -153,13 +153,13 @@ let run ?(deltas = Worst_case.default_deltas) ?(seed = 42) ?(narrow = false)
     if narrow then fst (narrow_oracle ~seed s ~box) else white_box_oracle s
   in
   let candidates =
-    Candidates.discover ~seed ?random_corners ?max_probes oracle ~box
+    Candidates.discover ~seed ?random_corners ?max_probes ?pool oracle ~box
   in
   let plan_vecs =
     Array.of_list (List.map (fun p -> p.Candidates.eff) candidates.plans)
   in
   let curve =
-    Worst_case.curve ~deltas ~plans:plan_vecs
+    Worst_case.curve ~deltas ?pool ~plans:plan_vecs
       ~initial:candidates.initial.Candidates.eff ()
   in
   {

@@ -71,8 +71,11 @@ val run :
   ?narrow:bool ->
   ?random_corners:int ->
   ?max_probes:int ->
+  ?pool:Qsens_parallel.Pool.t ->
   setup ->
   report
 (** Full pipeline.  [narrow] (default false) drives discovery through the
     narrow interface instead of the white box.  The discovery box spans
-    the largest delta of [deltas] (default {!Worst_case.default_deltas}). *)
+    the largest delta of [deltas] (default {!Worst_case.default_deltas}).
+    [?pool] parallelizes candidate verification and the worst-case curve
+    across domains; results are identical to the sequential run. *)

@@ -27,16 +27,32 @@ let equicost ~a ~b ~costs =
   let ca = Vec.dot a costs and cb = Vec.dot b costs in
   Float.abs (ca -. cb) <= 1e-9 *. Float.max (Float.abs ca) (Float.abs cb)
 
-let worst_case_gtc ~plans ~a ~box =
+let worst_case_gtc ?pool ~plans ~a box =
   if Array.length plans = 0 then
     invalid_arg "Framework.worst_case_gtc: no plans";
-  let best = ref neg_infinity and witness = ref (Box.center box) in
-  Array.iter
-    (fun b ->
-      let r, corner = Fractional.max_ratio ~num:a ~den:b box in
+  let np = Array.length plans in
+  (* Chunk-local argmax with strict improvement: the first (lowest-index)
+     plan wins ties, as in the sequential loop. *)
+  let eval lo hi =
+    let best = ref neg_infinity and witness = ref None in
+    for i = lo to hi - 1 do
+      let r, corner = Fractional.max_ratio ~num:a ~den:plans.(i) box in
       if r > !best then begin
         best := r;
-        witness := corner
-      end)
-    plans;
-  (!best, !witness)
+        witness := Some corner
+      end
+    done;
+    (!best, !witness)
+  in
+  let best, witness =
+    match pool with
+    | Some p when Qsens_parallel.Pool.domains p > 1 && np > 1 ->
+        (* Reduced in ascending chunk order; ties keep the left (earlier)
+           chunk, so the result is bit-identical to sequential. *)
+        Qsens_parallel.Pool.map_reduce p ~n:np ~map:eval
+          ~reduce:(fun (b1, w1) (b2, w2) ->
+            if b2 > b1 then (b2, w2) else (b1, w1))
+          ~init:(neg_infinity, None)
+    | _ -> eval 0 np
+  in
+  (best, match witness with Some w -> w | None -> Box.center box)

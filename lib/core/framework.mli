@@ -32,10 +32,19 @@ val equicost : a:Vec.t -> b:Vec.t -> costs:Vec.t -> bool
     (Section 4.2), up to relative tolerance. *)
 
 val worst_case_gtc :
-  plans:Vec.t array -> a:Vec.t -> box:Qsens_geom.Box.t -> float * Vec.t
-(** The maximum of [GTC_rel(a, .)] over the feasible cost region, with an
+  ?pool:Qsens_parallel.Pool.t ->
+  plans:Vec.t array ->
+  a:Vec.t ->
+  Qsens_geom.Box.t ->
+  float * Vec.t
+(** [worst_case_gtc ~plans ~a box] —
+    the maximum of [GTC_rel(a, .)] over the feasible cost region, with an
     attaining cost vector.  Computed as
     [max_b max_C (A . C) / (B . C)] — each inner maximization a
     linear-fractional program over the box (see {!Qsens_geom.Fractional});
     by Observation 2 the maximum is attained at a vertex of the region,
-    and the returned vector is such a vertex. *)
+    and the returned vector is such a vertex.
+
+    With [?pool] the per-plan maximizations run across domains; the
+    argmax reduction breaks ties by lowest plan index, so the result is
+    identical to the sequential run. *)

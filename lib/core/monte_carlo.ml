@@ -11,20 +11,39 @@ type summary = {
   still_optimal : float;
 }
 
-let gtc_distribution ?(seed = 97) ?(samples = 10_000) ~plans ~initial ~delta
-    () =
+let gtc_distribution ?(seed = 97) ?(samples = 10_000) ?pool ~plans ~initial
+    ~delta () =
   if samples < 1 then invalid_arg "Monte_carlo.gtc_distribution: samples < 1";
   let m = Vec.dim initial in
   let box = Box.around (Vec.make m 1.) ~delta in
-  let st = Random.State.make [| seed |] in
   let values = Array.make samples 1. in
   let optimal = ref 0 in
-  for i = 0 to samples - 1 do
-    let theta = Box.sample st box in
-    let gtc = Framework.global_relative_cost ~plans ~a:initial ~costs:theta in
-    values.(i) <- gtc;
-    if gtc <= 1. +. 1e-9 then incr optimal
-  done;
+  let fill st lo hi =
+    let local_optimal = ref 0 in
+    for i = lo to hi - 1 do
+      let theta = Box.sample st box in
+      let gtc = Framework.global_relative_cost ~plans ~a:initial ~costs:theta in
+      values.(i) <- gtc;
+      if gtc <= 1. +. 1e-9 then incr local_optimal
+    done;
+    !local_optimal
+  in
+  (match pool with
+  | Some p when Qsens_parallel.Pool.domains p > 1 && samples > 1 ->
+      (* One PRNG stream per domain, seeded [seed + domain_id], over a
+         fixed contiguous block of the sample index space: the summary
+         depends only on (seed, samples, domains), never on scheduling. *)
+      let d = Qsens_parallel.Pool.domains p in
+      let per_block = Array.make d 0 in
+      Qsens_parallel.Pool.run p
+        (Array.init d (fun k ->
+             let lo, hi =
+               Qsens_parallel.Pool.chunk_bounds ~n:samples ~chunks:d k
+             in
+             fun () ->
+               per_block.(k) <- fill (Random.State.make [| seed + k |]) lo hi));
+      optimal := Array.fold_left ( + ) 0 per_block
+  | _ -> optimal := fill (Random.State.make [| seed |]) 0 samples);
   Array.sort compare values;
   let pct p =
     let idx =

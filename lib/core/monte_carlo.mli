@@ -29,12 +29,21 @@ type summary = {
 val gtc_distribution :
   ?seed:int ->
   ?samples:int ->
+  ?pool:Qsens_parallel.Pool.t ->
   plans:Vec.t array ->
   initial:Vec.t ->
   delta:float ->
   unit ->
   summary
 (** [samples] defaults to 10_000.  Vectors live in the active group
-    subspace (estimated costs at the all-ones point). *)
+    subspace (estimated costs at the all-ones point).
+
+    Without [?pool] (or with a 1-domain pool) sampling uses the single
+    stream seeded [seed], exactly as before.  With a [D]-domain pool the
+    sample index space splits into [D] fixed contiguous blocks and block
+    [k] draws from its own stream seeded [seed + k]: the result differs
+    from the sequential stream but is a function of
+    [(seed, samples, D)] only — reproducible regardless of
+    scheduling. *)
 
 val pp_summary : Format.formatter -> summary -> unit

@@ -8,7 +8,7 @@ let nominal_cost plans i =
 
 let evaluate ~plans ~index ~delta =
   if Array.length plans = 0 then invalid_arg "Robust.evaluate: no plans";
-  let worst = Worst_case.gtc_at ~plans ~initial:plans.(index) ~delta in
+  let worst = Worst_case.gtc_at ~plans ~initial:plans.(index) delta in
   let m = Vec.dim plans.(0) in
   let ones = Vec.make m 1. in
   let best_nominal =

@@ -1,5 +1,6 @@
 open Qsens_linalg
 open Qsens_geom
+module Pool = Qsens_parallel.Pool
 
 type point = { delta : float; gtc : float; witness : Vec.t }
 
@@ -7,29 +8,76 @@ let default_deltas =
   (* 10^0, 10^0.25, ..., 10^4 *)
   List.init 17 (fun i -> Float.pow 10. (0.25 *. Float.of_int i))
 
-let gtc_at_full ~plans ~initial ~delta =
+let gtc_at_full ?pool ~plans ~initial delta =
   let m = Vec.dim initial in
   let box = Box.around (Vec.make m 1.) ~delta in
-  Framework.worst_case_gtc ~plans ~a:initial ~box
+  Framework.worst_case_gtc ?pool ~plans ~a:initial box
 
-let gtc_at ~plans ~initial ~delta = fst (gtc_at_full ~plans ~initial ~delta)
+let gtc_at ?pool ~plans ~initial delta =
+  fst (gtc_at_full ?pool ~plans ~initial delta)
 
-let curve ?(deltas = default_deltas) ~plans ~initial () =
-  List.map
-    (fun delta ->
-      let gtc, witness = gtc_at_full ~plans ~initial ~delta in
-      { delta; gtc; witness })
-    deltas
+let curve ?(deltas = default_deltas) ?pool ~plans ~initial () =
+  let np = Array.length plans in
+  match pool with
+  | Some p when Pool.domains p > 1 && np > 0 && deltas <> [] ->
+      (* Parallelize over the flattened plans x deltas space: every
+         (delta, plan) cell is an independent linear-fractional program.
+         The per-delta argmax then reduces in plan-index order, so each
+         point is bit-identical to the sequential computation. *)
+      let m = Vec.dim initial in
+      let darr = Array.of_list deltas in
+      let nd = Array.length darr in
+      let boxes =
+        Array.map (fun delta -> Box.around (Vec.make m 1.) ~delta) darr
+      in
+      let results = Array.make (nd * np) (neg_infinity, [||]) in
+      Pool.parallel_for_chunked p ~n:(nd * np) (fun lo hi ->
+          for t = lo to hi - 1 do
+            let di = t / np and pi = t mod np in
+            results.(t) <-
+              Fractional.max_ratio ~num:initial ~den:plans.(pi) boxes.(di)
+          done);
+      List.init nd (fun di ->
+          let best = ref neg_infinity
+          and witness = ref (Box.center boxes.(di)) in
+          for pi = 0 to np - 1 do
+            let r, corner = results.((di * np) + pi) in
+            if r > !best then begin
+              best := r;
+              witness := corner
+            end
+          done;
+          { delta = darr.(di); gtc = !best; witness = !witness })
+  | _ ->
+      List.map
+        (fun delta ->
+          let gtc, witness = gtc_at_full ~plans ~initial delta in
+          { delta; gtc; witness })
+        deltas
 
 let asymptote points =
-  match List.rev points with
+  match points with
   | [] -> `Bounded 1.
-  | last :: _ ->
+  | first :: rest ->
+      (* Robust to input order: [last] is the largest-delta point and
+         [before] the point one decade earlier — the *largest* delta not
+         exceeding [last.delta / 10], never merely the first qualifying
+         point encountered. *)
+      let last =
+        List.fold_left
+          (fun acc p -> if p.delta > acc.delta then p else acc)
+          first rest
+      in
+      let threshold = last.delta /. 10. *. 1.0001 in
       let before =
-        (* the point one decade of delta earlier, if present *)
-        List.find_opt
-          (fun p -> p.delta <= last.delta /. 10. *. 1.0001)
-          (List.rev points)
+        List.fold_left
+          (fun acc p ->
+            if p.delta <= threshold then
+              match acc with
+              | Some q when q.delta >= p.delta -> acc
+              | _ -> Some p
+            else acc)
+          None points
       in
       let growth =
         match before with

@@ -16,15 +16,31 @@ val default_deltas : float list
 (** A log-spaced grid from 1 to 10^4, matching the figures' x-axis. *)
 
 val curve :
-  ?deltas:float list -> plans:Vec.t array -> initial:Vec.t -> unit -> point list
+  ?deltas:float list ->
+  ?pool:Qsens_parallel.Pool.t ->
+  plans:Vec.t array ->
+  initial:Vec.t ->
+  unit ->
+  point list
 (** [curve ~plans ~initial ()] — worst-case GTC of [initial] against
     [plans] for each delta.  Vectors live in the (active) group subspace,
-    where the estimated cost point is the all-ones vector. *)
+    where the estimated cost point is the all-ones vector.
 
-val gtc_at : plans:Vec.t array -> initial:Vec.t -> delta:float -> float
+    With [?pool] the flattened plans x deltas cells evaluate across
+    domains; per-delta argmax reduction breaks ties by lowest plan index,
+    so every [(delta, gtc, witness)] triple is identical to the
+    sequential run. *)
+
+val gtc_at :
+  ?pool:Qsens_parallel.Pool.t -> plans:Vec.t array -> initial:Vec.t -> float -> float
+(** [gtc_at ~plans ~initial delta] — the worst-case GTC at one error
+    bound [delta]. *)
 
 val asymptote : point list -> [ `Bounded of float | `Quadratic of float ]
 (** Classify the curve's tail: [`Bounded c] when the last decade grows by
     less than 3x (Theorem 2 regime, approaching constant [c]);
     [`Quadratic s] when it tracks [delta^2] within a decade factor
-    (Theorem 1 regime, [s] the fitted scale [gtc / delta^2]). *)
+    (Theorem 1 regime, [s] the fitted scale [gtc / delta^2]).  The
+    comparison point one decade earlier is the {e largest} delta not
+    exceeding a tenth of the final delta, regardless of the order of
+    [points]. *)

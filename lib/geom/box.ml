@@ -39,8 +39,13 @@ let vertices b =
 let sample st b =
   Vec.map2
     (fun l h ->
-      if l <= 0. then l +. (Random.State.float st 1. *. (h -. l))
-      else exp (log l +. (Random.State.float st 1. *. (log h -. log l))))
+      (* Draw before branching so degenerate dimensions consume the same
+         stream as before; return [l] exactly rather than [exp (log l)],
+         which drifts in the last ulp. *)
+      let u = Random.State.float st 1. in
+      if l = h then l
+      else if l <= 0. then l +. (u *. (h -. l))
+      else exp (log l +. (u *. (log h -. log l))))
     b.lo b.hi
 
 let to_halfspaces b =

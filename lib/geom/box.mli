@@ -35,7 +35,9 @@ val vertex : t -> int -> Vec.t
 
 val sample : Random.State.t -> t -> Vec.t
 (** Uniform sample in log-space between [lo] and [hi] — appropriate for
-    multiplicative cost uncertainty. *)
+    multiplicative cost uncertainty.  Degenerate dimensions
+    ([lo_i = hi_i]) return [lo_i] exactly (no [exp (log l)] round
+    trip); one random draw is consumed per dimension either way. *)
 
 val to_halfspaces : t -> Halfspace.t list
 (** The [2n] facet inequalities. *)

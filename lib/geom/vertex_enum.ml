@@ -1,4 +1,5 @@
 open Qsens_linalg
+module Pool = Qsens_parallel.Pool
 
 exception Too_large
 
@@ -17,49 +18,151 @@ let count_subsets n k =
     !acc
   end
 
-(* Iterate over all [k]-subsets of [0 .. n-1]. *)
-let iter_subsets n k f =
-  let idx = Array.init k (fun i -> i) in
-  let rec next () =
-    f idx;
-    (* Advance the rightmost index that can move. *)
-    let rec bump i =
-      if i < 0 then false
-      else if idx.(i) < n - (k - i) then begin
-        idx.(i) <- idx.(i) + 1;
-        for j = i + 1 to k - 1 do
-          idx.(j) <- idx.(j - 1) + 1
-        done;
-        true
-      end
-      else bump (i - 1)
-    in
-    if bump (k - 1) then next ()
+(* Advance [idx] to the next [k]-subset of [0 .. n-1] in lexicographic
+   order, in place; false when [idx] was the last subset. *)
+let advance_subset n k idx =
+  let rec bump i =
+    if i < 0 then false
+    else if idx.(i) < n - (k - i) then begin
+      idx.(i) <- idx.(i) + 1;
+      for j = i + 1 to k - 1 do
+        idx.(j) <- idx.(j - 1) + 1
+      done;
+      true
+    end
+    else bump (i - 1)
   in
-  if k >= 1 && k <= n then next ()
+  bump (k - 1)
 
-let vertices ?(eps = 1e-7) ?(max_subsets = 200_000) hs =
+(* Combinatorial number system: the [rank]-th [k]-subset of [0 .. n-1]
+   in lexicographic order.  Lets each domain of a pool start its own
+   combination stream mid-sequence. *)
+let nth_subset n k rank =
+  if k < 1 || k > n then invalid_arg "Vertex_enum.nth_subset: bad k";
+  if rank < 0 || rank >= count_subsets n k then
+    invalid_arg "Vertex_enum.nth_subset: rank out of range";
+  let idx = Array.make k 0 in
+  let r = ref rank and lo = ref 0 in
+  for i = 0 to k - 1 do
+    let c = ref !lo in
+    let rec settle () =
+      let block = count_subsets (n - !c - 1) (k - i - 1) in
+      if !r >= block then begin
+        r := !r - block;
+        incr c;
+        settle ()
+      end
+    in
+    settle ();
+    idx.(i) <- !c;
+    lo := !c + 1
+  done;
+  idx
+
+(* Duplicate-vertex detection in amortised O(3^n) hash probes per
+   candidate instead of the former O(V) list scan with a Vec subtraction
+   per comparison.  Coordinates are quantised with [floor (x / eps)], so
+   two points within [eps] in the infinity norm land in cells differing
+   by at most one per dimension; probing the 3^n neighbouring cells is
+   therefore exact — the predicate "some kept point lies within eps"
+   is decided identically to the old linear scan. *)
+module Grid = struct
+  type t = {
+    eps : float;
+    dim : int;
+    cells : (int list, Vec.t list) Hashtbl.t;
+  }
+
+  let create ~eps ~dim = { eps; dim; cells = Hashtbl.create 256 }
+
+  let key g x =
+    Array.to_list (Array.map (fun v -> int_of_float (Float.floor (v /. g.eps))) x)
+
+  let mem g x =
+    let base = Array.of_list (key g x) in
+    let rec probe d acc =
+      if d = g.dim then
+        match Hashtbl.find_opt g.cells (List.rev acc) with
+        | None -> false
+        | Some ys ->
+            List.exists (fun y -> Vec.norm_inf (Vec.sub x y) <= g.eps) ys
+      else
+        probe (d + 1) ((base.(d) - 1) :: acc)
+        || probe (d + 1) (base.(d) :: acc)
+        || probe (d + 1) ((base.(d) + 1) :: acc)
+    in
+    probe 0 []
+
+  let add g x =
+    let k = key g x in
+    let prev = Option.value ~default:[] (Hashtbl.find_opt g.cells k) in
+    Hashtbl.replace g.cells k (x :: prev)
+end
+
+let vertices ?(eps = 1e-7) ?(max_subsets = 200_000) ?pool hs =
   match hs with
   | [] -> []
   | h0 :: _ ->
       let n = Halfspace.dim h0 in
       let arr = Array.of_list hs in
       let count = Array.length arr in
-      if count_subsets count n > max_subsets then raise Too_large;
-      let found : Vec.t list ref = ref [] in
-      let satisfies_all x =
-        Array.for_all (fun h -> Halfspace.contains ~eps h x) arr
-      in
-      let already_seen x =
-        List.exists (fun y -> Vec.norm_inf (Vec.sub x y) <= eps) !found
-      in
-      iter_subsets count n (fun idx ->
+      let total = count_subsets count n in
+      if total > max_subsets then raise Too_large;
+      if total = 0 then []
+      else begin
+        let satisfies_all x =
+          Array.for_all (fun h -> Halfspace.contains ~eps h x) arr
+        in
+        let solve idx =
           let m =
             Mat.init n n (fun i j -> (arr.(idx.(i))).Halfspace.normal.(j))
           in
           let b = Vec.init n (fun i -> (arr.(idx.(i))).Halfspace.offset) in
           match Mat.solve m b with
-          | exception Mat.Singular -> ()
-          | x -> if satisfies_all x && not (already_seen x) then
-                   found := x :: !found);
-      List.rev !found
+          | exception Mat.Singular -> None
+          | x -> if satisfies_all x then Some x else None
+        in
+        (* Candidate vertices for [len] consecutive subsets starting at
+           [start], in rank order; pure, so chunks run concurrently. *)
+        let candidates ~start ~len =
+          let acc = ref [] in
+          if len > 0 then begin
+            let idx = nth_subset count n start in
+            let remaining = ref len in
+            let more = ref true in
+            while !remaining > 0 && !more do
+              (match solve idx with
+              | Some x -> acc := x :: !acc
+              | None -> ());
+              decr remaining;
+              if !remaining > 0 then more := advance_subset count n idx
+            done
+          end;
+          List.rev !acc
+        in
+        let streams =
+          match pool with
+          | Some p when Pool.domains p > 1 && total > 1 ->
+              let chunks = max 1 (min total (Pool.domains p * 4)) in
+              let parts = Array.make chunks [] in
+              Pool.run p
+                (Array.init chunks (fun c ->
+                     let lo, hi = Pool.chunk_bounds ~n:total ~chunks c in
+                     fun () -> parts.(c) <- candidates ~start:lo ~len:(hi - lo)));
+              Array.to_list parts
+          | _ -> [ candidates ~start:0 ~len:total ]
+        in
+        (* Merge in chunk order: the concatenation of chunk streams is
+           the full lexicographic candidate stream, so the greedy dedup
+           below returns exactly the sequential result. *)
+        let grid = Grid.create ~eps ~dim:n in
+        let out = ref [] in
+        List.iter
+          (List.iter (fun x ->
+               if not (Grid.mem grid x) then begin
+                 Grid.add grid x;
+                 out := x :: !out
+               end))
+          streams;
+        List.rev !out
+      end

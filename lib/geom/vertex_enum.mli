@@ -16,11 +16,28 @@ exception Too_large
     [max_subsets] budget. *)
 
 val vertices :
-  ?eps:float -> ?max_subsets:int -> Halfspace.t list -> Vec.t list
+  ?eps:float ->
+  ?max_subsets:int ->
+  ?pool:Qsens_parallel.Pool.t ->
+  Halfspace.t list ->
+  Vec.t list
 (** [vertices hs] enumerates the vertices of [{ x | h . x <= o for all
-    (h, o) in hs }].  Duplicate vertices (within [eps], default [1e-7])
-    are merged.  Raises [Too_large] if [C(|hs|, n) > max_subsets]
-    (default [200_000]). *)
+    (h, o) in hs }].  Duplicate vertices (within [eps], default [1e-7],
+    infinity norm) are merged via a grid hash at [eps] resolution.
+    Raises [Too_large] if [C(|hs|, n) > max_subsets]
+    (default [200_000]).
+
+    With [?pool], the rank-ordered space of [n]-subsets is partitioned
+    into contiguous chunks solved concurrently (each domain starts its
+    own combination stream via {!nth_subset}); chunk outputs are merged
+    in rank order, so the result is {e identical} — same vertices, same
+    order — to the sequential run. *)
 
 val count_subsets : int -> int -> int
 (** [count_subsets n k] is [C(n, k)], saturating at [max_int]. *)
+
+val nth_subset : int -> int -> int -> int array
+(** [nth_subset n k rank] is the [rank]-th [k]-subset of [0 .. n-1] in
+    lexicographic order (the combinatorial number system), as a strictly
+    increasing index array.  Raises [Invalid_argument] unless
+    [1 <= k <= n] and [0 <= rank < count_subsets n k]. *)

@@ -3,7 +3,17 @@
     Vectors are immutable from the point of view of this interface: every
     operation returns a fresh array.  They back the resource usage vectors
     [U] and resource cost vectors [C] of the paper's framework, where the
-    cost of a plan is the dot product [U . C] (Equation 3). *)
+    cost of a plan is the dot product [U . C] (Equation 3).
+
+    {2 Thread safety}
+
+    No function in this module mutates its arguments or touches shared
+    state, so concurrent {e reads} of the same vector from multiple
+    domains (as done by {!Qsens_parallel.Pool} users: vertex enumeration,
+    worst-case curves, Monte-Carlo sampling) are safe without locks.
+    The representation is a bare [float array]; callers that mutate a
+    vector in place through the array syntax must not share it across
+    domains while doing so. *)
 
 type t = float array
 

@@ -1,0 +1,203 @@
+(* A fixed-size domain pool.  Workers block on a condition variable and
+   wake per batch; each batch is an array of tasks claimed by index
+   under the batch's own lock, so the pool adds no allocation or
+   synchronisation to the tasks themselves beyond one lock round-trip
+   per task.  The calling domain participates in every batch, which
+   both uses all [domains] cores and makes [domains = 1] a true
+   sequential inline fallback. *)
+
+type batch = {
+  tasks : (unit -> unit) array;
+  mutable next : int;
+  mutable completed : int;
+  mutable failure : exn option;
+  batch_lock : Mutex.t;
+  finished : Condition.t;
+}
+
+type t = {
+  size : int;
+  lock : Mutex.t;
+  wake : Condition.t;
+  mutable batch : batch option;
+  mutable generation : int;
+  mutable shutting_down : bool;
+  mutable workers : unit Domain.t array;
+}
+
+let max_domains = 128
+
+let default_domains () =
+  let from_env =
+    match Sys.getenv_opt "QSENS_DOMAINS" with
+    | None -> None
+    | Some s -> (
+        match int_of_string_opt (String.trim s) with
+        | Some n when n >= 1 -> Some n
+        | _ -> None)
+  in
+  let n =
+    match from_env with
+    | Some n -> n
+    | None -> Domain.recommended_domain_count ()
+  in
+  max 1 (min max_domains n)
+
+let domains pool = pool.size
+
+(* Drain a batch: claim task indices until exhausted.  Runs on workers
+   and on the submitting domain alike. *)
+let run_tasks b =
+  let total = Array.length b.tasks in
+  let continue = ref true in
+  while !continue do
+    Mutex.lock b.batch_lock;
+    if b.next >= total then begin
+      Mutex.unlock b.batch_lock;
+      continue := false
+    end
+    else begin
+      let i = b.next in
+      b.next <- i + 1;
+      Mutex.unlock b.batch_lock;
+      let failure = (try b.tasks.(i) (); None with e -> Some e) in
+      Mutex.lock b.batch_lock;
+      (match (failure, b.failure) with
+      | Some e, None -> b.failure <- Some e
+      | _ -> ());
+      b.completed <- b.completed + 1;
+      if b.completed = total then Condition.broadcast b.finished;
+      Mutex.unlock b.batch_lock
+    end
+  done
+
+let rec worker_loop pool last_gen =
+  Mutex.lock pool.lock;
+  while pool.generation = last_gen && not pool.shutting_down do
+    Condition.wait pool.wake pool.lock
+  done;
+  if pool.shutting_down then Mutex.unlock pool.lock
+  else begin
+    let gen = pool.generation in
+    let b = pool.batch in
+    Mutex.unlock pool.lock;
+    (match b with Some b -> run_tasks b | None -> ());
+    worker_loop pool gen
+  end
+
+let create ?domains () =
+  let size =
+    match domains with
+    | None -> default_domains ()
+    | Some n when n >= 1 -> min n max_domains
+    | Some _ -> invalid_arg "Pool.create: domains must be >= 1"
+  in
+  let pool =
+    {
+      size;
+      lock = Mutex.create ();
+      wake = Condition.create ();
+      batch = None;
+      generation = 0;
+      shutting_down = false;
+      workers = [||];
+    }
+  in
+  if size > 1 then
+    pool.workers <-
+      Array.init (size - 1) (fun _ ->
+          Domain.spawn (fun () -> worker_loop pool 0));
+  pool
+
+let shutdown pool =
+  Mutex.lock pool.lock;
+  if pool.shutting_down then Mutex.unlock pool.lock
+  else begin
+    pool.shutting_down <- true;
+    Condition.broadcast pool.wake;
+    Mutex.unlock pool.lock;
+    Array.iter Domain.join pool.workers;
+    pool.workers <- [||]
+  end
+
+let with_pool ?domains f =
+  let pool = create ?domains () in
+  Fun.protect ~finally:(fun () -> shutdown pool) (fun () -> f pool)
+
+let run pool tasks =
+  let total = Array.length tasks in
+  if total = 0 then ()
+  else if pool.size <= 1 || total = 1 then Array.iter (fun f -> f ()) tasks
+  else begin
+    let b =
+      {
+        tasks;
+        next = 0;
+        completed = 0;
+        failure = None;
+        batch_lock = Mutex.create ();
+        finished = Condition.create ();
+      }
+    in
+    Mutex.lock pool.lock;
+    if Option.is_some pool.batch || pool.shutting_down then begin
+      Mutex.unlock pool.lock;
+      invalid_arg "Pool.run: nested or concurrent batches are not supported"
+    end;
+    pool.batch <- Some b;
+    pool.generation <- pool.generation + 1;
+    Condition.broadcast pool.wake;
+    Mutex.unlock pool.lock;
+    run_tasks b;
+    Mutex.lock b.batch_lock;
+    while b.completed < total do
+      Condition.wait b.finished b.batch_lock
+    done;
+    Mutex.unlock b.batch_lock;
+    Mutex.lock pool.lock;
+    pool.batch <- None;
+    Mutex.unlock pool.lock;
+    match b.failure with Some e -> raise e | None -> ()
+  end
+
+let chunk_bounds ~n ~chunks i =
+  if chunks < 1 || i < 0 || i >= chunks then
+    invalid_arg "Pool.chunk_bounds: bad chunk index";
+  let q = n / chunks and r = n mod chunks in
+  let lo = (i * q) + min i r in
+  let len = q + if i < r then 1 else 0 in
+  (lo, lo + len)
+
+let resolve_chunks pool ~n = function
+  | Some c when c >= 1 -> min c n
+  | Some _ -> invalid_arg "Pool: chunks must be >= 1"
+  | None -> max 1 (min n (pool.size * 4))
+
+let parallel_for_chunked ?chunks pool ~n body =
+  if n > 0 then begin
+    let chunks = resolve_chunks pool ~n chunks in
+    if pool.size <= 1 || chunks = 1 then body 0 n
+    else
+      run pool
+        (Array.init chunks (fun i ->
+             let lo, hi = chunk_bounds ~n ~chunks i in
+             fun () -> body lo hi))
+  end
+
+let map_reduce ?chunks pool ~n ~map ~reduce ~init =
+  if n <= 0 then init
+  else begin
+    let chunks = resolve_chunks pool ~n chunks in
+    if pool.size <= 1 || chunks = 1 then reduce init (map 0 n)
+    else begin
+      let results = Array.make chunks None in
+      run pool
+        (Array.init chunks (fun i ->
+             let lo, hi = chunk_bounds ~n ~chunks i in
+             fun () -> results.(i) <- Some (map lo hi)));
+      Array.fold_left
+        (fun acc r ->
+          match r with Some v -> reduce acc v | None -> acc)
+        init results
+    end
+  end

@@ -1,0 +1,86 @@
+(** A fixed-size pool of OCaml 5 domains for data-parallel analysis.
+
+    The sensitivity machinery is dominated by embarrassingly parallel
+    loops: vertex enumeration over [k]-subsets of hyperplanes
+    (Observation 2), linear-fractional maximisation over plans x deltas
+    (Section 6.1), and region-of-influence enumeration per candidate
+    plan (Observation 3).  This pool executes such loops across a fixed
+    set of domains built directly on [Domain]/[Mutex]/[Condition] — no
+    dependencies beyond the standard library.
+
+    {2 Determinism}
+
+    All combinators partition the index space [0 .. n-1] into contiguous
+    chunks by a fixed formula ({!chunk_bounds}) and, for
+    {!map_reduce}, reduce the per-chunk results {e in ascending chunk
+    order} on the calling domain.  Scheduling therefore never affects
+    results: a reduction that is associative (it need not be
+    commutative) produces the same value for any pool size, and an
+    order-sensitive greedy pass can be reproduced exactly by merging the
+    chunk outputs in chunk order.
+
+    {2 Sizing}
+
+    A pool of [domains = 1] runs everything inline on the calling
+    domain — the safe sequential fallback.  {!default_domains} honours
+    the [QSENS_DOMAINS] environment variable before falling back to
+    [Domain.recommended_domain_count ()].
+
+    Pools are not reentrant: running a batch from inside a pooled task
+    raises [Invalid_argument].  Use a single pool per analysis
+    pipeline. *)
+
+type t
+
+val create : ?domains:int -> unit -> t
+(** [create ~domains ()] starts [domains - 1] worker domains (the
+    caller participates in every batch, so [domains] is the total
+    parallelism).  [domains] defaults to {!default_domains}[ ()] and is
+    clamped to [1 .. 128].  Raises [Invalid_argument] if [domains < 1]. *)
+
+val domains : t -> int
+(** Total parallelism of the pool (workers + the calling domain). *)
+
+val shutdown : t -> unit
+(** Join all worker domains.  Idempotent.  The pool must be idle. *)
+
+val with_pool : ?domains:int -> (t -> 'a) -> 'a
+(** [with_pool f] runs [f] with a fresh pool and shuts it down
+    afterwards, also on exception. *)
+
+val default_domains : unit -> int
+(** [QSENS_DOMAINS] if set to a positive integer, otherwise
+    [Domain.recommended_domain_count ()], clamped to [1 .. 128]. *)
+
+val run : t -> (unit -> unit) array -> unit
+(** [run pool tasks] executes every task exactly once across the pool
+    (the caller participates) and returns when all have finished.  The
+    first exception raised by a task is re-raised after the batch
+    completes.  Raises [Invalid_argument] on nested or concurrent use. *)
+
+val chunk_bounds : n:int -> chunks:int -> int -> int * int
+(** [chunk_bounds ~n ~chunks i] is the half-open range [(lo, hi)] of the
+    [i]-th of [chunks] near-equal contiguous chunks of [0 .. n-1].
+    Deterministic in its arguments; sizes differ by at most one. *)
+
+val parallel_for_chunked :
+  ?chunks:int -> t -> n:int -> (int -> int -> unit) -> unit
+(** [parallel_for_chunked pool ~n body] calls [body lo hi] for each
+    chunk, covering [0 .. n-1] exactly once.  [chunks] defaults to
+    [4 * domains pool] (capped at [n]).  With one domain the single
+    call [body 0 n] runs inline. *)
+
+val map_reduce :
+  ?chunks:int ->
+  t ->
+  n:int ->
+  map:(int -> int -> 'a) ->
+  reduce:('b -> 'a -> 'b) ->
+  init:'b ->
+  'b
+(** [map_reduce pool ~n ~map ~reduce ~init] computes
+    [reduce (... (reduce init (map lo_0 hi_0))) (map lo_k hi_k)] where
+    the chunk results are folded in ascending chunk order on the calling
+    domain — deterministic for any associative [map]/[reduce] pair, and
+    identical to the sequential [reduce init (map 0 n)] whenever [map]
+    distributes over chunk concatenation. *)

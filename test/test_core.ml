@@ -44,7 +44,7 @@ let test_worst_case_gtc_example1 () =
   (* Example 1: complementary unit plans reach exactly delta^2. *)
   let plans = [| [| 1.; 0. |]; [| 0.; 1. |] |] in
   let box = Box.around [| 1.; 1. |] ~delta:10. in
-  let gtc, witness = Framework.worst_case_gtc ~plans ~a:plans.(0) ~box in
+  let gtc, witness = Framework.worst_case_gtc ~plans ~a:plans.(0) box in
   check_float "delta^2" 100. gtc;
   Alcotest.(check bool) "witness is a vertex" true
     (Array.for_all
@@ -91,7 +91,7 @@ let test_theorem2_bound_respected () =
   let box = Box.around [| 1.; 1.; 1. |] ~delta:1e6 in
   Array.iter
     (fun a ->
-      let gtc, _ = Framework.worst_case_gtc ~plans ~a ~box in
+      let gtc, _ = Framework.worst_case_gtc ~plans ~a box in
       Alcotest.(check bool) "gtc <= bound" true (gtc <= bound +. 1e-6))
     plans
 
@@ -407,10 +407,25 @@ let test_curve_bounded_regime () =
   | `Bounded c -> Alcotest.(check bool) "constant reached" true (c <= bound +. 1e-6)
   | `Quadratic _ -> Alcotest.fail "expected bounded"
 
+let test_asymptote_decade_point () =
+  (* The comparison point must be the *largest* delta <= last/10 — the
+     point one decade earlier.  Growth from delta 10 (gtc 4) to delta
+     100 (gtc 8) is 2x => bounded; comparing against delta 1 (gtc 1)
+     would read 8x and misclassify as quadratic. *)
+  let p delta gtc = { Worst_case.delta; gtc; witness = [| 1. |] } in
+  let points = [ p 1. 1.; p 10. 4.; p 100. 8. ] in
+  (match Worst_case.asymptote points with
+  | `Bounded c -> check_float "bounded at last gtc" 8. c
+  | `Quadratic _ -> Alcotest.fail "picked the wrong comparison point");
+  (* Classification must not depend on the order of the points. *)
+  match Worst_case.asymptote (List.rev points) with
+  | `Bounded c -> check_float "order independent" 8. c
+  | `Quadratic _ -> Alcotest.fail "descending input misclassified"
+
 let test_gtc_at_one_is_one () =
   let plans = [| [| 1.; 3. |]; [| 3.; 1. |] |] in
   (* delta = 1: the box is a point; the initial plan is optimal there. *)
-  check_float "gtc(1)" 1. (Worst_case.gtc_at ~plans ~initial:plans.(0) ~delta:1.)
+  check_float "gtc(1)" 1. (Worst_case.gtc_at ~plans ~initial:plans.(0) 1.)
 
 (* ------------------------------------------------------------------ *)
 (* Experiment pipeline on real queries (small delta grid for speed) *)
@@ -592,6 +607,8 @@ let () =
           Alcotest.test_case "example 1 curve" `Quick test_curve_monotone_and_example1;
           Alcotest.test_case "bounded regime" `Quick test_curve_bounded_regime;
           Alcotest.test_case "gtc at delta 1" `Quick test_gtc_at_one_is_one;
+          Alcotest.test_case "asymptote decade point" `Quick
+            test_asymptote_decade_point;
         ] );
       ( "experiment",
         [

@@ -87,7 +87,7 @@ let test_monte_carlo_bounds () =
   in
   Alcotest.(check bool) "ordered percentiles" true
     (1. <= s.p50 && s.p50 <= s.p90 && s.p90 <= s.p99 && s.p99 <= s.max_seen);
-  let wc = Worst_case.gtc_at ~plans ~initial:plans.(0) ~delta in
+  let wc = Worst_case.gtc_at ~plans ~initial:plans.(0) delta in
   Alcotest.(check bool) "max <= worst case" true (s.max_seen <= wc +. 1e-9);
   Alcotest.(check bool) "worst case is adversarial" true (s.p90 < wc)
 

@@ -64,6 +64,19 @@ let test_box_corner_maximizing () =
   Alcotest.(check bool) "mixed signs" true
     (Vec.equal (Box.corner_maximizing b [| 1.; -1. |]) [| 10.; 1. |])
 
+let test_box_sample_degenerate () =
+  (* A degenerate interval (lo = hi) must return the endpoint exactly,
+     not exp (log l), which drifts in the last ulp; 3.7 is not exactly
+     representable, so the round trip would differ. *)
+  let st = Random.State.make [| 5 |] in
+  let b = Box.make [| 3.7; 1. |] [| 3.7; 2. |] in
+  for _ = 1 to 20 do
+    let x = Box.sample st b in
+    Alcotest.(check bool) "exact endpoint" true (x.(0) = 3.7);
+    Alcotest.(check bool) "in range" true (x.(1) >= 1. && x.(1) <= 2.)
+  done;
+  Alcotest.(check bool) "exp/log differs" true (exp (log 3.7) <> 3.7)
+
 let test_box_halfspaces () =
   let b = Box.make [| 0.; 0. |] [| 1.; 1. |] in
   let hs = Box.to_halfspaces b in
@@ -286,6 +299,8 @@ let () =
           Alcotest.test_case "vertices" `Quick test_box_vertices;
           Alcotest.test_case "corner maximizing" `Quick test_box_corner_maximizing;
           Alcotest.test_case "halfspaces" `Quick test_box_halfspaces;
+          Alcotest.test_case "sample degenerate" `Quick
+            test_box_sample_degenerate;
         ] );
       ( "simplex",
         [
