@@ -601,13 +601,15 @@ let bench_timing () =
     Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:Measure.[| run |]
   in
   let results = Analyze.all ols Instance.monotonic_clock raw in
-  let rows = ref [] in
-  Hashtbl.iter
-    (fun name ols_result ->
-      match Analyze.OLS.estimates ols_result with
-      | Some (est :: _) -> rows := (name, est) :: !rows
-      | _ -> ())
-    results;
+  let rows =
+    Hashtbl.fold
+      (fun name ols_result acc ->
+        match Analyze.OLS.estimates ols_result with
+        | Some (est :: _) -> (name, est) :: acc
+        | _ -> acc)
+      results []
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  in
   let t = Table_r.make ~header:[ "operation"; "time per run" ] in
   List.iter
     (fun (name, ns) ->
@@ -617,7 +619,7 @@ let bench_timing () =
         else Printf.sprintf "%.0f ns" ns
       in
       Table_r.add_row t [ name; pretty ])
-    (List.sort compare !rows);
+    rows;
   Table_r.print t
 
 (* ------------------------------------------------------------------ *)
@@ -769,11 +771,24 @@ let all_parts =
     ("parallel", bench_parallel);
   ]
 
+let usage () =
+  Printf.printf "usage: bench [--domains N] [part ...]\n\n";
+  Printf.printf "parts (default: all):\n  %s\n\n"
+    (String.concat " " (List.map fst all_parts));
+  Printf.printf
+    "options:\n\
+    \  --domains N   pool size for the parallel sweep (implies part \
+     'parallel')\n\
+    \  --help, -h    show this message\n"
+
 let () =
   (* Strip `--domains N` anywhere in argv; the remaining words name
      parts.  With --domains and no part, run just the parallel sweep. *)
   let saw_domains = ref false in
   let rec strip = function
+    | ("--help" | "-h") :: _ ->
+        usage ();
+        exit 0
     | "--domains" :: n :: rest -> (
         match int_of_string_opt n with
         | Some d when d >= 1 ->

@@ -1,0 +1,19 @@
+#!/bin/sh
+# The full CI gate: build, tests, static analysis, and a CLI smoke run.
+# Equivalent to `dune build @ci` plus the bench --help smoke test.
+set -eu
+cd "$(dirname "$0")"
+
+echo "== dune build"
+dune build
+
+echo "== dune runtest"
+dune runtest
+
+echo "== dune build @lint"
+dune build @lint
+
+echo "== bench smoke"
+dune exec bench/main.exe -- --help > /dev/null
+
+echo "ci: all checks passed"

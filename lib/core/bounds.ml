@@ -33,7 +33,8 @@ let ratio_range ?(eps = 1e-9) a b =
           if r > !r_max then r_max := r
         end)
       a;
-    if !r_max = neg_infinity then Some (1., 1.) (* both plans all-zero *)
+    if Float.equal !r_max neg_infinity then Some (1., 1.)
+      (* both plans all-zero *)
     else Some (!r_min, !r_max)
   end
 
@@ -41,7 +42,7 @@ let max_element_ratio ?eps a b =
   match ratio_range ?eps a b with
   | None -> infinity
   | Some (r_min, r_max) ->
-      Float.max r_max (if r_min = 0. then infinity else 1. /. r_min)
+      Float.max r_max (if Float.equal r_min 0. then infinity else 1. /. r_min)
 
 let theorem2_bound plans =
   let n = Array.length plans in

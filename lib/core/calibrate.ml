@@ -44,7 +44,7 @@ let residual costs observations =
   List.fold_left
     (fun acc o ->
       let predicted = Vec.dot o.usage costs in
-      if o.elapsed = 0. then acc
+      if Float.equal o.elapsed 0. then acc
       else
         Float.max acc
           (Float.abs (predicted -. o.elapsed) /. Float.abs o.elapsed))

@@ -74,8 +74,14 @@ let discover ?(seed = 42) ?(random_corners = 64) ?(max_pair_rounds = 8)
   for _ = 1 to budget / 2 do
     if not (exhausted ()) then ignore (probe (Box.sample st box))
   done;
-  (* Phase 2: pairwise ratio-maximizing corners, to closure. *)
-  let snapshot () = Hashtbl.fold (fun _ p acc -> p :: acc) known [] in
+  (* Phase 2: pairwise ratio-maximizing corners, to closure.  Snapshots
+     come back sorted by plan signature so the probing order of the
+     pairwise and verification phases never depends on hash-table
+     iteration order. *)
+  let snapshot () =
+    Hashtbl.fold (fun _ p acc -> p :: acc) known []
+    |> List.sort (fun a b -> String.compare a.signature b.signature)
+  in
   let rec pair_rounds round =
     if round < max_pair_rounds && not (exhausted ()) then begin
       let plans = snapshot () in
@@ -118,6 +124,7 @@ let discover ?(seed = 42) ?(random_corners = 64) ?(max_pair_rounds = 8)
     | Some p when Qsens_parallel.Pool.domains p > 1 && nregions > 1 ->
         Qsens_parallel.Pool.parallel_for_chunked p ~n:nregions (fun lo hi ->
             for i = lo to hi - 1 do
+              (* qsens-lint: disable=P001 — chunks cover disjoint index ranges *)
               out.(i) <- enum i
             done)
     | _ ->

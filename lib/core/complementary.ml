@@ -56,6 +56,14 @@ let kind_name = function
   | Temp_complementary -> "temp"
   | Cpu_complementary -> "cpu"
 
+let kind_rank = function
+  | Table_complementary -> 0
+  | Access_path_complementary -> 1
+  | Temp_complementary -> 2
+  | Cpu_complementary -> 3
+
+let compare_kind a b = Int.compare (kind_rank a) (kind_rank b)
+
 type verdict = {
   complementary : bool;
   near : bool;
@@ -104,13 +112,14 @@ let classify ?(near_threshold = 10.) ~dims a b =
     | Temp_dim -> Some Temp_complementary
     | Index_dim _ -> Some Access_path_complementary
     | Table_dim t ->
-        if List.mem t index_tables then Some Access_path_complementary
+        if List.exists (String.equal t) index_tables then
+          Some Access_path_complementary
         else Some Table_complementary
     | Combined_dim _ -> Some Table_complementary
     | Cpu_dim -> Some Cpu_complementary
     | Shared_dim -> None
   in
   let kinds =
-    List.filter_map kind_of_dim divergent |> List.sort_uniq compare
+    List.filter_map kind_of_dim divergent |> List.sort_uniq compare_kind
   in
   { complementary; near; max_ratio; kinds }

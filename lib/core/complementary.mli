@@ -39,6 +39,11 @@ type kind =
 
 val kind_name : kind -> string
 
+val compare_kind : kind -> kind -> int
+(** Total order over {!kind} by declaration rank — an explicit,
+    allocation-free comparator for deterministic sorting of kind lists
+    and counts (no polymorphic [compare]). *)
+
 type verdict = {
   complementary : bool;  (** exact zero-versus-nonzero divergence *)
   near : bool;  (** max element ratio above the threshold *)

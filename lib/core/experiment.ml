@@ -130,7 +130,7 @@ let census_of s (plans : Candidates.plan list) =
     near_pairs = !near;
     by_kind =
       Hashtbl.fold (fun k c acc -> (k, c) :: acc) kind_counts []
-      |> List.sort compare;
+      |> List.sort (fun (a, _) (b, _) -> Complementary.compare_kind a b);
     max_element_ratio = !ratio;
     theorem2 = Bounds.theorem2_bound (Array.map (fun p -> p.Candidates.eff) arr);
   }

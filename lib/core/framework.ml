@@ -5,8 +5,8 @@ let total_cost ~usage ~costs = Vec.dot usage costs
 
 let relative_cost ~a ~b ~costs =
   let denom = Vec.dot b costs in
-  if denom = 0. then
-    if Vec.dot a costs = 0. then 1. else infinity
+  if Float.equal denom 0. then
+    if Float.equal (Vec.dot a costs) 0. then 1. else infinity
   else Vec.dot a costs /. denom
 
 let optimal_index ~plans ~costs =

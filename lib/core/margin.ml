@@ -43,7 +43,7 @@ let all ~plans ~current ?max_delta () =
         | Some b -> boundaries := b :: !boundaries
         | None -> ())
     plans;
-  List.sort (fun a b -> compare a.delta b.delta) !boundaries
+  List.sort (fun a b -> Float.compare a.delta b.delta) !boundaries
 
 let nearest ~plans ~current ?max_delta () =
   match all ~plans ~current ?max_delta () with

@@ -41,10 +41,11 @@ let gtc_distribution ?(seed = 97) ?(samples = 10_000) ?pool ~plans ~initial
                Qsens_parallel.Pool.chunk_bounds ~n:samples ~chunks:d k
              in
              fun () ->
+               (* qsens-lint: disable=P001 — each task writes only its own block slot *)
                per_block.(k) <- fill (Random.State.make [| seed + k |]) lo hi));
       optimal := Array.fold_left ( + ) 0 per_block
   | _ -> optimal := fill (Random.State.make [| seed |]) 0 samples);
-  Array.sort compare values;
+  Array.sort Float.compare values;
   let pct p =
     let idx =
       min (samples - 1)

@@ -32,7 +32,7 @@ let estimate_usage ?(seed = 7) ?(oversample = 2) ~narrow ~expand ~signature
           List.fold_left
             (fun acc (theta, obs) ->
               let pred = Vec.dot theta usage in
-              if obs = 0. then acc
+              if Float.equal obs 0. then acc
               else Float.max acc (Float.abs (pred -. obs) /. Float.abs obs))
             0. observations
         in
@@ -51,7 +51,7 @@ let validate ?(seed = 11) ?(trials = 16) ~narrow ~expand ~signature ~box
       | Some obs ->
           let pred = Vec.dot theta estimate.usage in
           let err =
-            if obs = 0. then Float.abs pred
+            if Float.equal obs 0. then Float.abs pred
             else Float.abs (pred -. obs) /. Float.abs obs
           in
           go (i + 1) (Float.max worst err) true

@@ -34,6 +34,7 @@ let curve ?(deltas = default_deltas) ?pool ~plans ~initial () =
       Pool.parallel_for_chunked p ~n:(nd * np) (fun lo hi ->
           for t = lo to hi - 1 do
             let di = t / np and pi = t mod np in
+            (* qsens-lint: disable=P001 — chunks cover disjoint index ranges *)
             results.(t) <-
               Fractional.max_ratio ~num:initial ~den:plans.(pi) boxes.(di)
           done);

@@ -55,16 +55,26 @@ let table t name =
   | Some st -> st
   | None -> raise Not_found
 
+(* Tables are visited in name order so that, should two indexes ever
+   share a name, the winner does not depend on hash-table iteration
+   order. *)
 let index t name =
-  let found = ref None in
-  Hashtbl.iter
-    (fun _ st ->
-      List.iter
-        (fun (ix : stored_index) ->
-          if ix.meta.Index.name = name then found := Some ix)
-        st.indexes)
-    t.tables;
-  match !found with Some ix -> ix | None -> raise Not_found
+  let tables =
+    Hashtbl.fold (fun key st acc -> (key, st) :: acc) t.tables []
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  in
+  let rec find = function
+    | [] -> raise Not_found
+    | (_, st) :: rest -> (
+        match
+          List.find_opt
+            (fun (ix : stored_index) -> ix.meta.Index.name = name)
+            st.indexes
+        with
+        | Some ix -> ix
+        | None -> find rest)
+  in
+  find tables
 
 let charge_leaf_pages t (ix : stored_index) ~first_rank ~count =
   if count > 0 then begin

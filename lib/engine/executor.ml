@@ -152,7 +152,14 @@ let run db (query : Query.t) plan =
               let key = key_of row fields in
               if not (Hashtbl.mem groups key) then Hashtbl.add groups key row)
             rows;
-          let out = Hashtbl.fold (fun _ row acc -> row :: acc) groups [] in
+          (* Emit one representative row per group, sorted by group key:
+             downstream row order must never depend on hash-table
+             iteration order. *)
+          let out =
+            Hashtbl.fold (fun key row acc -> (key, row) :: acc) groups []
+            |> List.sort (fun (a, _) (b, _) -> List.compare Value.compare a b)
+            |> List.map snd
+          in
           record "GRP" node.Node.card out true
         end
   and exec_access node alias kind =

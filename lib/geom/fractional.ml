@@ -55,6 +55,6 @@ let min_ratio ?tol ~num ~den box =
   (* min num/den = 1 / (max den/num); handle the zero-numerator corner
      directly to avoid dividing by an infinite ratio prematurely. *)
   let r, corner = max_ratio ?tol ~num:den ~den:num box in
-  if r = infinity then (0., corner)
+  if Float.equal r infinity then (0., corner)
   else if Float.is_nan r then (nan, corner)
   else (1. /. r, corner)

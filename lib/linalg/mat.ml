@@ -76,7 +76,7 @@ let forward_eliminate aug n ncols =
     end;
     for i = k + 1 to n - 1 do
       let f = get aug i k /. get aug k k in
-      if f <> 0. then
+      if not (Float.equal f 0.) then
         for j = k to ncols - 1 do
           set aug i j (get aug i j -. (f *. get aug k j))
         done

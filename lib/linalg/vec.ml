@@ -37,7 +37,7 @@ let norm_inf a = Array.fold_left (fun m x -> Float.max m (Float.abs x)) 0. a
 
 let normalize a =
   let n = norm2 a in
-  if n = 0. then copy a else scale (1. /. n) a
+  if Float.equal n 0. then copy a else scale (1. /. n) a
 
 let equal ?(eps = 1e-9) a b =
   Array.length a = Array.length b
@@ -48,6 +48,19 @@ let equal ?(eps = 1e-9) a b =
        done;
        !ok
      end
+
+let compare a b =
+  let la = Array.length a and lb = Array.length b in
+  if la <> lb then Int.compare la lb
+  else begin
+    let rec go i =
+      if i = la then 0
+      else
+        let c = Float.compare a.(i) b.(i) in
+        if c <> 0 then c else go (i + 1)
+    in
+    go 0
+  end
 
 let dominates a b =
   Array.length a = Array.length b

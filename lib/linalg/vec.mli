@@ -67,6 +67,15 @@ val equal : ?eps:float -> t -> t -> bool
 (** Componentwise comparison with absolute tolerance [eps]
     (default [1e-9]). *)
 
+val compare : t -> t -> int
+(** Total order: shorter vectors first, then lexicographic by
+    [Float.compare] on components.  NaN is handled by [Float.compare]'s
+    total order — equal to itself and smaller than every other float
+    (including [neg_infinity]) — so sorting never loses or reorders
+    vectors containing NaN, unlike the polymorphic [compare] whose
+    [=]-consistency NaN breaks.  Suitable as a deterministic tie-break
+    key; not a numeric tolerance — use {!equal} for eps comparisons. *)
+
 val dominates : t -> t -> bool
 (** [dominates a b] is true when [b] lies in the positive first quadrant
     relative to [a] (Section 4.4): [b = a + q] with [q >= 0] componentwise

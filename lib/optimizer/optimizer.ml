@@ -21,10 +21,16 @@ module Memo = struct
     | None -> ""
     | Some (a, c) -> a ^ "." ^ c
 
+  (* Variants come back sorted by retention key: the enumeration order —
+     and with it every cost-tie resolution downstream — must not depend
+     on hash-table iteration order. *)
   let variants t mask =
     match Hashtbl.find_opt t mask with
     | None -> []
-    | Some tbl -> Hashtbl.fold (fun _ v acc -> v :: acc) tbl []
+    | Some tbl ->
+        Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
+        |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+        |> List.map snd
 
   let insert t costs ~interesting (node : Node.t) mask =
     let tbl =

@@ -10,7 +10,7 @@ type batch = {
   tasks : (unit -> unit) array;
   mutable next : int;
   mutable completed : int;
-  mutable failure : exn option;
+  mutable failure : (exn * Printexc.raw_backtrace) option;
   batch_lock : Mutex.t;
   finished : Condition.t;
 }
@@ -60,10 +60,15 @@ let run_tasks b =
       let i = b.next in
       b.next <- i + 1;
       Mutex.unlock b.batch_lock;
-      let failure = (try b.tasks.(i) (); None with e -> Some e) in
+      let failure =
+        try
+          b.tasks.(i) ();
+          None
+        with e -> Some (e, Printexc.get_raw_backtrace ())
+      in
       Mutex.lock b.batch_lock;
       (match (failure, b.failure) with
-      | Some e, None -> b.failure <- Some e
+      | Some f, None -> b.failure <- Some f
       | _ -> ());
       b.completed <- b.completed + 1;
       if b.completed = total then Condition.broadcast b.finished;
@@ -157,7 +162,9 @@ let run pool tasks =
     Mutex.lock pool.lock;
     pool.batch <- None;
     Mutex.unlock pool.lock;
-    match b.failure with Some e -> raise e | None -> ()
+    match b.failure with
+    | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+    | None -> ()
   end
 
 let chunk_bounds ~n ~chunks i =

@@ -56,7 +56,9 @@ val run : t -> (unit -> unit) array -> unit
 (** [run pool tasks] executes every task exactly once across the pool
     (the caller participates) and returns when all have finished.  The
     first exception raised by a task is re-raised after the batch
-    completes.  Raises [Invalid_argument] on nested or concurrent use. *)
+    completes, with the backtrace it was originally raised with (the
+    trace points into the task body, not into the pool internals).
+    Raises [Invalid_argument] on nested or concurrent use. *)
 
 val chunk_bounds : n:int -> chunks:int -> int -> int * int
 (** [chunk_bounds ~n ~chunks i] is the half-open range [(lo, hi)] of the

@@ -416,6 +416,49 @@ let test_executor_join_equals_naive () =
     lrows;
   Alcotest.(check int) "join cardinality" !expected (List.length result.rows)
 
+let test_group_by_output_deterministic () =
+  (* Regression for the order-leaking Hashtbl.fold in the group-by
+     operator: rows must come out sorted by group key, identically
+     across repeated runs, and key-sorted regardless of the data (and
+     hence hash layout) the table was generated with. *)
+  let query = Qsens_tpch.Queries.find ~sf "Q1" in
+  let env = Qsens_plan.Env.make ~schema ~policy () in
+  let key_fields =
+    List.map
+      (fun (a, c) -> Value.qualify a c)
+      query.Qsens_plan.Query.group_cols
+  in
+  let keys_of result =
+    List.map
+      (fun row -> List.map (fun f -> Value.get row f) key_fields)
+      result.Executor.rows
+  in
+  let run_with_seed seed =
+    let db =
+      Database.create ~schema ~policy
+        ~rows:(Qsens_tpch.Dbgen.all ~sf ~seed) ()
+    in
+    let ctx = Qsens_plan.Node.make_ctx env query in
+    let plan =
+      Qsens_plan.Node.group_agg ctx ~hash:true
+        ~groups:(Option.value ~default:4. query.Qsens_plan.Query.group_by)
+        (Qsens_plan.Node.table_scan ctx "l")
+    in
+    keys_of (Executor.run db query plan)
+  in
+  let sorted keys =
+    List.for_all2
+      (fun a b -> List.compare Value.compare a b <= 0)
+      (List.filteri (fun i _ -> i < List.length keys - 1) keys)
+      (List.tl keys)
+  in
+  let k1 = run_with_seed 1 and k1' = run_with_seed 1 in
+  let k2 = run_with_seed 2 in
+  Alcotest.(check bool) "same seed, identical output" true (k1 = k1');
+  Alcotest.(check bool) "seed 1 output key-sorted" true (sorted k1);
+  Alcotest.(check bool) "seed 2 output key-sorted" true (sorted k2);
+  Alcotest.(check bool) "groups non-empty" true (List.length k1 > 1)
+
 let () =
   let props = List.map QCheck_alcotest.to_alcotest [ prop_btree_random ] in
   Alcotest.run "engine"
@@ -466,6 +509,8 @@ let () =
             test_dbgen_matches_analytic_stats;
           Alcotest.test_case "spill charges temp" `Quick
             test_executor_spill_charges_temp;
+          Alcotest.test_case "group-by output deterministic" `Slow
+            test_group_by_output_deterministic;
         ] );
       ("properties", props);
     ]

@@ -74,6 +74,7 @@ let test_parallel_for_coverage () =
   let hits = Array.make n 0 in
   Pool.parallel_for_chunked pool2 ~n (fun lo hi ->
       for i = lo to hi - 1 do
+        (* qsens-lint: disable=P001 — each index written exactly once *)
         hits.(i) <- hits.(i) + 1
       done);
   Alcotest.(check bool) "each index exactly once" true
@@ -85,6 +86,67 @@ let test_run_exception_propagates () =
       Pool.run pool2
         (Array.init 8 (fun i ->
              fun () -> if i = 3 then failwith "task 3")))
+
+exception Task_boom
+
+(* A raise site the compiler cannot inline away, so the task's
+   backtrace has at least one slot pointing here. *)
+let[@inline never] boom () = raise Task_boom
+
+let test_run_exception_backtrace () =
+  let prev = Printexc.backtrace_status () in
+  Printexc.record_backtrace true;
+  Fun.protect
+    ~finally:(fun () -> Printexc.record_backtrace prev)
+    (fun () ->
+      match
+        Pool.run pool2 (Array.init 8 (fun i -> fun () -> if i = 5 then boom ()))
+      with
+      | () -> Alcotest.fail "expected Task_boom"
+      | exception Task_boom ->
+          (* raise_with_backtrace hands back the trace captured inside
+             the task, so the re-raise is not an empty trace rooted in
+             the pool internals. *)
+          let bt = Printexc.get_backtrace () in
+          Alcotest.(check bool) "backtrace non-empty" true
+            (String.length (String.trim bt) > 0))
+
+let test_run_nested_rejected () =
+  (* A batch launched from inside a pooled task must be refused: the
+     submitting task would deadlock waiting on workers that are busy
+     running it. *)
+  let saw = ref None in
+  (try
+     Pool.run pool2
+       (Array.init 2 (fun _ ->
+            fun () ->
+              Pool.run pool2 (Array.init 2 (fun _ -> fun () -> ()))))
+   with e -> saw := Some e);
+  match !saw with
+  | Some (Invalid_argument msg)
+    when msg = "Pool.run: nested or concurrent batches are not supported" ->
+      ()
+  | Some e -> Alcotest.fail ("unexpected exception: " ^ Printexc.to_string e)
+  | None -> Alcotest.fail "nested Pool.run was not rejected"
+
+let test_one_domain_runs_inline () =
+  Pool.with_pool ~domains:1 (fun p ->
+      (* Every task runs on the calling domain... *)
+      let caller = Domain.self () in
+      let on_caller = ref true in
+      Pool.run p
+        (Array.init 4 (fun _ ->
+             fun () ->
+               (* qsens-lint: disable=P001 — 1-domain pool, tasks run inline *)
+               if not (Domain.self () = caller) then on_caller := false));
+      Alcotest.(check bool) "tasks run on calling domain" true !on_caller;
+      (* ...and parallel_for_chunked degenerates to one body 0 n call. *)
+      let calls = ref [] in
+      Pool.parallel_for_chunked p ~n:64 (fun lo hi ->
+          (* qsens-lint: disable=P001 — 1-domain pool, body runs inline *)
+          calls := (lo, hi) :: !calls);
+      Alcotest.(check (list (pair int int)))
+        "single inline chunk" [ (0, 64) ] !calls)
 
 let test_sequential_fallback () =
   (* A 1-domain pool spawns no workers and runs inline. *)
@@ -250,6 +312,12 @@ let () =
             test_parallel_for_coverage;
           Alcotest.test_case "exception propagation" `Quick
             test_run_exception_propagates;
+          Alcotest.test_case "exception backtrace preserved" `Quick
+            test_run_exception_backtrace;
+          Alcotest.test_case "nested run rejected" `Quick
+            test_run_nested_rejected;
+          Alcotest.test_case "one domain runs inline" `Quick
+            test_one_domain_runs_inline;
           Alcotest.test_case "sequential fallback" `Quick
             test_sequential_fallback;
         ] );

@@ -1,0 +1,621 @@
+(* qsens-lint: a determinism and parallel-safety linter for the qsens
+   tree.  The analyses are deliberately syntactic — the linter parses
+   with ppxlib and walks the untyped AST, so every rule is a (documented)
+   approximation that errs on the side of reporting.  Findings are
+   silenced either by fixing the code, by an inline
+   [(* qsens-lint: disable=RULE *)] comment on the offending line or the
+   line above it, or by a per-directory [lint.allow] file.
+
+   Rules:
+     D001  order-leaking Hashtbl iteration (fold/iter/to_seq) whose
+           result is not piped through an explicit sort
+     P001  mutation of shared state inside closures passed to
+           Qsens_parallel.Pool combinators
+     F001  polymorphic =/<>/compare/List.mem on float-bearing
+           expressions (lib/core, lib/geom, lib/linalg only)
+     E001  printing or [exit] in library code (lib/, report layer
+           excluded)
+     W001  ignoring the result of a must-use function (Pool.run and
+           friends)
+
+   Rationale for each rule lives in DESIGN.md section 8. *)
+
+open Ppxlib
+
+type diagnostic = {
+  file : string;
+  line : int;
+  col : int;
+  rule : string;
+  message : string;
+}
+
+let rules =
+  [
+    ( "D001",
+      "order-leaking Hashtbl.fold/iter/to_seq without a subsequent sort" );
+    ("P001", "shared-state mutation inside a Pool task closure");
+    ("F001", "polymorphic comparison on float-bearing expressions");
+    ("E001", "printing or exit in library code");
+    ("W001", "ignored result of a must-use function");
+  ]
+
+let render d =
+  Printf.sprintf "%s:%d:%d: [%s] %s" d.file d.line d.col d.rule d.message
+
+(* ------------------------------------------------------------------ *)
+(* Scope: which rules apply to which files *)
+
+let normalize path =
+  let path =
+    if String.length path > 2 && String.sub path 0 2 = "./" then
+      String.sub path 2 (String.length path - 2)
+    else path
+  in
+  String.concat "/" (String.split_on_char '\\' path)
+
+let in_dir dir file =
+  let file = normalize file in
+  String.length file > String.length dir
+  && String.sub file 0 (String.length dir + 1) = dir ^ "/"
+
+(* F001 is restricted to the numeric heart of the framework, where a
+   NaN-oblivious or eps-oblivious comparison corrupts sensitivity
+   results. *)
+let f001_scope file =
+  in_dir "lib/core" file || in_dir "lib/geom" file || in_dir "lib/linalg" file
+
+(* E001 applies to library code only; the report layer and the CLI /
+   bench executables are allowed to print and exit. *)
+let e001_scope file = in_dir "lib" file && not (in_dir "lib/report" file)
+
+(* ------------------------------------------------------------------ *)
+(* Longident helpers *)
+
+let path_of lid =
+  match Longident.flatten_exn lid with
+  | parts -> String.concat "." parts
+  | exception _ -> ""
+
+let ends_with_path p suffix =
+  p = suffix
+  || String.length p > String.length suffix + 1
+     && String.ends_with ~suffix:("." ^ suffix) p
+
+let head_path e =
+  match e.pexp_desc with
+  | Pexp_ident { txt; _ } -> Some (path_of txt)
+  | _ -> None
+
+(* The identifier at the head of a (possibly partial) application
+   chain: [app_head (f a b)] is [f]. *)
+let rec app_head e =
+  match e.pexp_desc with Pexp_apply (f, _) -> app_head f | _ -> e
+
+(* ------------------------------------------------------------------ *)
+(* Rule tables *)
+
+let d001_fns =
+  [
+    "Hashtbl.fold";
+    "Hashtbl.iter";
+    "Hashtbl.to_seq";
+    "Hashtbl.to_seq_keys";
+    "Hashtbl.to_seq_values";
+  ]
+
+let sort_fns =
+  [
+    "List.sort";
+    "List.stable_sort";
+    "List.fast_sort";
+    "List.sort_uniq";
+    "Array.sort";
+    "Array.stable_sort";
+    "Array.fast_sort";
+  ]
+
+let pool_fns = [ "Pool.run"; "Pool.map_reduce"; "Pool.parallel_for_chunked" ]
+let must_use_fns = "Pool.with_pool" :: pool_fns
+
+let mutation_fns =
+  [
+    "Array.set";
+    "Array.unsafe_set";
+    "Array.fill";
+    "Array.blit";
+    "Bytes.set";
+    "Bytes.unsafe_set";
+    "Hashtbl.add";
+    "Hashtbl.replace";
+    "Hashtbl.remove";
+    "Hashtbl.reset";
+    "Hashtbl.clear";
+    "Hashtbl.filter_map_inplace";
+  ]
+
+let e001_fns =
+  [
+    "Printf.printf";
+    "Printf.eprintf";
+    "Format.printf";
+    "Format.eprintf";
+    "print_endline";
+    "print_string";
+    "print_newline";
+    "print_char";
+    "print_int";
+    "print_float";
+    "prerr_endline";
+    "prerr_string";
+    "prerr_newline";
+    "exit";
+  ]
+
+let is_d001 p = List.exists (ends_with_path p) d001_fns
+let is_sort p = List.exists (ends_with_path p) sort_fns
+let is_pool p = List.exists (ends_with_path p) pool_fns
+let is_must_use p = List.exists (ends_with_path p) must_use_fns
+let is_mutation p = List.exists (ends_with_path p) mutation_fns
+
+let is_poly_compare p = p = "compare" || p = "Stdlib.compare"
+
+let is_poly_mem p =
+  List.mem p [ "List.mem"; "List.memq"; "Array.mem"; "Array.memq" ]
+
+(* ------------------------------------------------------------------ *)
+(* Float-bearing heuristic for F001.  An expression is considered
+   float-bearing when its subtree syntactically manipulates floats: a
+   float literal, float arithmetic, or a Float-module call that returns
+   a float.  Predicates like Float.equal are excluded — their results
+   are not floats, and they are exactly the compliant replacements the
+   rule points to. *)
+
+let float_ident_hints =
+  [
+    "+.";
+    "-.";
+    "*.";
+    "/.";
+    "**";
+    "~-.";
+    "nan";
+    "infinity";
+    "neg_infinity";
+    "epsilon_float";
+    "max_float";
+    "min_float";
+    "sqrt";
+    "exp";
+    "log";
+    "abs_float";
+    "float_of_int";
+    "float_of_string";
+  ]
+
+let float_returning_module_fn p =
+  String.length p > 6
+  && String.sub p 0 6 = "Float."
+  && not
+       (List.mem p
+          [
+            "Float.equal";
+            "Float.compare";
+            "Float.is_nan";
+            "Float.is_finite";
+            "Float.is_integer";
+            "Float.to_int";
+            "Float.to_string";
+          ])
+
+let float_bearing e =
+  let found = ref false in
+  let it =
+    object
+      inherit Ast_traverse.iter as super
+
+      method! expression e =
+        (match e.pexp_desc with
+        | Pexp_constant (Pconst_float _) -> found := true
+        | Pexp_ident { txt; _ } ->
+            let p = path_of txt in
+            if List.mem p float_ident_hints || float_returning_module_fn p then
+              found := true
+        | _ -> ());
+        if not !found then super#expression e
+    end
+  in
+  it#expression e;
+  !found
+
+(* ------------------------------------------------------------------ *)
+(* P001: scan the arguments of a Pool combinator application for
+   closures, and flag mutations of anything the closure can share with
+   other tasks.  Disjoint per-chunk slot writes are a legitimate
+   pattern; they are expected to carry a justifying disable comment. *)
+
+let scan_pool_closures ~pool_name ~emit arg =
+  let mutations =
+    object
+      inherit Ast_traverse.iter as super
+
+      method! expression e =
+        (match e.pexp_desc with
+        | Pexp_setfield _ ->
+            emit e.pexp_loc
+              (Printf.sprintf
+                 "mutable-field assignment inside a closure passed to %s"
+                 pool_name)
+        | Pexp_setinstvar _ ->
+            emit e.pexp_loc
+              (Printf.sprintf
+                 "instance-variable assignment inside a closure passed to %s"
+                 pool_name)
+        | Pexp_apply (f, _) -> (
+            match head_path f with
+            | Some p when p = ":=" || p = "incr" || p = "decr" ->
+                emit e.pexp_loc
+                  (Printf.sprintf
+                     "ref mutation (%s) inside a closure passed to %s" p
+                     pool_name)
+            | Some p when is_mutation p ->
+                emit e.pexp_loc
+                  (Printf.sprintf "%s inside a closure passed to %s" p
+                     pool_name)
+            | _ -> ())
+        | _ -> ());
+        super#expression e
+    end
+  in
+  let closures =
+    object
+      inherit Ast_traverse.iter as super
+
+      method! expression e =
+        match e.pexp_desc with
+        | Pexp_function (_, _, Pfunction_body body) -> mutations#expression body
+        | Pexp_function (_, _, Pfunction_cases (cases, _, _)) ->
+            List.iter (fun c -> mutations#expression c.pc_rhs) cases
+        | _ -> super#expression e
+    end
+  in
+  closures#expression arg
+
+(* ------------------------------------------------------------------ *)
+(* The main traversal *)
+
+let make_iter ~file ~emit =
+  object (self)
+    inherit Ast_traverse.iter as super
+
+    (* > 0 while inside an application protected by an explicit sort:
+       [List.sort cmp (Hashtbl.fold ...)] or
+       [Hashtbl.fold ... |> List.sort cmp]. *)
+    val mutable sort_depth = 0
+
+    method private check_ident e =
+      match e.pexp_desc with
+      | Pexp_ident { txt; _ } ->
+          let p = path_of txt in
+          if is_d001 p && sort_depth = 0 then
+            emit "D001" e.pexp_loc
+              (Printf.sprintf
+                 "%s leaks hash-table iteration order; sort the result with \
+                  an explicit comparator"
+                 p);
+          if e001_scope file && List.mem p e001_fns then
+            emit "E001" e.pexp_loc
+              (Printf.sprintf
+                 "%s in library code; return data and let the report/CLI \
+                  layer print"
+                 p);
+          if f001_scope file && is_poly_compare p then
+            emit "F001" e.pexp_loc
+              "polymorphic compare in numeric code; use Float.compare, \
+               Vec.compare, or an explicit comparator";
+          if f001_scope file && is_poly_mem p then
+            emit "F001" e.pexp_loc
+              (Printf.sprintf
+                 "%s uses polymorphic equality; use an explicit equality \
+                  (List.exists with String.equal / Float comparators)"
+                 p)
+      | _ -> ()
+
+    method private sort_protects f args =
+      match head_path f with
+      | Some p when is_sort p -> true
+      | Some ("|>" | "@@") ->
+          List.exists
+            (fun (_, a) ->
+              match head_path (app_head a) with
+              | Some p -> is_sort p
+              | None -> false)
+            args
+      | _ -> false
+
+    method! expression e =
+      self#check_ident e;
+      match e.pexp_desc with
+      | Pexp_apply (f, args) ->
+          (* F001: polymorphic structural (in)equality on floats. *)
+          (match head_path f with
+          | Some (("=" | "<>") as op) when f001_scope file ->
+              if List.exists (fun (_, a) -> float_bearing a) args then
+                emit "F001" e.pexp_loc
+                  (Printf.sprintf
+                     "polymorphic %s on a float-bearing expression; use \
+                      Float.equal or an eps-aware comparator (Vec.equal)"
+                     op)
+          | _ -> ());
+          (* W001: ignore (Pool.run ...). *)
+          (match (head_path f, args) with
+          | Some ("ignore" | "Fun.ignore"), [ (_, arg) ] -> (
+              match head_path (app_head arg) with
+              | Some p when is_must_use p ->
+                  emit "W001" e.pexp_loc
+                    (Printf.sprintf
+                       "result of must-use %s is ignored; the call runs the \
+                        batch for its effects and failures" p)
+              | _ -> ())
+          | _ -> ());
+          (* P001: closures handed to the domain pool. *)
+          (match head_path f with
+          | Some p when is_pool p ->
+              List.iter
+                (fun (_, a) ->
+                  scan_pool_closures ~pool_name:p
+                    ~emit:(fun loc msg -> emit "P001" loc msg)
+                    a)
+                args
+          | _ -> ());
+          (* D001 context: mark sort-protected subtrees. *)
+          if self#sort_protects f args then begin
+            sort_depth <- sort_depth + 1;
+            super#expression e;
+            sort_depth <- sort_depth - 1
+          end
+          else super#expression e
+      | _ -> super#expression e
+
+    method! value_binding vb =
+      (* W001: [let _ = Pool.run ...]. *)
+      (match (vb.pvb_pat.ppat_desc, head_path (app_head vb.pvb_expr)) with
+      | Ppat_any, Some p when is_must_use p ->
+          emit "W001" vb.pvb_loc
+            (Printf.sprintf "result of must-use %s is bound to _" p)
+      | _ -> ());
+      super#value_binding vb
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Inline suppression comments.
+
+   [(* qsens-lint: disable=D001 *)] suppresses the listed rules on the
+   comment's own line and on the line directly below it (so a comment
+   can sit on its own line above the finding).
+   [(* qsens-lint: disable-file=D001,P001 *)] suppresses for the whole
+   file.  Rule lists are comma-separated; anything after the list (e.g.
+   a justification, which is expected) is ignored. *)
+
+type suppressions = {
+  per_line : (int * string list) list;
+  file_wide : string list;
+}
+
+let parse_rule_list s pos =
+  let n = String.length s in
+  let is_rule_char c =
+    (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9') || c = ','
+  in
+  let stop = ref pos in
+  while !stop < n && is_rule_char s.[!stop] do
+    incr stop
+  done;
+  String.sub s pos (!stop - pos)
+  |> String.split_on_char ','
+  |> List.filter (fun r -> r <> "")
+
+let find_directives line =
+  let key = "qsens-lint:" in
+  match
+    let n = String.length line and k = String.length key in
+    let rec search i =
+      if i + k > n then None
+      else if String.sub line i k = key then Some (i + k)
+      else search (i + 1)
+    in
+    search 0
+  with
+  | None -> None
+  | Some after ->
+      let rest = String.sub line after (String.length line - after) in
+      let rest = String.trim rest in
+      let try_prefix prefix =
+        if String.starts_with ~prefix rest then
+          Some (parse_rule_list rest (String.length prefix))
+        else None
+      in
+      (* disable-file must be tried first: "disable=" is its prefix. *)
+      (match try_prefix "disable-file=" with
+      | Some rules -> Some (`File rules)
+      | None -> (
+          match try_prefix "disable=" with
+          | Some rules -> Some (`Line rules)
+          | None -> None))
+
+let suppressions_of_source src =
+  let lines = String.split_on_char '\n' src in
+  let per_line = ref [] and file_wide = ref [] in
+  List.iteri
+    (fun i line ->
+      match find_directives line with
+      | Some (`Line rules) -> per_line := (i + 1, rules) :: !per_line
+      | Some (`File rules) -> file_wide := rules @ !file_wide
+      | None -> ())
+    lines;
+  { per_line = !per_line; file_wide = !file_wide }
+
+let suppressed sup d =
+  List.mem d.rule sup.file_wide
+  || List.exists
+       (fun (line, rules) ->
+         (d.line = line || d.line = line + 1) && List.mem d.rule rules)
+       sup.per_line
+
+(* ------------------------------------------------------------------ *)
+(* Per-directory allowlists.
+
+   A [lint.allow] file in a directory grants findings for files in that
+   directory and below.  Each non-comment line is [RULE pattern] where
+   the pattern is a file basename, a path relative to the allow file's
+   directory, or [*]. *)
+
+let parse_allow_lines content =
+  String.split_on_char '\n' content
+  |> List.filter_map (fun line ->
+         let line = String.trim line in
+         if line = "" || line.[0] = '#' then None
+         else
+           match String.index_opt line ' ' with
+           | None -> None
+           | Some i ->
+               let rule = String.sub line 0 i in
+               let pat =
+                 String.trim (String.sub line i (String.length line - i))
+               in
+               if pat = "" then None else Some (rule, pat))
+
+let allow_matches ~rule ~relpath entries =
+  let base = Filename.basename relpath in
+  List.exists
+    (fun (r, pat) -> r = rule && (pat = "*" || pat = base || pat = relpath))
+    entries
+
+(* The chain of directories from the scan roots down to the file's own
+   directory; an allow file in any of them can grant the finding. *)
+let allowlisted ~load ~file d =
+  let file = normalize file in
+  let rec chain dir acc =
+    let parent = Filename.dirname dir in
+    if parent = dir then dir :: acc else chain parent (dir :: acc)
+  in
+  let dirs = chain (Filename.dirname file) [] in
+  List.exists
+    (fun dir ->
+      match load (Filename.concat dir "lint.allow") with
+      | None -> false
+      | Some entries ->
+          let prefix = if dir = "." then "" else dir ^ "/" in
+          let relpath =
+            if prefix <> "" && String.starts_with ~prefix file then
+              String.sub file (String.length prefix)
+                (String.length file - String.length prefix)
+            else file
+          in
+          allow_matches ~rule:d.rule ~relpath entries)
+    dirs
+
+(* ------------------------------------------------------------------ *)
+(* Linting one compilation unit *)
+
+let dedup_sort diags =
+  let cmp a b =
+    let c = String.compare a.file b.file in
+    if c <> 0 then c
+    else
+      let c = Int.compare a.line b.line in
+      if c <> 0 then c
+      else
+        let c = Int.compare a.col b.col in
+        if c <> 0 then c else String.compare a.rule b.rule
+  in
+  List.sort_uniq cmp diags
+
+let lint_string ~file src =
+  let file = normalize file in
+  let diags = ref [] in
+  let emit rule (loc : Location.t) message =
+    diags :=
+      {
+        file;
+        line = loc.loc_start.pos_lnum;
+        col = loc.loc_start.pos_cnum - loc.loc_start.pos_bol;
+        rule;
+        message;
+      }
+      :: !diags
+  in
+  let lexbuf = Lexing.from_string src in
+  Lexing.set_filename lexbuf file;
+  (try
+     if Filename.check_suffix file ".mli" then
+       (make_iter ~file ~emit)#signature (Parse.interface lexbuf)
+     else (make_iter ~file ~emit)#structure (Parse.implementation lexbuf)
+   with exn ->
+     emit "X001"
+       { Location.none with loc_start = { Lexing.dummy_pos with pos_lnum = 1 } }
+       (Printf.sprintf "failed to parse: %s" (Printexc.to_string exn)));
+  let sup = suppressions_of_source src in
+  dedup_sort (List.filter (fun d -> not (suppressed sup d)) !diags)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let lint_file path = lint_string ~file:path (read_file path)
+
+(* ------------------------------------------------------------------ *)
+(* Directory walk and entry point *)
+
+let rec walk path acc =
+  if Sys.is_directory path then
+    Array.fold_left
+      (fun acc entry ->
+        if entry = "_build" || entry = ".git" then acc
+        else walk (Filename.concat path entry) acc)
+      acc
+      (let entries = Sys.readdir path in
+       Array.sort String.compare entries;
+       entries)
+  else if Filename.check_suffix path ".ml" || Filename.check_suffix path ".mli"
+  then path :: acc
+  else acc
+
+let main dirs =
+  let files =
+    List.concat_map
+      (fun dir -> if Sys.file_exists dir then List.rev (walk dir []) else [])
+      dirs
+  in
+  let allow_cache : (string, (string * string) list option) Hashtbl.t =
+    Hashtbl.create 16
+  in
+  let load path =
+    match Hashtbl.find_opt allow_cache path with
+    | Some v -> v
+    | None ->
+        let v =
+          if Sys.file_exists path && not (Sys.is_directory path) then
+            Some (parse_allow_lines (read_file path))
+          else None
+        in
+        Hashtbl.add allow_cache path v;
+        v
+  in
+  let errors = ref 0 and allowed = ref 0 in
+  List.iter
+    (fun file ->
+      List.iter
+        (fun d ->
+          if allowlisted ~load ~file d then incr allowed
+          else begin
+            incr errors;
+            print_endline (render d)
+          end)
+        (lint_file file))
+    files;
+  Printf.printf "qsens-lint: %d file(s), %d error(s), %d allowlisted\n"
+    (List.length files) !errors !allowed;
+  if !errors > 0 then 1 else 0

@@ -1,0 +1,46 @@
+(** Determinism and parallel-safety lints for the qsens tree.
+
+    The linter parses sources with ppxlib and walks the untyped AST;
+    every rule is a documented syntactic approximation.  See DESIGN.md
+    section 8 for the rule catalogue and the suppression syntax. *)
+
+type diagnostic = {
+  file : string;
+  line : int;
+  col : int;
+  rule : string;
+  message : string;
+}
+
+val rules : (string * string) list
+(** [(id, one-line description)] for every rule the linter knows. *)
+
+val render : diagnostic -> string
+(** ["file:line:col: [RULE] message"]. *)
+
+val lint_string : file:string -> string -> diagnostic list
+(** Parse and lint one compilation unit given as a string.  [file]
+    decides which path-scoped rules apply (e.g. F001 only fires under
+    [lib/core], [lib/geom], [lib/linalg]) and must use [/] separators.
+    Inline [(* qsens-lint: disable=... *)] comments are honoured;
+    directory allowlists are not (they are resolved by {!main}).
+    Diagnostics come back sorted by position and deduplicated.  A file
+    that fails to parse yields a single [X001] diagnostic. *)
+
+val lint_file : string -> diagnostic list
+(** [lint_string] over the contents of [path]. *)
+
+val parse_allow_lines : string -> (string * string) list
+(** Parse a [lint.allow] file body into [(rule, pattern)] entries.
+    Blank lines and [#] comments are skipped. *)
+
+val allow_matches :
+  rule:string -> relpath:string -> (string * string) list -> bool
+(** Does any entry grant [rule] for the file at [relpath] (relative to
+    the allow file's directory)?  Patterns match the basename, the
+    relative path, or everything ([*]). *)
+
+val main : string list -> int
+(** Walk the given directories, lint every [.ml]/[.mli], print
+    non-allowlisted findings, and return the process exit code: [0]
+    when clean, [1] otherwise. *)

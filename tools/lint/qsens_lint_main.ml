@@ -1,0 +1,13 @@
+let usage () =
+  print_endline "usage: qsens_lint [DIR ...]";
+  print_endline "Lint OCaml sources for determinism and parallel-safety";
+  print_endline "hazards (default dirs: lib bin bench test).  Rules:";
+  List.iter
+    (fun (id, descr) -> Printf.printf "  %s  %s\n" id descr)
+    Qsens_lint.rules
+
+let () =
+  match List.tl (Array.to_list Sys.argv) with
+  | "--help" :: _ | "-h" :: _ -> usage ()
+  | [] -> exit (Qsens_lint.main [ "lib"; "bin"; "bench"; "test" ])
+  | dirs -> exit (Qsens_lint.main dirs)
