@@ -192,17 +192,21 @@ let bench_lsq () =
       in
       let _, narrow = Experiment.narrow_oracle s ~box in
       let expand = Experiment.expand_theta s in
-      let signature, _ =
-        Qsens_optimizer.Narrow.explain narrow
-          ~costs:(expand (Qsens_linalg.Vec.make m 1.))
+      let signature =
+        match
+          Qsens_optimizer.Narrow.explain narrow
+            ~costs:(expand (Qsens_linalg.Vec.make m 1.))
+        with
+        | Ok (signature, _) -> signature
+        | Error _ -> assert false (* fault-free explain cannot fail *)
       in
       match Probe.estimate_usage ~narrow ~expand ~signature ~box () with
-      | None -> ()
-      | Some est ->
+      | Error _ -> ()
+      | Ok est ->
           let err =
             match Probe.validate ~narrow ~expand ~signature ~box est with
-            | Some e -> Printf.sprintf "%.3g%%" (100. *. e)
-            | None -> "-"
+            | Ok e -> Printf.sprintf "%.3g%%" (100. *. e)
+            | Error _ -> "-"
           in
           Table_r.add_row t
             [
@@ -514,8 +518,8 @@ let bench_calibration () =
           r.candidates.plans
       in
       match Calibrate.estimate_costs ~ridge:1e-6 observations with
-      | None -> ()
-      | Some theta ->
+      | Error _ -> ()
+      | Ok theta ->
           let key_err = ref 0. in
           Array.iteri
             (fun k dim ->

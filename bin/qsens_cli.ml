@@ -50,6 +50,49 @@ let seed_arg =
   let doc = "Random seed for the discovery sampling." in
   Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc)
 
+let faults_arg =
+  let doc =
+    "Inject deterministic faults into the narrow optimizer interface: \
+     $(b,canned) (5% failures + 2% multiplicative noise, seed 7), \
+     $(b,none), or a comma-separated spec of fail=P, timeout=P, \
+     cacheloss=P, add=SIGMA, mul=SIGMA, latency=MEAN, jitter=J, seed=N."
+  in
+  Arg.(value & opt (some string) None & info [ "faults" ] ~docv:"SPEC" ~doc)
+
+let retries_arg =
+  let doc =
+    "Max attempts per narrow-interface probe when faults are injected."
+  in
+  Arg.(value & opt int 4 & info [ "retries" ] ~docv:"N" ~doc)
+
+(* Parse --faults into an injector (None for absent or "none"). *)
+let injector_of_spec = function
+  | None -> None
+  | Some spec -> (
+      match Qsens_faults.Fault.plan_of_string spec with
+      | Error msg ->
+          Printf.eprintf "bad --faults spec: %s\n" msg;
+          exit 2
+      | Ok { Qsens_faults.Fault.models = []; _ } -> None
+      | Ok plan -> Some (Qsens_faults.Fault.injector plan))
+
+let retry_for ~faults ~retries =
+  match faults with
+  | None -> Qsens_faults.Fault.Retry.none
+  | Some _ ->
+      { Qsens_faults.Fault.Retry.default with max_attempts = max 1 retries }
+
+let print_fault_summary = function
+  | None -> ()
+  | Some inj ->
+      let counts = Qsens_faults.Fault.summary inj in
+      if counts = [] then print_endline "faults: none fired"
+      else begin
+        print_string "faults injected:";
+        List.iter (fun (k, n) -> Printf.printf " %s=%d" k n) counts;
+        print_newline ()
+      end
+
 let domains_arg =
   let doc =
     "OCaml domains for the analysis pool: 1 = sequential (default), 0 = \
@@ -98,13 +141,24 @@ let explain_cmd =
     Term.(const run $ sf_arg $ policy_arg $ query_arg)
 
 let worst_case_cmd =
-  let run sf policy name delta seed domains =
+  let run sf policy name delta seed domains faults retries =
     let query = lookup_query sf name in
     let schema = Qsens_tpch.Spec.schema ~sf in
     let s = Experiment.setup ~schema ~policy query in
+    let faults = injector_of_spec faults in
+    let retry = retry_for ~faults ~retries in
     let r =
-      with_domains domains (fun pool ->
-          Experiment.run ~deltas:(deltas_upto delta) ~seed ?pool s)
+      try
+        with_domains domains (fun pool ->
+            Experiment.run ~deltas:(deltas_upto delta) ~seed ?faults ~retry
+              ?pool s)
+      with Experiment.Narrow_estimation_failed { signature; error } ->
+        Printf.eprintf "narrow probing failed%s: %s\n"
+          (match signature with
+          | Some sg -> Printf.sprintf " for plan %s" sg
+          | None -> "")
+          (Qsens_faults.Fault.error_to_string error);
+        exit 1
     in
     Printf.printf
       "query %s, layout %s: %d active cost parameters, %d candidate plans%s\n"
@@ -122,13 +176,18 @@ let worst_case_cmd =
           "regime: bounded — approaches constant %.4g (Theorem 2; bound %.4g)\n"
           c r.census.theorem2
     | `Quadratic s ->
-        Printf.printf "regime: quadratic — gtc ~ %.3g * delta^2 (Theorem 1)\n" s)
+        Printf.printf "regime: quadratic — gtc ~ %.3g * delta^2 (Theorem 1)\n" s);
+    print_fault_summary faults
   in
-  let doc = "Worst-case global relative cost curve for one query." in
+  let doc =
+    "Worst-case global relative cost curve for one query.  With --faults \
+     the discovery probes run through the fault-injected narrow \
+     interface with retries."
+  in
   Cmd.v (Cmd.info "worst-case" ~doc)
     Term.(
       const run $ sf_arg $ policy_arg $ query_arg $ delta_arg $ seed_arg
-      $ domains_arg)
+      $ domains_arg $ faults_arg $ retries_arg)
 
 let candidates_cmd =
   let run sf policy name delta seed =
@@ -240,49 +299,74 @@ let figure_cmd =
       const run $ sf_arg $ number_arg $ delta_arg $ seed_arg $ domains_arg)
 
 let lsq_cmd =
-  let run sf policy name delta seed =
+  let run sf policy name delta seed faults retries =
+    let open Qsens_faults in
     let query = lookup_query sf name in
     let schema = Qsens_tpch.Spec.schema ~sf in
     let s = Experiment.setup ~schema ~policy query in
     let m = Projection.active_dim s.proj in
     let box = Qsens_geom.Box.around (Qsens_linalg.Vec.make m 1.) ~delta in
-    let _, narrow = Experiment.narrow_oracle ~seed s ~box in
+    let faults = injector_of_spec faults in
+    let retry = retry_for ~faults ~retries in
+    let robust = Option.is_some faults in
+    let _, narrow = Experiment.narrow_oracle ~seed ?faults ~retry s ~box in
     let ones = Qsens_linalg.Vec.make m 1. in
-    let signature, _ =
-      Qsens_optimizer.Narrow.explain narrow
-        ~costs:(Experiment.expand_theta s ones)
+    let explained =
+      Fault.Retry.run retry ~seed ~site:"cli.explain" (fun ~attempt:_ ->
+          Qsens_optimizer.Narrow.explain narrow
+            ~costs:(Experiment.expand_theta s ones))
     in
-    match
-      Probe.estimate_usage ~seed ~narrow ~expand:(Experiment.expand_theta s)
-        ~signature ~box ()
-    with
-    | None -> Printf.printf "estimation failed\n"
-    | Some est ->
-        Printf.printf
-          "plan %s\nestimated effective usage from %d cost observations \
-           (max fitting residual %.3g%%):\n"
-          signature est.samples (100. *. est.residual);
-        let names = Array.map (fun i -> (Qsens_cost.Groups.names s.groups).(i))
-            (Projection.active s.proj) in
-        Array.iteri
-          (fun i name -> Printf.printf "  %-28s %.6g\n" name est.usage.(i))
-          names;
-        (match
-           Probe.validate ~narrow ~expand:(Experiment.expand_theta s)
-             ~signature ~box est
-         with
-        | Some err ->
+    match explained with
+    | Error e ->
+        Printf.printf "explain failed: %s\n" (Fault.error_to_string e);
+        print_fault_summary faults;
+        exit 1
+    | Ok (signature, _) -> (
+        match
+          Probe.estimate_usage ~seed ~retry ~robust ~narrow
+            ~expand:(Experiment.expand_theta s) ~signature ~box ()
+        with
+        | Error e ->
+            Printf.printf "estimation failed: %s\n" (Fault.error_to_string e);
+            print_fault_summary faults;
+            exit 1
+        | Ok est ->
             Printf.printf
-              "validation: max cost-prediction discrepancy %.4g%% (paper: <1%%)\n"
-              (100. *. err)
-        | None -> Printf.printf "validation produced no observations\n")
+              "plan %s\nestimated effective usage from %d cost observations \
+               (max fitting residual %.3g%%%s):\n"
+              signature est.samples (100. *. est.residual)
+              (if est.dropped > 0 then
+                 Printf.sprintf ", %d probe(s) dropped" est.dropped
+               else "");
+            let names =
+              Array.map (fun i -> (Qsens_cost.Groups.names s.groups).(i))
+                (Projection.active s.proj)
+            in
+            Array.iteri
+              (fun i name -> Printf.printf "  %-28s %.6g\n" name est.usage.(i))
+              names;
+            (match
+               Probe.validate ~retry ~narrow
+                 ~expand:(Experiment.expand_theta s) ~signature ~box est
+             with
+            | Ok err ->
+                Printf.printf
+                  "validation: max cost-prediction discrepancy %.4g%% \
+                   (paper: <1%%)\n"
+                  (100. *. err)
+            | Error e ->
+                Printf.printf "validation failed: %s\n"
+                  (Fault.error_to_string e));
+            print_fault_summary faults)
   in
   let doc =
     "Recover a plan's usage vector through the narrow interface \
      (least squares, Section 6.1.1)."
   in
   Cmd.v (Cmd.info "lsq" ~doc)
-    Term.(const run $ sf_arg $ policy_arg $ query_arg $ delta_arg $ seed_arg)
+    Term.(
+      const run $ sf_arg $ policy_arg $ query_arg $ delta_arg $ seed_arg
+      $ faults_arg $ retries_arg)
 
 let diagram_cmd =
   let dims_arg =

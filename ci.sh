@@ -16,4 +16,8 @@ dune build @lint
 echo "== bench smoke"
 dune exec bench/main.exe -- --help > /dev/null
 
+echo "== fault-injection smoke"
+dune exec bin/qsens_cli.exe -- lsq Q14 -l per-table -d 4 \
+  --faults canned --retries 4 > /dev/null
+
 echo "ci: all checks passed"

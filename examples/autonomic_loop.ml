@@ -70,10 +70,10 @@ let () =
   (* Ridge-regularized toward the current estimates: dimensions the
      observed plans barely touch carry no signal and stay near 1. *)
   (match Calibrate.estimate_costs ~ridge:1e-6 observations with
-  | None ->
-      print_endline
-        "not enough independent observations to calibrate — keep monitoring"
-  | Some estimated_theta ->
+  | Error e ->
+      Printf.printf "cannot calibrate (%s) — keep monitoring\n"
+        (Qsens_faults.Fault.error_to_string e)
+  | Ok estimated_theta ->
       let err =
         Vec.norm_inf
           (Vec.map2 (fun a b -> Float.abs (a -. b) /. b) estimated_theta truth)

@@ -27,12 +27,18 @@ let () =
   let _, narrow = Experiment.narrow_oracle s ~box in
   let expand = Experiment.expand_theta s in
   let ones = Vec.make m 1. in
-  let signature, total = Qsens_optimizer.Narrow.explain narrow ~costs:(expand ones) in
+  let signature, total =
+    match Qsens_optimizer.Narrow.explain narrow ~costs:(expand ones) with
+    | Ok r -> r
+    | Error e ->
+        prerr_endline (Qsens_faults.Fault.error_to_string e);
+        exit 1
+  in
   Printf.printf "EXPLAIN says: plan %s, estimated cost %.6g\n\n" signature total;
 
   match Probe.estimate_usage ~narrow ~expand ~signature ~box () with
-  | None -> print_endline "estimation failed"
-  | Some est ->
+  | Error e -> print_endline ("estimation failed: " ^ Qsens_faults.Fault.error_to_string e)
+  | Ok est ->
       let names = Qsens_cost.Groups.names s.groups in
       let active = Projection.active s.proj in
       Printf.printf
@@ -57,11 +63,11 @@ let () =
         "\nmax relative deviation from the white-box usage vector: %.3g%%\n"
         (100. *. !worst);
       (match Probe.validate ~narrow ~expand ~signature ~box est with
-      | Some err ->
+      | Ok err ->
           Printf.printf
             "max cost-prediction discrepancy at fresh samples: %.3g%% \
              (paper: < 1%%)\n"
             (100. *. err)
-      | None -> ());
+      | Error _ -> ());
       Printf.printf "narrow-interface optimizer calls used: %d\n"
         (Qsens_optimizer.Narrow.calls narrow)

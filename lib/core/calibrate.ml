@@ -1,42 +1,30 @@
 open Qsens_linalg
+open Qsens_faults
 
 type observation = { usage : Vec.t; elapsed : float }
 
-let estimate_costs ?(ridge = 0.) ?prior observations =
+let estimate_costs ?(ridge = 0.) ?prior ?(robust = false) observations =
   match observations with
-  | [] -> None
+  | [] -> Error (Fault.Too_few_observations { got = 0; need = 1 })
   | first :: _ ->
       let n = Vec.dim first.usage in
-      if List.length observations < n && ridge <= 0. then None
+      let got = List.length observations in
+      if got < n && ridge <= 0. then
+        Error (Fault.Too_few_observations { got; need = n })
       else begin
         let c = Mat.of_rows (List.map (fun o -> o.usage) observations) in
         let t = Vec.of_list (List.map (fun o -> o.elapsed) observations) in
         if ridge <= 0. then
-          match Mat.least_squares c t with
-          | costs -> Some costs
-          | exception Mat.Singular -> None
+          match (if robust then Mat.irls c t else Mat.least_squares c t) with
+          | costs -> Ok costs
+          | exception Mat.Singular -> Error Fault.Singular_system
         else begin
-          (* (CtC + lambda I) x = Ct t + lambda prior, with lambda scaled
-             by the mean diagonal of CtC so [ridge] is unitless. *)
           let prior =
             match prior with Some p -> p | None -> Vec.make n 1.
           in
-          let ct = Mat.transpose c in
-          let normal = Mat.mul ct c in
-          let scale = ref 0. in
-          for i = 0 to n - 1 do
-            scale := !scale +. Mat.get normal i i
-          done;
-          let lambda = ridge *. Float.max 1e-300 (!scale /. Float.of_int n) in
-          for i = 0 to n - 1 do
-            Mat.set normal i i (Mat.get normal i i +. lambda)
-          done;
-          let rhs =
-            Vec.add (Mat.mul_vec ct t) (Vec.scale lambda prior)
-          in
-          match Mat.solve normal rhs with
-          | costs -> Some costs
-          | exception Mat.Singular -> None
+          match Mat.ridge_least_squares ~ridge ~prior c t with
+          | costs -> Ok costs
+          | exception Mat.Singular -> Error Fault.Singular_system
         end
       end
 
@@ -52,5 +40,4 @@ let residual costs observations =
 
 let well_posed observations ~dim =
   List.length observations >= dim
-  &&
-  match estimate_costs observations with Some _ -> true | None -> false
+  && match estimate_costs observations with Ok _ -> true | Error _ -> false

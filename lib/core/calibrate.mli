@@ -15,9 +15,11 @@
 
     Observations may be noisy (elapsed times always are); with at least
     as many linearly independent observations as resources, least squares
-    averages the noise out. *)
+    averages the noise out — and [robust] (Huber IRLS) keeps a few
+    grossly corrupted measurements from dragging the estimate. *)
 
 open Qsens_linalg
+open Qsens_faults
 
 type observation = {
   usage : Vec.t;  (** the executed plan's resource usage vector *)
@@ -25,10 +27,16 @@ type observation = {
 }
 
 val estimate_costs :
-  ?ridge:float -> ?prior:Vec.t -> observation list -> Vec.t option
-(** Least-squares estimate of the per-unit resource cost vector; [None]
-    when the observations do not span the resource space (fewer
-    observations than dimensions, or collinear usage vectors).
+  ?ridge:float ->
+  ?prior:Vec.t ->
+  ?robust:bool ->
+  observation list ->
+  (Vec.t, Fault.error) result
+(** Least-squares estimate of the per-unit resource cost vector.  The
+    error says {e why} no estimate exists — the cases the old [option]
+    conflated: [Too_few_observations] (fewer observations than
+    dimensions and no ridge), [Singular_system] (collinear usage
+    vectors).
 
     Real observation sets are often ill-conditioned: dimensions every
     executed plan barely touches carry almost no signal, and raw least
@@ -37,7 +45,12 @@ val estimate_costs :
     optimizer's current estimates — in exactly those dimensions, leaving
     well-observed dimensions to the data.  The regularizer is scaled by
     the mean squared usage so [ridge] is unitless ([1e-6] is a good
-    default for noisy observations). *)
+    default for noisy observations).
+
+    [robust] (default false) fits with Huber IRLS on the plain path, so
+    outlier elapsed times (a measurement taken during a device hiccup)
+    are downweighted; on clean data the result is identical.  It is
+    ignored when [ridge > 0]. *)
 
 val residual : Vec.t -> observation list -> float
 (** Max relative misfit of a cost vector against the observations. *)

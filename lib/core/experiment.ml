@@ -3,6 +3,13 @@ open Qsens_catalog
 open Qsens_cost
 open Qsens_plan
 open Qsens_optimizer
+open Qsens_faults
+
+exception
+  Narrow_estimation_failed of {
+    signature : string option;
+    error : Fault.error;
+  }
 
 type setup = {
   env : Env.t;
@@ -73,21 +80,37 @@ let white_box_oracle s =
       let r = Optimizer.optimize s.env s.query ~costs in
       (r.signature, effective_active s r.plan.Node.usage))
 
-let narrow_oracle ?(seed = 23) s ~box =
-  let narrow = Narrow.create s.env s.query in
+let narrow_oracle ?(seed = 23) ?faults ?retry ?breaker s ~box =
+  let narrow = Narrow.create ?faults s.env s.query in
   let expand = expand_theta s in
+  (* When faults are being injected, default to the resilient settings;
+     without faults the defaults reproduce the fault-free pipeline. *)
+  let retry =
+    match (retry, faults) with
+    | Some r, _ -> r
+    | None, Some _ -> Fault.Retry.default
+    | None, None -> Fault.Retry.none
+  in
+  let robust = Option.is_some faults in
+  let explain_resilient costs =
+    Fault.Retry.run retry ~seed:0 ~site:"experiment.explain" (fun ~attempt:_ ->
+        Narrow.explain narrow ~costs)
+  in
   let counter = ref seed in
   let oracle =
     Oracle.make ~dim:(Projection.active_dim s.proj) ~probe:(fun theta ->
-        let signature, _cost = Narrow.explain narrow ~costs:(expand theta) in
-        incr counter;
-        match
-          Probe.estimate_usage ~seed:!counter ~narrow ~expand ~signature ~box ()
-        with
-        | Some e -> (signature, e.usage)
-        | None ->
-            (* Should not happen: explain just recorded the signature. *)
-            failwith "narrow_oracle: usage estimation failed")
+        match explain_resilient (expand theta) with
+        | Error error -> raise (Narrow_estimation_failed { signature = None; error })
+        | Ok (signature, _cost) -> (
+            incr counter;
+            match
+              Probe.estimate_usage ~seed:!counter ~retry ?breaker ~robust
+                ~narrow ~expand ~signature ~box ()
+            with
+            | Ok e -> (signature, e.usage)
+            | Error error ->
+                raise
+                  (Narrow_estimation_failed { signature = Some signature; error })))
   in
   (oracle, narrow)
 
@@ -145,12 +168,14 @@ type report = {
 }
 
 let run ?(deltas = Worst_case.default_deltas) ?(seed = 42) ?(narrow = false)
-    ?random_corners ?max_probes ?pool s =
+    ?faults ?retry ?breaker ?random_corners ?max_probes ?pool s =
   let m = Projection.active_dim s.proj in
   let delta_max = List.fold_left Float.max 1. deltas in
   let box = Qsens_geom.Box.around (Vec.make m 1.) ~delta:delta_max in
   let oracle =
-    if narrow then fst (narrow_oracle ~seed s ~box) else white_box_oracle s
+    if narrow || Option.is_some faults then
+      fst (narrow_oracle ~seed ?faults ?retry ?breaker s ~box)
+    else white_box_oracle s
   in
   let candidates =
     Candidates.discover ~seed ?random_corners ?max_probes ?pool oracle ~box

@@ -12,6 +12,17 @@ open Qsens_catalog
 open Qsens_cost
 open Qsens_plan
 open Qsens_optimizer
+open Qsens_faults
+
+exception
+  Narrow_estimation_failed of {
+    signature : string option;  (** [None]: the initial EXPLAIN failed *)
+    error : Fault.error;  (** which failure occurred — see {!Fault.error} *)
+  }
+(** Raised by the narrow oracle when usage estimation fails after all
+    configured retries.  The payload reports {e which} of the previously
+    conflated causes occurred (too few observations, singular system,
+    interface refusal, open circuit, …) and for which plan. *)
 
 type setup = {
   env : Env.t;
@@ -40,9 +51,21 @@ val expand_theta : setup -> Vec.t -> Vec.t
 
 val white_box_oracle : setup -> Oracle.t
 
-val narrow_oracle : ?seed:int -> setup -> box:Qsens_geom.Box.t -> Oracle.t * Narrow.t
+val narrow_oracle :
+  ?seed:int ->
+  ?faults:Fault.injector ->
+  ?retry:Fault.Retry.policy ->
+  ?breaker:Fault.Breaker.t ->
+  setup ->
+  box:Qsens_geom.Box.t ->
+  Oracle.t * Narrow.t
 (** An oracle that sees only plan signatures and scalar costs, recovering
-    usage vectors by least-squares (Section 6.1.1). *)
+    usage vectors by least-squares (Section 6.1.1).  [faults] injects
+    deterministic faults into the narrow interface; when present, the
+    oracle defaults to {!Fault.Retry.default} and robust (Huber)
+    fitting, so transient faults are absorbed rather than fatal.
+    Unrecoverable failures raise {!Narrow_estimation_failed} with the
+    typed cause. *)
 
 type census = {
   pairs : int;
@@ -69,13 +92,19 @@ val run :
   ?deltas:float list ->
   ?seed:int ->
   ?narrow:bool ->
+  ?faults:Fault.injector ->
+  ?retry:Fault.Retry.policy ->
+  ?breaker:Fault.Breaker.t ->
   ?random_corners:int ->
   ?max_probes:int ->
   ?pool:Qsens_parallel.Pool.t ->
   setup ->
   report
 (** Full pipeline.  [narrow] (default false) drives discovery through the
-    narrow interface instead of the white box.  The discovery box spans
-    the largest delta of [deltas] (default {!Worst_case.default_deltas}).
-    [?pool] parallelizes candidate verification and the worst-case curve
-    across domains; results are identical to the sequential run. *)
+    narrow interface instead of the white box.  [faults] implies the
+    narrow path (faults are injected at the narrow interface) with
+    retries and robust fitting; see {!narrow_oracle}.  The discovery box
+    spans the largest delta of [deltas] (default
+    {!Worst_case.default_deltas}).  [?pool] parallelizes candidate
+    verification and the worst-case curve across domains; results are
+    identical to the sequential run. *)

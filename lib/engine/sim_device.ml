@@ -1,19 +1,23 @@
 open Qsens_catalog
+open Qsens_faults
 
 let extent = 64
 
 type counters = { mutable seeks : float; mutable transfers : float;
                   mutable last : (string * int) option;
-                  mutable run_len : int }
+                  mutable run_len : int;
+                  mutable retried : float;
+                  mutable latency : float }
 
 type t = {
   devices : (string, counters) Hashtbl.t;
   pool : (string * int, unit) Hashtbl.t;
   fifo : (string * int) Queue.t;
   capacity : int;
+  faults : Fault.injector option;
 }
 
-let create ?buffer_pages () =
+let create ?buffer_pages ?faults () =
   let capacity =
     match buffer_pages with
     | Some n -> n
@@ -24,6 +28,7 @@ let create ?buffer_pages () =
     pool = Hashtbl.create 1024;
     fifo = Queue.create ();
     capacity;
+    faults;
   }
 
 let counters t dev =
@@ -31,7 +36,10 @@ let counters t dev =
   match Hashtbl.find_opt t.devices name with
   | Some c -> c
   | None ->
-      let c = { seeks = 0.; transfers = 0.; last = None; run_len = 0 } in
+      let c =
+        { seeks = 0.; transfers = 0.; last = None; run_len = 0;
+          retried = 0.; latency = 0. }
+      in
       Hashtbl.add t.devices name c;
       c
 
@@ -65,16 +73,39 @@ let charge_io c ~obj ~page =
   end;
   c.last <- Some (obj, page)
 
+(* A fault on a simulated device never loses the page — the driver
+   retries until it arrives — but a retried I/O pays a second transfer
+   and a re-positioning seek, and noise/latency models accrue service
+   time.  The sequential-run state is left alone: the retry re-reads the
+   same page, so the head ends where it would have anyway. *)
+let inject_io t dev c =
+  match t.faults with
+  | None -> ()
+  | Some inj ->
+      let retried, latency =
+        Fault.io_outcome inj ~site:("device." ^ Device.name dev)
+      in
+      if retried then begin
+        c.retried <- c.retried +. 1.;
+        c.transfers <- c.transfers +. 1.;
+        c.seeks <- c.seeks +. 1.
+      end;
+      c.latency <- c.latency +. latency
+
 let access t dev ~obj ~page =
   let key = (obj, page) in
   if Hashtbl.mem t.pool key then ()
   else begin
-    charge_io (counters t dev) ~obj ~page;
+    let c = counters t dev in
+    charge_io c ~obj ~page;
+    inject_io t dev c;
     pool_admit t key
   end
 
 let write t dev ~obj ~page =
-  charge_io (counters t dev) ~obj ~page;
+  let c = counters t dev in
+  charge_io c ~obj ~page;
+  inject_io t dev c;
   pool_admit t (obj, page)
 
 let seeks t dev =
@@ -85,6 +116,16 @@ let seeks t dev =
 let transfers t dev =
   match Hashtbl.find_opt t.devices (Device.name dev) with
   | Some c -> c.transfers
+  | None -> 0.
+
+let retries t dev =
+  match Hashtbl.find_opt t.devices (Device.name dev) with
+  | Some c -> c.retried
+  | None -> 0.
+
+let latency t dev =
+  match Hashtbl.find_opt t.devices (Device.name dev) with
+  | Some c -> c.latency
   | None -> 0.
 
 let usage t space =

@@ -7,13 +7,21 @@
     extent boundary within a run still costs a track-to-track seek every
     {!extent} pages, matching the optimizer's cost model).  The pool is
     approximated with a FIFO of page identities, adequate for validating
-    aggregate I/O counts. *)
+    aggregate I/O counts.
+
+    With [faults], every physical I/O consults the injector (site
+    ["device.<name>"]): a firing failure or timeout means the driver
+    retried — the page still arrives, but the device pays a second
+    transfer and a re-positioning seek — and noise/latency models accrue
+    simulated service time.  Injection is deterministic per device and
+    I/O index; without [faults] nothing changes. *)
 
 open Qsens_catalog
+open Qsens_faults
 
 type t
 
-val create : ?buffer_pages:int -> unit -> t
+val create : ?buffer_pages:int -> ?faults:Fault.injector -> unit -> t
 (** Buffer capacity defaults to
     {!Qsens_cost.Defaults.buffer_pool_pages}. *)
 
@@ -30,6 +38,13 @@ val write : t -> Device.t -> obj:string -> page:int -> unit
 val seeks : t -> Device.t -> float
 
 val transfers : t -> Device.t -> float
+
+val retries : t -> Device.t -> float
+(** I/Os the (simulated) driver had to repeat because an injected fault
+    fired.  Each one is also counted in {!seeks} and {!transfers}. *)
+
+val latency : t -> Device.t -> float
+(** Simulated service time accrued from injected noise/latency models. *)
 
 val usage : t -> Qsens_cost.Space.t -> Qsens_linalg.Vec.t
 (** Fold the counters into a resource usage vector over a space (CPU is

@@ -142,6 +142,84 @@ let least_squares c t =
   let rhs = mul_vec ct t in
   solve normal rhs
 
+let ridge_least_squares ~ridge ~prior c t =
+  if ridge <= 0. then invalid_arg "Mat.ridge_least_squares: ridge <= 0";
+  let n = cols c in
+  if Array.length prior <> n then
+    invalid_arg "Mat.ridge_least_squares: prior dimension mismatch";
+  (* (CtC + lambda I) x = Ct t + lambda prior, with lambda scaled by the
+     mean diagonal of CtC so [ridge] is unitless. *)
+  let ct = transpose c in
+  let normal = mul ct c in
+  let scale = ref 0. in
+  for i = 0 to n - 1 do
+    scale := !scale +. get normal i i
+  done;
+  let lambda = ridge *. Float.max 1e-300 (!scale /. Float.of_int n) in
+  for i = 0 to n - 1 do
+    set normal i i (get normal i i +. lambda)
+  done;
+  let rhs = Array.mapi (fun i x -> x +. (lambda *. prior.(i))) (mul_vec ct t) in
+  solve normal rhs
+
+(* Iteratively reweighted least squares with Huber weights.  Residuals
+   are scaled by 1.4826 * median |r| (a robust sigma estimate); points
+   beyond [tuning] scaled deviations are downweighted proportionally to
+   1/|r|, so a few corrupted observations degrade the fit instead of
+   dragging it.  When the residual scale is (numerically) zero — clean,
+   exactly-consistent observations — the OLS solution is returned
+   untouched, which keeps fault-free runs bit-identical to
+   [least_squares]. *)
+let dot_row c i x =
+  let acc = ref 0. in
+  for j = 0 to cols c - 1 do
+    acc := !acc +. (get c i j *. x.(j))
+  done;
+  !acc
+
+let irls ?(max_iter = 20) ?(tol = 1e-10) ?(tuning = 1.345) c t =
+  let m = rows c and n = cols c in
+  let x = ref (least_squares c t) in
+  let residual x = Array.init m (fun i -> t.(i) -. dot_row c i x)
+  and continue_ = ref true
+  and iter = ref 0 in
+  while !continue_ && !iter < max_iter do
+    incr iter;
+    let r = residual !x in
+    let abs_r = Array.map Float.abs r in
+    let sorted = Array.copy abs_r in
+    Array.sort Float.compare sorted;
+    let median =
+      if m mod 2 = 1 then sorted.(m / 2)
+      else (sorted.((m / 2) - 1) +. sorted.(m / 2)) /. 2.
+    in
+    let s = 1.4826 *. median in
+    let scale_floor =
+      1e-12 *. Float.max 1. (Array.fold_left (fun a v -> Float.max a (Float.abs v)) 0. t)
+    in
+    if s <= scale_floor then continue_ := false
+    else begin
+      let k = tuning *. s in
+      let w =
+        Array.map (fun a -> if a <= k then 1. else k /. a) abs_r
+      in
+      (* weighted normal equations via sqrt-weight row scaling *)
+      let cw = init m n (fun i j -> sqrt w.(i) *. get c i j) in
+      let tw = Array.mapi (fun i ti -> sqrt w.(i) *. ti) t in
+      let x' = least_squares cw tw in
+      let delta =
+        Array.fold_left (fun a v -> Float.max a (Float.abs v)) 0.
+          (Array.mapi (fun i v -> v -. !x.(i)) x')
+      in
+      let size =
+        Array.fold_left (fun a v -> Float.max a (Float.abs v)) 1. x'
+      in
+      x := x';
+      if delta <= tol *. size then continue_ := false
+    end
+  done;
+  !x
+
 let pp ppf m =
   Format.fprintf ppf "@[<v>";
   for i = 0 to m.nr - 1 do

@@ -66,4 +66,24 @@ val least_squares : t -> Vec.t -> Vec.t
     observed total costs).  Raises [Singular] when the observations do not
     span the resource space. *)
 
+val ridge_least_squares : ridge:float -> prior:Vec.t -> t -> Vec.t -> Vec.t
+(** Tikhonov-regularized least squares shrinking toward [prior]:
+    [(cᵀc + λI) x = cᵀ t + λ prior], with [λ] scaled by the mean
+    diagonal of [cᵀc] so [ridge] is unitless.  Solvable even when the
+    plain normal equations are underdetermined or singular (any
+    [ridge > 0] makes the system positive definite for full-rank-zero
+    data too, barring exact cancellation); raises [Singular] only in
+    the degenerate all-zero case.  Raises [Invalid_argument] when
+    [ridge <= 0] or the prior dimension mismatches. *)
+
+val irls : ?max_iter:int -> ?tol:float -> ?tuning:float -> t -> Vec.t -> Vec.t
+(** Outlier-robust least squares: iteratively reweighted with Huber
+    weights, residual scale 1.4826 x median absolute residual, weight
+    [min 1 (k/|r|)] at [k = tuning * scale] (default 1.345, the classic
+    95%-efficiency constant).  Observations the faults layer corrupted
+    degrade the residual instead of dragging the estimate.  On clean,
+    exactly-consistent data the residual scale is zero and the plain
+    {!least_squares} solution is returned bit-identically.  Raises
+    [Singular] like {!least_squares}. *)
+
 val pp : Format.formatter -> t -> unit

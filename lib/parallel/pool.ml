@@ -8,12 +8,27 @@
 
 type batch = {
   tasks : (unit -> unit) array;
+  retries : int;
   mutable next : int;
   mutable completed : int;
   mutable failure : (exn * Printexc.raw_backtrace) option;
   batch_lock : Mutex.t;
   finished : Condition.t;
 }
+
+(* Run one task, re-running it up to [retries] extra times if it raises.
+   Deterministic tasks that raise will raise again — retries only help
+   tasks whose failures are transient (e.g. probing through a faulty
+   interface) — so the default is zero. *)
+let attempt_task ~retries f =
+  let rec go k =
+    match f () with
+    | () -> None
+    | exception e ->
+        if k < retries then go (k + 1)
+        else Some (e, Printexc.get_raw_backtrace ())
+  in
+  go 0
 
 type t = {
   size : int;
@@ -60,12 +75,7 @@ let run_tasks b =
       let i = b.next in
       b.next <- i + 1;
       Mutex.unlock b.batch_lock;
-      let failure =
-        try
-          b.tasks.(i) ();
-          None
-        with e -> Some (e, Printexc.get_raw_backtrace ())
-      in
+      let failure = attempt_task ~retries:b.retries b.tasks.(i) in
       Mutex.lock b.batch_lock;
       (match (failure, b.failure) with
       | Some f, None -> b.failure <- Some f
@@ -129,14 +139,22 @@ let with_pool ?domains f =
   let pool = create ?domains () in
   Fun.protect ~finally:(fun () -> shutdown pool) (fun () -> f pool)
 
-let run pool tasks =
+let run ?(retry = 0) pool tasks =
+  let retries = if retry < 0 then 0 else retry in
   let total = Array.length tasks in
   if total = 0 then ()
-  else if pool.size <= 1 || total = 1 then Array.iter (fun f -> f ()) tasks
+  else if pool.size <= 1 || total = 1 then
+    Array.iter
+      (fun f ->
+        match attempt_task ~retries f with
+        | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+        | None -> ())
+      tasks
   else begin
     let b =
       {
         tasks;
+        retries;
         next = 0;
         completed = 0;
         failure = None;
@@ -180,25 +198,38 @@ let resolve_chunks pool ~n = function
   | Some _ -> invalid_arg "Pool: chunks must be >= 1"
   | None -> max 1 (min n (pool.size * 4))
 
-let parallel_for_chunked ?chunks pool ~n body =
+let parallel_for_chunked ?chunks ?retry pool ~n body =
   if n > 0 then begin
     let chunks = resolve_chunks pool ~n chunks in
-    if pool.size <= 1 || chunks = 1 then body 0 n
+    if pool.size <= 1 || chunks = 1 then
+      match attempt_task ~retries:(Option.value ~default:0 retry) (fun () -> body 0 n) with
+      | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+      | None -> ()
     else
-      run pool
+      run ?retry pool
         (Array.init chunks (fun i ->
              let lo, hi = chunk_bounds ~n ~chunks i in
              fun () -> body lo hi))
   end
 
-let map_reduce ?chunks pool ~n ~map ~reduce ~init =
+let map_reduce ?chunks ?retry pool ~n ~map ~reduce ~init =
   if n <= 0 then init
   else begin
     let chunks = resolve_chunks pool ~n chunks in
-    if pool.size <= 1 || chunks = 1 then reduce init (map 0 n)
+    if pool.size <= 1 || chunks = 1 then begin
+      let result = ref None in
+      (match
+         attempt_task
+           ~retries:(Option.value ~default:0 retry)
+           (fun () -> result := Some (map 0 n))
+       with
+      | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+      | None -> ());
+      match !result with Some v -> reduce init v | None -> init
+    end
     else begin
       let results = Array.make chunks None in
-      run pool
+      run ?retry pool
         (Array.init chunks (fun i ->
              let lo, hi = chunk_bounds ~n ~chunks i in
              fun () -> results.(i) <- Some (map lo hi)));

@@ -52,13 +52,17 @@ val default_domains : unit -> int
 (** [QSENS_DOMAINS] if set to a positive integer, otherwise
     [Domain.recommended_domain_count ()], clamped to [1 .. 128]. *)
 
-val run : t -> (unit -> unit) array -> unit
+val run : ?retry:int -> t -> (unit -> unit) array -> unit
 (** [run pool tasks] executes every task exactly once across the pool
     (the caller participates) and returns when all have finished.  The
     first exception raised by a task is re-raised after the batch
     completes, with the backtrace it was originally raised with (the
     trace points into the task body, not into the pool internals).
-    Raises [Invalid_argument] on nested or concurrent use. *)
+    [retry] (default 0) re-runs a raising task up to that many extra
+    times before recording the failure — useful only for tasks whose
+    failures are transient, e.g. probes through a fault-injected
+    interface; a deterministic task will just fail again.  Raises
+    [Invalid_argument] on nested or concurrent use. *)
 
 val chunk_bounds : n:int -> chunks:int -> int -> int * int
 (** [chunk_bounds ~n ~chunks i] is the half-open range [(lo, hi)] of the
@@ -66,14 +70,16 @@ val chunk_bounds : n:int -> chunks:int -> int -> int * int
     Deterministic in its arguments; sizes differ by at most one. *)
 
 val parallel_for_chunked :
-  ?chunks:int -> t -> n:int -> (int -> int -> unit) -> unit
+  ?chunks:int -> ?retry:int -> t -> n:int -> (int -> int -> unit) -> unit
 (** [parallel_for_chunked pool ~n body] calls [body lo hi] for each
     chunk, covering [0 .. n-1] exactly once.  [chunks] defaults to
     [4 * domains pool] (capped at [n]).  With one domain the single
-    call [body 0 n] runs inline. *)
+    call [body 0 n] runs inline.  [retry] as in {!run} (the inline path
+    honours it too). *)
 
 val map_reduce :
   ?chunks:int ->
+  ?retry:int ->
   t ->
   n:int ->
   map:(int -> int -> 'a) ->

@@ -86,8 +86,8 @@ let test_calibrate_exact () =
     List.map (fun u -> { Calibrate.usage = u; elapsed = Vec.dot u truth }) usage
   in
   (match Calibrate.estimate_costs observations with
-  | Some c -> Alcotest.(check bool) "exact recovery" true (Vec.equal ~eps:1e-6 c truth)
-  | None -> Alcotest.fail "expected estimate");
+  | Ok c -> Alcotest.(check bool) "exact recovery" true (Vec.equal ~eps:1e-6 c truth)
+  | Error _ -> Alcotest.fail "expected estimate");
   Alcotest.(check bool) "well posed" true
     (Calibrate.well_posed observations ~dim:3)
 
@@ -101,8 +101,8 @@ let test_calibrate_noisy () =
   in
   let observations = observe usage truth 3 in
   match Calibrate.estimate_costs observations with
-  | None -> Alcotest.fail "expected estimate"
-  | Some c ->
+  | Error _ -> Alcotest.fail "expected estimate"
+  | Ok c ->
       Array.iteri
         (fun i x ->
           (* the modular design matrix is fairly ill-conditioned, so the
@@ -117,8 +117,15 @@ let test_calibrate_underdetermined () =
   let observations =
     [ { Calibrate.usage = [| 1.; 0. |]; elapsed = 5. } ]
   in
-  Alcotest.(check bool) "one observation, two dims" true
-    (Calibrate.estimate_costs observations = None);
+  (* The typed error distinguishes the causes the old option conflated:
+     too few observations vs a singular (collinear) system. *)
+  (match Calibrate.estimate_costs observations with
+  | Error (Qsens_faults.Fault.Too_few_observations { got = 1; need = 2 }) -> ()
+  | Ok _ -> Alcotest.fail "one observation cannot determine two dims"
+  | Error e ->
+      Alcotest.fail
+        ("expected Too_few_observations, got "
+        ^ Qsens_faults.Fault.error_to_string e));
   Alcotest.(check bool) "not well posed" false
     (Calibrate.well_posed observations ~dim:2);
   (* Collinear observations cannot determine two dimensions either. *)
@@ -127,8 +134,13 @@ let test_calibrate_underdetermined () =
       { Calibrate.usage = [| 2.; 2. |]; elapsed = 4. };
       { Calibrate.usage = [| 3.; 3. |]; elapsed = 6. } ]
   in
-  Alcotest.(check bool) "collinear" true
-    (Calibrate.estimate_costs collinear = None)
+  match Calibrate.estimate_costs collinear with
+  | Error Qsens_faults.Fault.Singular_system -> ()
+  | Ok _ -> Alcotest.fail "collinear observations cannot determine two dims"
+  | Error e ->
+      Alcotest.fail
+        ("expected Singular_system, got "
+        ^ Qsens_faults.Fault.error_to_string e)
 
 let test_calibrate_ridge_uses_prior () =
   (* Only dimension 0 is observed; ridge keeps dimension 1 at the prior
@@ -141,8 +153,8 @@ let test_calibrate_ridge_uses_prior () =
   match
     Calibrate.estimate_costs ~ridge:1e-6 ~prior:[| 1.; 7. |] observations
   with
-  | None -> Alcotest.fail "ridge should always solve"
-  | Some c ->
+  | Error _ -> Alcotest.fail "ridge should always solve"
+  | Ok c ->
       Alcotest.(check bool) "observed dim from data" true
         (Float.abs (c.(0) -. 30.) < 0.1);
       Alcotest.(check bool) "unobserved dim from prior" true
@@ -172,8 +184,8 @@ let test_calibrate_then_reoptimize () =
       r.candidates.plans
   in
   match Calibrate.estimate_costs ~ridge:1e-6 observations with
-  | None -> Alcotest.fail "calibration failed"
-  | Some theta ->
+  | Error _ -> Alcotest.fail "calibration failed"
+  | Ok theta ->
       let true_costs = Experiment.expand_theta s truth in
       let stale =
         Qsens_optimizer.Optimizer.optimize s.env query

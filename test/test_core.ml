@@ -492,22 +492,28 @@ let test_lsq_recovers_usage () =
   let _, narrow = Experiment.narrow_oracle s ~box in
   let ones = Vec.make m 1. in
   let expand = Experiment.expand_theta s in
-  let signature, _ = Qsens_optimizer.Narrow.explain narrow ~costs:(expand ones) in
+  let signature =
+    match Qsens_optimizer.Narrow.explain narrow ~costs:(expand ones) with
+    | Ok (signature, _) -> signature
+    | Error _ -> Alcotest.fail "fault-free explain cannot fail"
+  in
   match Probe.estimate_usage ~narrow ~expand ~signature ~box () with
-  | None -> Alcotest.fail "estimation failed"
-  | Some est -> (
+  | Error _ -> Alcotest.fail "estimation failed"
+  | Ok est -> (
       Alcotest.(check bool) "2n samples" true (est.samples >= 2 * m);
       Alcotest.(check bool) "tiny residual" true (est.residual < 0.01);
+      Alcotest.(check int) "no dropped probes" 0 est.dropped;
+      Alcotest.(check bool) "not degraded" false est.degraded;
       (* Compare against the white-box truth. *)
       let oracle = Experiment.white_box_oracle s in
       let _, truth = Oracle.probe oracle ones in
       Alcotest.(check bool) "recovers white-box usage" true
         (Vec.equal ~eps:(1e-4 *. Vec.norm_inf truth) est.usage truth);
       match Probe.validate ~narrow ~expand ~signature ~box est with
-      | Some err ->
+      | Ok err ->
           (* The paper reports < 1% discrepancy; ours is numerically exact. *)
           Alcotest.(check bool) "validation < 1%" true (err < 0.01)
-      | None -> Alcotest.fail "validation failed")
+      | Error _ -> Alcotest.fail "validation failed")
 
 let test_narrow_discovery_equals_white_box () =
   (* Running the whole discovery pipeline through the narrow interface

@@ -1,0 +1,533 @@
+(* The fault-injection harness and the resilient probing pipeline.
+
+   Covers the contracts DESIGN.md section 9 documents: plan parsing,
+   transcript determinism, retry backoff and deadlines, breaker
+   thresholds, bit-identical recovery under transient faults (qcheck),
+   the canned-adversary acceptance bound, IRLS outlier robustness,
+   device-level injection, and pool task retry. *)
+
+(* qsens-lint: disable-file=P001 — the pool-retry tests mutate
+   per-task disjoint slots (and a single-domain ref) on purpose, to
+   observe that retried tasks really ran. *)
+
+open Qsens_faults
+open Qsens_core
+open Qsens_linalg
+
+let sf = 100.
+let schema = Qsens_tpch.Spec.schema ~sf
+
+let fault_error = Alcotest.testable Fault.pp_error ( = )
+
+(* ------------------------------------------------------------------ *)
+(* Plans and parsing *)
+
+let test_plan_parsing () =
+  (match Fault.plan_of_string "canned" with
+  | Ok p -> Alcotest.(check string) "canned name" "canned" p.Fault.name
+  | Error e -> Alcotest.fail e);
+  (match Fault.plan_of_string "none" with
+  | Ok p -> Alcotest.(check int) "none has no models" 0 (List.length p.models)
+  | Error e -> Alcotest.fail e);
+  (match Fault.plan_of_string "fail=0.05,mul=0.02,seed=7" with
+  | Ok p ->
+      Alcotest.(check int) "two models" 2 (List.length p.models);
+      Alcotest.(check int) "seed" 7 p.seed;
+      (* Round trip through the printer. *)
+      (match Fault.plan_of_string (Fault.plan_to_string p) with
+      | Ok p' -> Alcotest.(check bool) "round trip" true (p' = p)
+      | Error e -> Alcotest.fail e)
+  | Error e -> Alcotest.fail e);
+  (match Fault.plan_of_string "fail=1.5" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "probability > 1 must be rejected");
+  match Fault.plan_of_string "frobnicate=1" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "unknown key must be rejected"
+
+let test_plan_validation () =
+  Alcotest.check_raises "negative sigma"
+    (Invalid_argument "Fault.plan: sigma must be >= 0") (fun () ->
+      ignore (Fault.plan [ Fault.Additive_noise (-1.) ]))
+
+(* ------------------------------------------------------------------ *)
+(* Injector determinism *)
+
+let exercise inj =
+  (* A fixed interleaved call sequence over two sites. *)
+  for i = 0 to 49 do
+    let site = if i mod 3 = 0 then "site.a" else "site.b" in
+    ignore (Fault.apply inj ~site (Float.of_int (i + 1)));
+    if i mod 5 = 0 then ignore (Fault.evicts inj ~site)
+  done
+
+let test_identical_transcripts () =
+  let plan =
+    Fault.plan ~name:"det" ~seed:11
+      [ Fault.Failure 0.2; Fault.Multiplicative_noise 0.05;
+        Fault.Cache_loss 0.3; Fault.Latency { mean = 2.; jitter = 0.5 } ]
+  in
+  let a = Fault.injector plan and b = Fault.injector plan in
+  exercise a;
+  exercise b;
+  Alcotest.(check bool) "some events fired" true (Fault.transcript a <> []);
+  Alcotest.(check bool) "equal transcripts" true
+    (Fault.transcript a = Fault.transcript b);
+  Alcotest.(check bool) "equal summaries" true
+    (Fault.summary a = Fault.summary b);
+  Alcotest.(check (float 0.)) "equal latency" (Fault.latency_total a)
+    (Fault.latency_total b);
+  (* reset forgets everything, and a re-run reproduces the transcript. *)
+  let t = Fault.transcript a in
+  Fault.reset a;
+  Alcotest.(check bool) "reset clears" true (Fault.transcript a = []);
+  exercise a;
+  Alcotest.(check bool) "reproducible after reset" true
+    (Fault.transcript a = t)
+
+let test_apply_outcomes () =
+  let certain = Fault.injector (Fault.plan ~seed:1 [ Fault.Failure 1. ]) in
+  (match Fault.apply certain ~site:"s" 10. with
+  | Error `Failed -> ()
+  | _ -> Alcotest.fail "Failure 1.0 must always fail");
+  let never = Fault.injector (Fault.plan ~seed:1 []) in
+  (match Fault.apply never ~site:"s" 10. with
+  | Ok v -> Alcotest.(check (float 0.)) "empty plan is identity" 10. v
+  | Error _ -> Alcotest.fail "empty plan cannot fail");
+  Alcotest.(check bool) "apply_opt None is identity" true
+    (Fault.apply_opt None ~site:"s" 10. = Ok 10.)
+
+(* ------------------------------------------------------------------ *)
+(* Retry *)
+
+let quick_policy =
+  { Fault.Retry.max_attempts = 5; base_backoff = 0.1; multiplier = 2.;
+    jitter = 0.5; deadline = Float.infinity }
+
+let test_retry_recovers_transient () =
+  let calls = ref 0 in
+  let r =
+    Fault.Retry.run quick_policy ~seed:3 ~site:"t" (fun ~attempt ->
+        incr calls;
+        if attempt < 3 then
+          Error (Fault.Probe_failed { site = "t"; attempts = attempt })
+        else Ok attempt)
+  in
+  Alcotest.(check (result int fault_error)) "succeeds on attempt 3" (Ok 3) r;
+  Alcotest.(check int) "three calls" 3 !calls
+
+let test_retry_exhausts_with_attempt_count () =
+  let r =
+    Fault.Retry.run quick_policy ~seed:3 ~site:"t" (fun ~attempt:_ ->
+        Error (Fault.Probe_failed { site = "t"; attempts = 0 }))
+  in
+  Alcotest.(check (result int fault_error))
+    "final error carries the attempt count"
+    (Error (Fault.Probe_failed { site = "t"; attempts = 5 }))
+    r
+
+let test_retry_fatal_aborts_immediately () =
+  let calls = ref 0 in
+  let r =
+    Fault.Retry.run quick_policy ~seed:3 ~site:"t" (fun ~attempt:_ ->
+        incr calls;
+        Error Fault.Singular_system)
+  in
+  Alcotest.(check (result int fault_error)) "fatal error"
+    (Error Fault.Singular_system) r;
+  Alcotest.(check int) "no retry on fatal errors" 1 !calls
+
+let test_retry_deadline_is_timeout () =
+  let policy = { quick_policy with base_backoff = 10.; deadline = 5. } in
+  let r =
+    Fault.Retry.run policy ~seed:3 ~site:"t" (fun ~attempt:_ ->
+        Error (Fault.Probe_failed { site = "t"; attempts = 0 }))
+  in
+  match r with
+  | Error (Fault.Probe_timeout { site = "t"; attempts = 1 }) -> ()
+  | _ -> Alcotest.fail "blowing the virtual deadline must be Probe_timeout"
+
+let test_retry_none_is_single_attempt () =
+  let calls = ref 0 in
+  ignore
+    (Fault.Retry.run Fault.Retry.none ~seed:0 ~site:"t" (fun ~attempt:_ ->
+         incr calls;
+         (Error (Fault.Probe_failed { site = "t"; attempts = 0 })
+           : (unit, Fault.error) result)));
+  Alcotest.(check int) "exactly one attempt" 1 !calls
+
+(* ------------------------------------------------------------------ *)
+(* Circuit breaker: trips at 5 consecutive failures, cools down over 8
+   acquisitions, half-opens for one trial call. *)
+
+let test_breaker_thresholds () =
+  let b = Fault.Breaker.create () in
+  for _ = 1 to 4 do
+    Fault.Breaker.record_failure b
+  done;
+  Alcotest.(check bool) "still closed at 4 failures" true
+    (Fault.Breaker.state b = Fault.Breaker.Closed);
+  Fault.Breaker.record_failure b;
+  Alcotest.(check bool) "open at the 5th" true
+    (Fault.Breaker.state b = Fault.Breaker.Open);
+  Alcotest.(check int) "one trip" 1 (Fault.Breaker.trips b);
+  (* The cooldown spans 8 acquisitions: 7 refusals, then the 8th is
+     admitted as the half-open trial call. *)
+  for i = 1 to 7 do
+    Alcotest.(check bool)
+      (Printf.sprintf "refusal %d" i)
+      false (Fault.Breaker.acquire b)
+  done;
+  Alcotest.(check bool) "8th acquisition admitted" true
+    (Fault.Breaker.acquire b);
+  Alcotest.(check bool) "half-open" true
+    (Fault.Breaker.state b = Fault.Breaker.Half_open);
+  (* Success closes... *)
+  Fault.Breaker.record_success b;
+  Alcotest.(check bool) "closed after trial success" true
+    (Fault.Breaker.state b = Fault.Breaker.Closed);
+  (* ...and a half-open failure re-trips immediately. *)
+  for _ = 1 to 5 do
+    Fault.Breaker.record_failure b
+  done;
+  for _ = 1 to 8 do
+    ignore (Fault.Breaker.acquire b)
+  done;
+  Fault.Breaker.record_failure b;
+  Alcotest.(check bool) "re-tripped from half-open" true
+    (Fault.Breaker.state b = Fault.Breaker.Open);
+  Alcotest.(check int) "three trips" 3 (Fault.Breaker.trips b)
+
+(* ------------------------------------------------------------------ *)
+(* The probing pipeline on the real narrow interface *)
+
+let q14_setup () =
+  Experiment.setup ~schema
+    ~policy:Qsens_catalog.Layout.Per_table_devices
+    (Qsens_tpch.Queries.find ~sf "Q14")
+
+let estimate ?faults ?(retry = Fault.Retry.none) ?robust ?oversample s ~box =
+  let narrow = Qsens_optimizer.Narrow.create ?faults s.Experiment.env s.query in
+  let expand = Experiment.expand_theta s in
+  let ones = Vec.make (Qsens_geom.Box.dim box) 1. in
+  match
+    Fault.Retry.run retry ~seed:0 ~site:"test.explain" (fun ~attempt:_ ->
+        Qsens_optimizer.Narrow.explain narrow ~costs:(expand ones))
+  with
+  | Error e -> Error e
+  | Ok (signature, _) ->
+      Probe.estimate_usage ~retry ?robust ?oversample ~narrow ~expand ~signature
+        ~box ()
+
+let patient_policy =
+  { Fault.Retry.max_attempts = 12; base_backoff = 0.001; multiplier = 2.;
+    jitter = 0.5; deadline = Float.infinity }
+
+(* Under purely transient faults (failures only: no value is ever
+   perturbed), retry + backoff must reproduce the fault-free estimate
+   bit-identically — theta sampling draws from its own stream, so
+   retries cannot shift the observation sequence. *)
+(* One shared setup for the pipeline tests: the property runs many
+   times, and Experiment.setup is the expensive part. *)
+let shared = lazy (q14_setup ())
+
+let test_transient_faults_bit_identical =
+  QCheck.Test.make ~count:25 ~name:"transient faults: bit-identical recovery"
+    QCheck.(pair (int_bound 1_000_000) (int_bound 30))
+    (fun (seed, fail_pct) ->
+      let fail_p = Float.of_int fail_pct /. 100. in
+      let s = Lazy.force shared in
+      let m = Projection.active_dim s.proj in
+      let box = Qsens_geom.Box.around (Vec.make m 1.) ~delta:4. in
+      let clean =
+        match estimate s ~box with Ok e -> e | Error _ -> assert false
+      in
+      let faults =
+        Fault.injector (Fault.plan ~seed [ Fault.Failure fail_p ])
+      in
+      match estimate ~faults ~retry:patient_policy s ~box with
+      | Error _ -> false
+      | Ok faulty ->
+          faulty.samples = clean.samples
+          && Array.for_all2 Float.equal faulty.usage clean.usage)
+
+(* Cache evictions are likewise recovered exactly: repin re-explains at
+   the origin costs and the deterministic optimizer re-derives the same
+   plan, so the sample is recovered rather than dropped. *)
+let test_cache_loss_recovered_exactly () =
+  let s = Lazy.force shared in
+  let m = Projection.active_dim s.proj in
+  let box = Qsens_geom.Box.around (Vec.make m 1.) ~delta:4. in
+  let clean = match estimate s ~box with Ok e -> e | Error _ -> assert false in
+  let faults = Fault.injector (Fault.plan ~seed:5 [ Fault.Cache_loss 0.5 ]) in
+  match estimate ~faults ~retry:patient_policy s ~box with
+  | Error e -> Alcotest.fail (Fault.error_to_string e)
+  | Ok faulty ->
+      Alcotest.(check bool) "evictions actually fired" true
+        (List.exists
+           (fun (ev : Fault.event) -> ev.effect = Fault.Evicted)
+           (Fault.transcript faults));
+      Alcotest.(check int) "no samples dropped" 0 faulty.dropped;
+      Alcotest.(check bool) "bit-identical usage" true
+        (Array.for_all2 Float.equal faulty.usage clean.usage)
+
+(* The acceptance experiment: the canned adversary (5% failures + 2%
+   multiplicative noise, seed 7) with retries and robust fitting must
+   recover the usage vector within 1% (norm-relative) of the fault-free
+   run. *)
+let test_canned_acceptance_within_1pct () =
+  let s = Lazy.force shared in
+  let m = Projection.active_dim s.proj in
+  let box = Qsens_geom.Box.around (Vec.make m 1.) ~delta:2. in
+  let clean =
+    match estimate ~robust:true ~oversample:32 s ~box with
+    | Ok e -> e
+    | Error _ -> assert false
+  in
+  let faults = Fault.injector Fault.canned in
+  match
+    estimate ~faults ~retry:patient_policy ~robust:true ~oversample:32 s ~box
+  with
+  | Error e -> Alcotest.fail (Fault.error_to_string e)
+  | Ok faulty ->
+      let scale = Vec.norm_inf clean.usage in
+      let err =
+        Array.fold_left Float.max 0.
+          (Array.mapi
+             (fun i u -> Float.abs (u -. clean.usage.(i)) /. scale)
+             faulty.usage)
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "within 1%% of fault-free (got %.3g%%)" (100. *. err))
+        true (err <= 0.01);
+      Alcotest.(check bool) "faults actually fired" true
+        (Fault.transcript faults <> [])
+
+(* Deterministic end to end: two identical fault-injected runs produce
+   identical estimates and identical transcripts. *)
+let test_pipeline_deterministic () =
+  let s = Lazy.force shared in
+  let m = Projection.active_dim s.proj in
+  let box = Qsens_geom.Box.around (Vec.make m 1.) ~delta:2. in
+  let run () =
+    let faults = Fault.injector Fault.canned in
+    let est = estimate ~faults ~retry:patient_policy ~robust:true s ~box in
+    (est, Fault.transcript faults)
+  in
+  let est1, t1 = run () and est2, t2 = run () in
+  Alcotest.(check bool) "identical transcripts" true (t1 = t2);
+  match (est1, est2) with
+  | Ok a, Ok b ->
+      Alcotest.(check bool) "identical usage" true
+        (Array.for_all2 Float.equal a.usage b.usage)
+  | _ -> Alcotest.fail "estimation failed"
+
+(* When every probe dies and there is no fallback, the error is typed —
+   and a prior turns the same situation into a degraded estimate. *)
+let test_total_failure_is_typed () =
+  let s = Lazy.force shared in
+  let m = Projection.active_dim s.proj in
+  let box = Qsens_geom.Box.around (Vec.make m 1.) ~delta:2. in
+  let faults = Fault.injector (Fault.plan ~seed:2 [ Fault.Failure 1. ]) in
+  (match estimate ~faults s ~box with
+  | Error (Fault.Probe_failed _) -> ()
+  | Error e ->
+      Alcotest.fail ("expected Probe_failed, got " ^ Fault.error_to_string e)
+  | Ok _ -> Alcotest.fail "certain failure cannot estimate");
+  (* Same adversary, but a breaker: probing stops at the threshold
+     instead of hammering the dead interface. *)
+  let faults = Fault.injector (Fault.plan ~seed:2 [ Fault.Failure 1. ]) in
+  let narrow = Qsens_optimizer.Narrow.create ~faults s.Experiment.env s.query in
+  let expand = Experiment.expand_theta s in
+  let breaker = Fault.Breaker.create () in
+  match
+    Probe.estimate_usage ~breaker ~narrow ~expand ~signature:"whatever" ~box ()
+  with
+  | Error (Fault.Circuit_open _) ->
+      Alcotest.(check int) "breaker tripped once" 1 (Fault.Breaker.trips breaker)
+  | Error e ->
+      Alcotest.fail ("expected Circuit_open, got " ^ Fault.error_to_string e)
+  | Ok _ -> Alcotest.fail "certain failure cannot estimate"
+
+(* ------------------------------------------------------------------ *)
+(* Robust regression *)
+
+let test_irls_equals_ols_on_clean_data () =
+  let c = Mat.of_rows [ [| 1.; 0. |]; [| 0.; 1. |]; [| 1.; 1. |] ] in
+  let t = [| 2.; 3.; 5. |] in
+  let ols = Mat.least_squares c t and rob = Mat.irls c t in
+  Alcotest.(check bool) "bit-identical on clean data" true
+    (Array.for_all2 Float.equal ols rob)
+
+let test_irls_downweights_outliers () =
+  let truth = [| 3.; 7. |] in
+  let st = Random.State.make [| 17 |] in
+  let rows =
+    List.init 40 (fun _ ->
+        [| Random.State.float st 10.; Random.State.float st 10. |])
+  in
+  let t =
+    Array.of_list
+      (List.mapi
+         (fun i r ->
+           let v = Vec.dot r truth in
+           if i mod 13 = 0 then v *. 8. else v)
+         rows)
+  in
+  let c = Mat.of_rows rows in
+  let err x =
+    Float.max
+      (Float.abs (x.(0) -. truth.(0)) /. truth.(0))
+      (Float.abs (x.(1) -. truth.(1)) /. truth.(1))
+  in
+  let ols_err = err (Mat.least_squares c t)
+  and rob_err = err (Mat.irls c t) in
+  Alcotest.(check bool)
+    (Printf.sprintf "irls (%.3g) beats ols (%.3g)" rob_err ols_err)
+    true
+    (rob_err < 0.05 && rob_err < ols_err /. 4.)
+
+(* ------------------------------------------------------------------ *)
+(* Device-level injection *)
+
+let test_sim_device_faults_deterministic () =
+  let dev = Qsens_catalog.Device.make "d0" in
+  let run () =
+    let faults =
+      Fault.injector
+        (Fault.plan ~seed:9
+           [ Fault.Failure 0.2; Fault.Latency { mean = 1.; jitter = 0.5 } ])
+    in
+    let t = Qsens_engine.Sim_device.create ~buffer_pages:4 ~faults () in
+    for page = 0 to 199 do
+      Qsens_engine.Sim_device.access t dev ~obj:"tbl" ~page
+    done;
+    ( Qsens_engine.Sim_device.seeks t dev,
+      Qsens_engine.Sim_device.transfers t dev,
+      Qsens_engine.Sim_device.retries t dev,
+      Qsens_engine.Sim_device.latency t dev )
+  in
+  let s1, x1, r1, l1 = run () and s2, x2, r2, l2 = run () in
+  Alcotest.(check (float 0.)) "seeks deterministic" s1 s2;
+  Alcotest.(check (float 0.)) "transfers deterministic" x1 x2;
+  Alcotest.(check (float 0.)) "retries deterministic" r1 r2;
+  Alcotest.(check (float 0.)) "latency deterministic" l1 l2;
+  Alcotest.(check bool) "some retries fired" true (r1 > 0.);
+  Alcotest.(check bool) "latency accrued" true (l1 > 0.);
+  (* Each retry pays one extra transfer on top of the 200 misses. *)
+  Alcotest.(check (float 0.)) "transfer accounting" (200. +. r1) x1;
+  (* And the fault-free device is unchanged by the feature. *)
+  let t = Qsens_engine.Sim_device.create ~buffer_pages:4 () in
+  for page = 0 to 199 do
+    Qsens_engine.Sim_device.access t dev ~obj:"tbl" ~page
+  done;
+  Alcotest.(check (float 0.)) "no faults, no retries" 0.
+    (Qsens_engine.Sim_device.retries t dev);
+  Alcotest.(check (float 0.)) "no faults, plain transfers" 200.
+    (Qsens_engine.Sim_device.transfers t dev)
+
+(* ------------------------------------------------------------------ *)
+(* Pool task retry *)
+
+let test_pool_retry () =
+  Qsens_parallel.Pool.with_pool ~domains:2 (fun pool ->
+      let attempts = Array.init 8 (fun _ -> Atomic.make 0) in
+      let results = Array.make 8 0 in
+      (* Every task fails on its first two attempts; each writes only
+         its own array slot. *)
+      Qsens_parallel.Pool.run ~retry:2 pool
+        (Array.init 8 (fun i ->
+             fun () ->
+              if Atomic.fetch_and_add attempts.(i) 1 < 2 then
+                failwith "transient"
+              else results.(i) <- i + 1));
+      Alcotest.(check (array int)) "all tasks completed"
+        (Array.init 8 (fun i -> i + 1))
+        results;
+      Array.iteri
+        (fun i a ->
+          Alcotest.(check int)
+            (Printf.sprintf "task %d took 3 attempts" i)
+            3 (Atomic.get a))
+        attempts;
+      (* Without enough retries the failure propagates. *)
+      match
+        Qsens_parallel.Pool.run ~retry:1 pool
+          (Array.init 4 (fun _ ->
+               let n = Atomic.make 0 in
+               fun () ->
+                if Atomic.fetch_and_add n 1 < 2 then failwith "transient"))
+      with
+      | () -> Alcotest.fail "expected the failure to propagate"
+      | exception Failure _ -> ())
+
+let test_pool_retry_inline () =
+  (* The sequential (domains = 1) path honours retry too. *)
+  Qsens_parallel.Pool.with_pool ~domains:1 (fun pool ->
+      let n = ref 0 in
+      Qsens_parallel.Pool.run ~retry:3 pool
+        [| (fun () ->
+             incr n;
+             if !n < 3 then failwith "transient") |];
+      Alcotest.(check int) "three attempts inline" 3 !n)
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "faults"
+    [
+      ( "plans",
+        [
+          Alcotest.test_case "parsing and round trip" `Quick test_plan_parsing;
+          Alcotest.test_case "validation" `Quick test_plan_validation;
+        ] );
+      ( "injector",
+        [
+          Alcotest.test_case "identical transcripts" `Quick
+            test_identical_transcripts;
+          Alcotest.test_case "apply outcomes" `Quick test_apply_outcomes;
+        ] );
+      ( "retry",
+        [
+          Alcotest.test_case "recovers transient failures" `Quick
+            test_retry_recovers_transient;
+          Alcotest.test_case "exhaustion carries attempts" `Quick
+            test_retry_exhausts_with_attempt_count;
+          Alcotest.test_case "fatal aborts immediately" `Quick
+            test_retry_fatal_aborts_immediately;
+          Alcotest.test_case "deadline is a timeout" `Quick
+            test_retry_deadline_is_timeout;
+          Alcotest.test_case "none is single attempt" `Quick
+            test_retry_none_is_single_attempt;
+        ] );
+      ( "breaker",
+        [ Alcotest.test_case "documented thresholds" `Quick
+            test_breaker_thresholds ] );
+      ( "pipeline",
+        [
+          QCheck_alcotest.to_alcotest test_transient_faults_bit_identical;
+          Alcotest.test_case "cache loss recovered exactly" `Quick
+            test_cache_loss_recovered_exactly;
+          Alcotest.test_case "canned adversary within 1%" `Quick
+            test_canned_acceptance_within_1pct;
+          Alcotest.test_case "deterministic end to end" `Quick
+            test_pipeline_deterministic;
+          Alcotest.test_case "total failure is typed" `Quick
+            test_total_failure_is_typed;
+        ] );
+      ( "robust",
+        [
+          Alcotest.test_case "irls = ols on clean data" `Quick
+            test_irls_equals_ols_on_clean_data;
+          Alcotest.test_case "irls downweights outliers" `Quick
+            test_irls_downweights_outliers;
+        ] );
+      ( "devices",
+        [ Alcotest.test_case "deterministic injection" `Quick
+            test_sim_device_faults_deterministic ] );
+      ( "pool",
+        [
+          Alcotest.test_case "task retry" `Quick test_pool_retry;
+          Alcotest.test_case "inline retry" `Quick test_pool_retry_inline;
+        ] );
+    ]

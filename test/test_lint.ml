@@ -126,6 +126,38 @@ let test_w001_used_is_silent () =
     "let go p ts = Qsens_parallel.Pool.run p ts\n"
 
 (* ------------------------------------------------------------------ *)
+(* R001: swallowed exceptions in library code *)
+
+let test_r001_fires () =
+  check_diags "try ... with _ ->"
+    [ (2, "R001") ]
+    ~file:"lib/core/fixture.ml"
+    "let safe f x =\n\
+    \  try f x with _ -> 0\n";
+  check_diags "wildcard among specific handlers still fires"
+    [ (2, "R001") ]
+    ~file:"lib/engine/fixture.ml"
+    "let safe f x =\n\
+    \  try f x with Not_found -> 0 | _ -> 1\n"
+
+let test_r001_specific_handler_is_silent () =
+  check_diags "named exception handlers are fine" []
+    ~file:"lib/core/fixture.ml"
+    "let safe f x =\n\
+    \  try f x with Not_found -> 0 | Failure _ -> 1\n";
+  check_diags "binding the exception is fine" []
+    ~file:"lib/core/fixture.ml"
+    "let safe f x =\n\
+    \  try f x with e -> handle e\n"
+
+let test_r001_scoped_to_lib () =
+  (* Tests, bench and the CLI may still catch everything. *)
+  check_diags "test code is out of scope" []
+    ~file:"test/fixture.ml" "let safe f x = try f x with _ -> 0\n";
+  check_diags "bench code is out of scope" []
+    ~file:"bench/fixture.ml" "let safe f x = try f x with _ -> 0\n"
+
+(* ------------------------------------------------------------------ *)
 (* Suppression comments *)
 
 let bare_fold = "Hashtbl.fold (fun k _ acc -> k :: acc) tbl []"
@@ -201,7 +233,7 @@ let test_render () =
 let test_rule_catalogue () =
   Alcotest.(check (list string))
     "documented rule ids"
-    [ "D001"; "P001"; "F001"; "E001"; "W001" ]
+    [ "D001"; "P001"; "F001"; "E001"; "W001"; "R001" ]
     (List.map fst Qsens_lint.rules)
 
 (* ------------------------------------------------------------------ *)
@@ -240,6 +272,14 @@ let () =
         [
           Alcotest.test_case "fires on ignored result" `Quick test_w001_fires;
           Alcotest.test_case "silent when used" `Quick test_w001_used_is_silent;
+        ] );
+      ( "r001",
+        [
+          Alcotest.test_case "fires on wildcard handler" `Quick
+            test_r001_fires;
+          Alcotest.test_case "silent on specific handlers" `Quick
+            test_r001_specific_handler_is_silent;
+          Alcotest.test_case "scoped to lib" `Quick test_r001_scoped_to_lib;
         ] );
       ( "suppression",
         [

@@ -217,7 +217,11 @@ let test_narrow_explain_matches_white_box () =
   let q = query "Q3" in
   let narrow = Narrow.create env q in
   let costs = Defaults.base_costs env.Env.space in
-  let signature, cost = Narrow.explain narrow ~costs in
+  let signature, cost =
+    match Narrow.explain narrow ~costs with
+    | Ok r -> r
+    | Error _ -> Alcotest.fail "fault-free explain cannot fail"
+  in
   let r = Optimizer.optimize env q ~costs in
   Alcotest.(check string) "same plan" r.signature signature;
   Alcotest.(check bool) "same cost" true
@@ -228,16 +232,27 @@ let test_narrow_recost () =
   let q = query "Q3" in
   let narrow = Narrow.create env q in
   let costs = Defaults.base_costs env.Env.space in
-  let signature, cost = Narrow.explain narrow ~costs in
+  let signature, cost =
+    match Narrow.explain narrow ~costs with
+    | Ok r -> r
+    | Error _ -> Alcotest.fail "fault-free explain cannot fail"
+  in
   (match Narrow.recost narrow ~signature ~costs with
-  | Some c -> Alcotest.(check (float 1e-9)) "recost at same point" cost c
-  | None -> Alcotest.fail "known signature must recost");
+  | Ok c -> Alcotest.(check (float 1e-9)) "recost at same point" cost c
+  | Error _ -> Alcotest.fail "known signature must recost");
   (* Doubling every cost doubles the plan's linear cost. *)
   (match Narrow.recost narrow ~signature ~costs:(Vec.scale 2. costs) with
-  | Some c -> Alcotest.(check bool) "linear" true (Float.abs (c -. (2. *. cost)) <= 1e-6 *. c)
-  | None -> Alcotest.fail "recost failed");
-  Alcotest.(check bool) "unknown signature" true
-    (Narrow.recost narrow ~signature:"nope" ~costs = None);
+  | Ok c -> Alcotest.(check bool) "linear" true (Float.abs (c -. (2. *. cost)) <= 1e-6 *. c)
+  | Error _ -> Alcotest.fail "recost failed");
+  (* A cache miss is a distinct, recoverable condition, not a generic
+     failure: callers can re-explain instead of dropping the sample. *)
+  (match Narrow.recost narrow ~signature:"nope" ~costs with
+  | Error (Qsens_faults.Fault.Unknown_signature "nope") -> ()
+  | Ok _ -> Alcotest.fail "unknown signature must not recost"
+  | Error e ->
+      Alcotest.fail
+        ("expected Unknown_signature, got "
+        ^ Qsens_faults.Fault.error_to_string e));
   Alcotest.(check int) "one optimizer call" 1 (Narrow.calls narrow)
 
 let () =

@@ -17,8 +17,11 @@
            excluded)
      W001  ignoring the result of a must-use function (Pool.run and
            friends)
+     R001  swallowed exception: [try ... with _ ->] in library code,
+           which hides the typed failure the resilient pipeline depends
+           on
 
-   Rationale for each rule lives in DESIGN.md section 8. *)
+   Rationale for each rule lives in DESIGN.md sections 8 and 9. *)
 
 open Ppxlib
 
@@ -38,6 +41,7 @@ let rules =
     ("F001", "polymorphic comparison on float-bearing expressions");
     ("E001", "printing or exit in library code");
     ("W001", "ignored result of a must-use function");
+    ("R001", "swallowed exception (try ... with _ ->) in library code");
   ]
 
 let render d =
@@ -68,6 +72,12 @@ let f001_scope file =
 (* E001 applies to library code only; the report layer and the CLI /
    bench executables are allowed to print and exit. *)
 let e001_scope file = in_dir "lib" file && not (in_dir "lib/report" file)
+
+(* R001 applies to library code: a wildcard handler silently converts
+   any exception — including programming errors — into the fallback
+   value, exactly the failure-swallowing the typed Fault.error pipeline
+   exists to prevent.  Tests, bench and the CLI may still use it. *)
+let r001_scope file = in_dir "lib" file
 
 (* ------------------------------------------------------------------ *)
 (* Longident helpers *)
@@ -336,6 +346,18 @@ let make_iter ~file ~emit =
     method! expression e =
       self#check_ident e;
       match e.pexp_desc with
+      | Pexp_try (_, cases) when r001_scope file ->
+          List.iter
+            (fun c ->
+              match c.pc_lhs.ppat_desc with
+              | Ppat_any ->
+                  emit "R001" c.pc_lhs.ppat_loc
+                    "wildcard exception handler swallows every failure \
+                     (including programming errors); match the exceptions \
+                     you expect, or surface a typed Fault.error"
+              | _ -> ())
+            cases;
+          super#expression e
       | Pexp_apply (f, args) ->
           (* F001: polymorphic structural (in)equality on floats. *)
           (match head_path f with
