@@ -36,6 +36,11 @@
 open Qsens_core
 module Table_r = Qsens_report.Table
 module Figure = Qsens_report.Figure
+module Obs = Qsens_obs.Obs
+
+(* All bench timing reads the monotonic clock: wall-clock (gettimeofday)
+   deltas are corrupted by NTP steps. *)
+module Clock = Qsens_obs.Clock
 
 let sf = Qsens_tpch.Spec.scale_factor_of_paper
 let schema = Qsens_tpch.Spec.schema ~sf
@@ -103,7 +108,7 @@ let bench_figure n =
     (Printf.sprintf "Figure %d: worst-case global relative cost (layout: %s)"
        n
        (Qsens_catalog.Layout.policy_name policy));
-  let t0 = Unix.gettimeofday () in
+  let t0 = Clock.now_s () in
   let rs = reports policy in
   let series =
     List.map (fun (r : Experiment.report) -> (r.query_name, r.curve)) rs
@@ -128,7 +133,7 @@ let bench_figure n =
      (Theorem 2).  (%.0fs)\n"
     quadratic (List.length series)
     (List.length series - quadratic)
-    (Unix.gettimeofday () -. t0)
+    (Clock.now_s () -. t0)
 
 let bench_census () =
   heading "Section 8.2: candidate optimal plan census";
@@ -435,9 +440,9 @@ let bench_ablation () =
   in
   List.iter
     (fun cap ->
-      let t0 = Unix.gettimeofday () in
+      let t0 = Clock.now_s () in
       let r = Qsens_optimizer.Optimizer.optimize ~max_bushy_side:cap env q8 ~costs in
-      let dt = (Unix.gettimeofday () -. t0) *. 1000. in
+      let dt = (Clock.now_s () -. t0) *. 1000. in
       Table_r.add_row t
         [ string_of_int cap; Table_r.cell_f r.total_cost;
           Printf.sprintf "%.1f" dt ])
@@ -641,9 +646,9 @@ let time_best ~repeats f =
   let best = ref infinity in
   let result = ref None in
   for _ = 1 to repeats do
-    let t0 = Unix.gettimeofday () in
+    let t0 = Clock.now_s () in
     let r = f () in
-    let dt = Unix.gettimeofday () -. t0 in
+    let dt = Clock.now_s () -. t0 in
     if dt < !best then best := dt;
     result := Some r
   done;
@@ -750,7 +755,11 @@ let bench_parallel () =
       Printf.fprintf oc "      ]\n    }%s\n"
         (if i = List.length results - 1 then "" else ","))
     results;
-  output_string oc "  ]\n}\n";
+  (* With --metrics on, embed this part's counter block (device, pool,
+     LP, ... counters accumulated so far) in the JSON artifact. *)
+  if Obs.recording () then
+    Printf.fprintf oc "  ],\n  \"counters\": %s\n}\n" (Obs.metrics_json ())
+  else output_string oc "  ]\n}\n";
   close_out oc;
   Printf.printf "[wrote %s]\n" path
 
@@ -776,14 +785,66 @@ let all_parts =
   ]
 
 let usage () =
-  Printf.printf "usage: bench [--domains N] [part ...]\n\n";
+  Printf.printf "usage: bench [--domains N] [--metrics] [part ...]\n\n";
   Printf.printf "parts (default: all):\n  %s\n\n"
     (String.concat " " (List.map fst all_parts));
   Printf.printf
     "options:\n\
     \  --domains N   pool size for the parallel sweep (implies part \
      'parallel')\n\
+    \  --metrics     record observability counters per part (printed after \
+     each\n\
+    \                part and written to BENCH_metrics.json)\n\
     \  --help, -h    show this message\n"
+
+(* Per-part observability: with --metrics, each part runs in a fresh
+   recording session; its wall time lands in a gauge and its counter
+   block is collected for BENCH_metrics.json.  Without the flag the
+   instrumentation stays disabled (allocation-free) so timings are
+   undisturbed. *)
+let metrics_on = ref false
+let part_blocks : (string * string) list ref = ref []
+
+let run_part part f =
+  if not !metrics_on then f ()
+  else begin
+    Obs.start ();
+    let t0 = Clock.now_s () in
+    f ();
+    let dt = Clock.now_s () -. t0 in
+    Obs.set
+      (Obs.gauge ~help:"wall seconds for this bench part"
+         (Printf.sprintf "bench.part.%s.seconds" part))
+      dt;
+    Obs.stop ();
+    part_blocks := (part, Obs.metrics_json ()) :: !part_blocks;
+    Printf.printf "\nmetrics for part %s:\n" part;
+    Qsens_report.Metrics.print ()
+  end
+
+let write_metrics_json () =
+  if !metrics_on then begin
+    let dir =
+      match Sys.getenv_opt "QSENS_RESULTS_DIR" with
+      | None -> "."
+      | Some dir ->
+          (try Unix.mkdir dir 0o755
+           with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+          dir
+    in
+    let path = Filename.concat dir "BENCH_metrics.json" in
+    let oc = open_out path in
+    let blocks = List.rev !part_blocks in
+    output_string oc "{\n";
+    List.iteri
+      (fun i (part, block) ->
+        Printf.fprintf oc "  %S: %s%s\n" part block
+          (if i = List.length blocks - 1 then "" else ","))
+      blocks;
+    output_string oc "}\n";
+    close_out oc;
+    Printf.printf "[wrote %s]\n" path
+  end
 
 let () =
   (* Strip `--domains N` anywhere in argv; the remaining words name
@@ -802,6 +863,9 @@ let () =
         | _ ->
             prerr_endline "--domains expects a positive integer";
             exit 2)
+    | "--metrics" :: rest ->
+        metrics_on := true;
+        strip rest
     | x :: rest -> x :: strip rest
     | [] -> []
   in
@@ -811,14 +875,15 @@ let () =
     | [] -> List.map fst all_parts
     | parts -> parts
   in
-  let t0 = Unix.gettimeofday () in
+  let t0 = Clock.now_s () in
   List.iter
     (fun part ->
       match List.assoc_opt part all_parts with
-      | Some f -> f ()
+      | Some f -> run_part part f
       | None ->
           Printf.eprintf "unknown part %s (expected: %s)\n" part
             (String.concat " " (List.map fst all_parts));
           exit 2)
     requested;
-  Printf.printf "\ntotal bench time: %.0fs\n" (Unix.gettimeofday () -. t0)
+  write_metrics_json ();
+  Printf.printf "\ntotal bench time: %.0fs\n" (Clock.now_s () -. t0)

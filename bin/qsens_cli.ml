@@ -110,6 +110,38 @@ let with_domains n f =
     in
     Qsens_parallel.Pool.with_pool ~domains (fun p -> f (Some p))
 
+let trace_arg =
+  let doc =
+    "Write a Chrome-trace JSON of the run to $(docv).  Timestamps are \
+     logical (per-track event counters), so a fixed seed produces a \
+     byte-identical file on every run, including under -j > 1."
+  in
+  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
+
+let metrics_arg =
+  let doc = "Print the observability metrics summary after the run." in
+  Arg.(value & flag & info [ "metrics" ] ~doc)
+
+(* Recording is enabled only when asked for: with both flags absent the
+   instrumentation stays an allocation-free no-op. *)
+let with_obs ~trace ~metrics f =
+  let enabled = metrics || Option.is_some trace in
+  if enabled then Qsens_obs.Obs.start ();
+  match f () with
+  | v ->
+      if enabled then begin
+        Qsens_obs.Obs.stop ();
+        Option.iter Qsens_obs.Obs.write_trace trace;
+        if metrics then begin
+          print_newline ();
+          Qsens_report.Metrics.print ()
+        end
+      end;
+      v
+  | exception e ->
+      if enabled then Qsens_obs.Obs.stop ();
+      raise e
+
 let lookup_query sf name =
   match Qsens_tpch.Queries.find ~sf name with
   | q -> q
@@ -141,7 +173,8 @@ let explain_cmd =
     Term.(const run $ sf_arg $ policy_arg $ query_arg)
 
 let worst_case_cmd =
-  let run sf policy name delta seed domains faults retries =
+  let run sf policy name delta seed domains faults retries trace metrics =
+    with_obs ~trace ~metrics @@ fun () ->
     let query = lookup_query sf name in
     let schema = Qsens_tpch.Spec.schema ~sf in
     let s = Experiment.setup ~schema ~policy query in
@@ -187,10 +220,11 @@ let worst_case_cmd =
   Cmd.v (Cmd.info "worst-case" ~doc)
     Term.(
       const run $ sf_arg $ policy_arg $ query_arg $ delta_arg $ seed_arg
-      $ domains_arg $ faults_arg $ retries_arg)
+      $ domains_arg $ faults_arg $ retries_arg $ trace_arg $ metrics_arg)
 
 let candidates_cmd =
-  let run sf policy name delta seed =
+  let run sf policy name delta seed trace metrics =
+    with_obs ~trace ~metrics @@ fun () ->
     let query = lookup_query sf name in
     let schema = Qsens_tpch.Spec.schema ~sf in
     let s = Experiment.setup ~schema ~policy query in
@@ -253,14 +287,17 @@ let candidates_cmd =
   in
   let doc = "Discover candidate optimal plans and classify them." in
   Cmd.v (Cmd.info "candidates" ~doc)
-    Term.(const run $ sf_arg $ policy_arg $ query_arg $ delta_arg $ seed_arg)
+    Term.(
+      const run $ sf_arg $ policy_arg $ query_arg $ delta_arg $ seed_arg
+      $ trace_arg $ metrics_arg)
 
 let figure_cmd =
   let number_arg =
     let doc = "Figure number: 5, 6 or 7." in
     Arg.(required & pos 0 (some int) None & info [] ~docv:"N" ~doc)
   in
-  let run sf number delta seed domains =
+  let run sf number delta seed domains trace metrics =
+    with_obs ~trace ~metrics @@ fun () ->
     let policy =
       match number with
       | 5 -> Qsens_catalog.Layout.Same_device
@@ -296,10 +333,12 @@ let figure_cmd =
   let doc = "Regenerate a full figure (all 22 queries; takes minutes)." in
   Cmd.v (Cmd.info "figure" ~doc)
     Term.(
-      const run $ sf_arg $ number_arg $ delta_arg $ seed_arg $ domains_arg)
+      const run $ sf_arg $ number_arg $ delta_arg $ seed_arg $ domains_arg
+      $ trace_arg $ metrics_arg)
 
 let lsq_cmd =
-  let run sf policy name delta seed faults retries =
+  let run sf policy name delta seed faults retries trace metrics =
+    with_obs ~trace ~metrics @@ fun () ->
     let open Qsens_faults in
     let query = lookup_query sf name in
     let schema = Qsens_tpch.Spec.schema ~sf in
@@ -366,7 +405,7 @@ let lsq_cmd =
   Cmd.v (Cmd.info "lsq" ~doc)
     Term.(
       const run $ sf_arg $ policy_arg $ query_arg $ delta_arg $ seed_arg
-      $ faults_arg $ retries_arg)
+      $ faults_arg $ retries_arg $ trace_arg $ metrics_arg)
 
 let diagram_cmd =
   let dims_arg =

@@ -20,4 +20,14 @@ echo "== fault-injection smoke"
 dune exec bin/qsens_cli.exe -- lsq Q14 -l per-table -d 4 \
   --faults canned --retries 4 > /dev/null
 
+echo "== trace smoke"
+trace_tmp=$(mktemp -d)
+trap 'rm -rf "$trace_tmp"' EXIT
+dune exec bin/qsens_cli.exe -- worst-case Q14 -l per-table -d 4 -j 2 \
+  --trace "$trace_tmp/t1.json" > /dev/null
+dune exec bin/qsens_cli.exe -- worst-case Q14 -l per-table -d 4 -j 2 \
+  --trace "$trace_tmp/t2.json" > /dev/null
+dune exec tools/trace_check/trace_check.exe -- "$trace_tmp/t1.json" > /dev/null
+cmp "$trace_tmp/t1.json" "$trace_tmp/t2.json"
+
 echo "ci: all checks passed"

@@ -1,4 +1,11 @@
 open Qsens_linalg
+module Obs = Qsens_obs.Obs
+
+let m_steps = Obs.counter ~help:"adaptive simulation steps" "adaptive.steps"
+
+let m_reopts =
+  Obs.counter ~help:"plan switches during adaptive simulation"
+    "adaptive.reoptimizations"
 
 type policy = Never | Always | Periodic of int | Threshold of float
 
@@ -61,11 +68,13 @@ let simulate ~plans ~trace policy =
               ~costs:theta
             > g
       in
+      Obs.add m_steps 1;
       if reoptimize then begin
         let best = Framework.optimal_index ~plans ~costs:theta in
         if best <> !current then begin
           current := best;
-          incr reopts
+          incr reopts;
+          Obs.add m_reopts 1
         end
       end;
       total := !total +. Vec.dot plans.(!current) theta;

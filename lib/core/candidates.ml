@@ -1,5 +1,17 @@
 open Qsens_linalg
 open Qsens_geom
+module Obs = Qsens_obs.Obs
+
+let m_probes = Obs.counter ~help:"distinct candidate probes" "candidates.probes"
+
+let m_fresh =
+  Obs.counter ~help:"probes that discovered a new plan" "candidates.fresh_plans"
+
+let m_regions =
+  Obs.counter ~help:"regions of influence enumerated" "candidates.regions"
+
+let m_region_aborts =
+  Obs.counter ~help:"oversized region enumerations" "candidates.region_aborts"
 
 type plan = { signature : string; eff : Vec.t }
 
@@ -35,10 +47,12 @@ let discover ?(seed = 42) ?(random_corners = 64) ?(max_pair_rounds = 8)
     match Hashtbl.find_opt seen_points key with
     | Some signature -> (false, signature)
     | None ->
+        Obs.add m_probes 1;
         let signature, eff = Oracle.probe oracle theta in
         Hashtbl.add seen_points key signature;
         let fresh = not (Hashtbl.mem known signature) in
         if fresh then begin
+          Obs.add m_fresh 1;
           Hashtbl.add known signature { signature; eff };
           order := signature :: !order
         end;
@@ -46,8 +60,10 @@ let discover ?(seed = 42) ?(random_corners = 64) ?(max_pair_rounds = 8)
   in
   (* Phase 1: the estimated costs and structured probes. *)
   let ones = Vec.make m 1. in
-  let _, initial_sig = probe ones in
-  for i = 0 to m - 1 do
+  let initial_sig =
+    Obs.with_span "candidates.phase1" @@ fun () ->
+    let _, initial_sig = probe ones in
+    for i = 0 to m - 1 do
     if not (exhausted ()) then begin
       let lo = Vec.copy ones and hi = Vec.copy ones in
       lo.(i) <- box.Box.lo.(i);
@@ -74,6 +90,8 @@ let discover ?(seed = 42) ?(random_corners = 64) ?(max_pair_rounds = 8)
   for _ = 1 to budget / 2 do
     if not (exhausted ()) then ignore (probe (Box.sample st box))
   done;
+  initial_sig
+  in
   (* Phase 2: pairwise ratio-maximizing corners, to closure.  Snapshots
      come back sorted by plan signature so the probing order of the
      pairwise and verification phases never depends on hash-table
@@ -100,7 +118,7 @@ let discover ?(seed = 42) ?(random_corners = 64) ?(max_pair_rounds = 8)
       if !found then pair_rounds (round + 1)
     end
   in
-  pair_rounds 0;
+  Obs.with_span "candidates.phase2" (fun () -> pair_rounds 0);
   (* Phase 3: Observation-3 completeness verification by probing the
      contracted vertices of every region of influence.  Any new plan
      restarts the loop; an oversized enumeration aborts verification. *)
@@ -114,11 +132,14 @@ let discover ?(seed = 42) ?(random_corners = 64) ?(max_pair_rounds = 8)
     let nregions = Array.length plans in
     let out = Array.make nregions (Ok []) in
     let enum i =
+      Obs.add m_regions 1;
       let region = Region.of_plans ~plans ~index:i box in
       let region = Region.contract contraction region in
       match Region.vertices ~max_subsets:vertex_budget region with
       | vs -> Ok vs
-      | exception Vertex_enum.Too_large -> Error ()
+      | exception Vertex_enum.Too_large ->
+          Obs.add m_region_aborts 1;
+          Error ()
     in
     (match pool with
     | Some p when Qsens_parallel.Pool.domains p > 1 && nregions > 1 ->
@@ -165,6 +186,7 @@ let discover ?(seed = 42) ?(random_corners = 64) ?(max_pair_rounds = 8)
     let constraints = (2 * m) + Hashtbl.length known - 1 in
     Vertex_enum.count_subsets constraints m <= vertex_budget
   in
+  Obs.with_span "candidates.phase3" (fun () ->
   if enum_feasible then verify_loop 0
   else begin
     verified := false;
@@ -187,7 +209,7 @@ let discover ?(seed = 42) ?(random_corners = 64) ?(max_pair_rounds = 8)
       end
     in
     sample_rounds 0
-  end;
+  end);
   if exhausted () then verified := false;
   let plans =
     List.rev_map (fun signature -> Hashtbl.find known signature) !order

@@ -2,6 +2,13 @@ open Qsens_linalg
 open Qsens_geom
 open Qsens_optimizer
 open Qsens_faults
+module Obs = Qsens_obs.Obs
+
+let m_samples = Obs.counter ~help:"probe observations kept" "probe.samples"
+let m_dropped = Obs.counter ~help:"probe observations lost to faults" "probe.dropped"
+
+let m_degraded =
+  Obs.counter ~help:"estimates that fell back to the ridge prior" "probe.degraded"
 
 type estimate = {
   usage : Vec.t;
@@ -57,6 +64,7 @@ let max_rel_residual usage observations =
 
 let estimate_usage ?(seed = 7) ?(oversample = 2) ?(retry = Fault.Retry.none)
     ?breaker ?prior ?(robust = false) ~narrow ~expand ~signature ~box () =
+  Obs.with_span "probe.estimate" @@ fun () ->
   let m = Box.dim box in
   let count = max (oversample * m) (m + 1) in
   let st = Random.State.make [| seed |] in
@@ -85,6 +93,8 @@ let estimate_usage ?(seed = 7) ?(oversample = 2) ?(retry = Fault.Retry.none)
       thetas
   in
   let got = List.length observations in
+  Obs.add m_samples got;
+  Obs.add m_dropped !dropped;
   if got >= m then begin
     let c = Mat.of_rows (List.map fst observations) in
     let t = Vec.of_list (List.map snd observations) in
@@ -111,6 +121,7 @@ let estimate_usage ?(seed = 7) ?(oversample = 2) ?(retry = Fault.Retry.none)
         match Mat.ridge_least_squares ~ridge:1e-6 ~prior c t with
         | exception Mat.Singular -> Error Fault.Singular_system
         | usage ->
+            Obs.add m_degraded 1;
             Ok
               {
                 usage;

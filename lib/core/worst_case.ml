@@ -1,6 +1,16 @@
 open Qsens_linalg
 open Qsens_geom
 module Pool = Qsens_parallel.Pool
+module Obs = Qsens_obs.Obs
+
+(* Same name as in Framework: registration is idempotent, both sites feed
+   one counter. *)
+let m_degenerate_ratios =
+  Obs.counter
+    ~help:"degenerate (NaN) plan ratios skipped in worst-case argmax"
+    "wc.degenerate_ratios"
+
+let m_curve_points = Obs.counter ~help:"worst-case curve points" "wc.curve_points"
 
 type point = { delta : float; gtc : float; witness : Vec.t }
 
@@ -39,20 +49,34 @@ let curve ?(deltas = default_deltas) ?pool ~plans ~initial () =
               Fractional.max_ratio ~num:initial ~den:plans.(pi) boxes.(di)
           done);
       List.init nd (fun di ->
-          let best = ref neg_infinity
-          and witness = ref (Box.center boxes.(di)) in
+          (* Mirrors [Framework.worst_case_gtc]: NaN ratios are counted
+             and skipped, and an all-degenerate point surfaces NaN with
+             the box center as witness — never a stale default paired
+             with neg_infinity. *)
+          let best = ref neg_infinity and witness = ref None and degen = ref 0 in
           for pi = 0 to np - 1 do
             let r, corner = results.((di * np) + pi) in
-            if r > !best then begin
+            if Float.is_nan r then incr degen
+            else if r > !best then begin
               best := r;
-              witness := corner
+              witness := Some corner
             end
           done;
-          { delta = darr.(di); gtc = !best; witness = !witness })
+          Obs.add m_degenerate_ratios !degen;
+          Obs.add m_curve_points 1;
+          match !witness with
+          | Some w -> { delta = darr.(di); gtc = !best; witness = w }
+          | None ->
+              {
+                delta = darr.(di);
+                gtc = (if !degen > 0 then nan else !best);
+                witness = Box.center boxes.(di);
+              })
   | _ ->
       List.map
         (fun delta ->
           let gtc, witness = gtc_at_full ~plans ~initial delta in
+          Obs.add m_curve_points 1;
           { delta; gtc; witness })
         deltas
 

@@ -1,7 +1,19 @@
 open Qsens_catalog
 open Qsens_faults
+module Obs = Qsens_obs.Obs
 
 let extent = 64
+
+let m_seeks = Obs.counter ~help:"simulated device seeks" "device.seeks"
+
+let m_transfers =
+  Obs.counter ~help:"simulated device page transfers" "device.transfers"
+
+let m_buffer_hits =
+  Obs.counter ~help:"buffer-pool hits (no I/O charged)" "device.buffer_hits"
+
+let m_retried =
+  Obs.counter ~help:"I/Os retried after injected faults" "device.retried_ios"
 
 type counters = { mutable seeks : float; mutable transfers : float;
                   mutable last : (string * int) option;
@@ -58,6 +70,7 @@ let pool_admit t key =
 
 let charge_io c ~obj ~page =
   c.transfers <- c.transfers +. 1.;
+  Obs.add m_transfers 1;
   let sequential =
     match c.last with
     | Some (o, p) -> o = obj && page = p + 1
@@ -65,10 +78,14 @@ let charge_io c ~obj ~page =
   in
   if sequential then begin
     c.run_len <- c.run_len + 1;
-    if c.run_len mod extent = 0 then c.seeks <- c.seeks +. 1.
+    if c.run_len mod extent = 0 then begin
+      c.seeks <- c.seeks +. 1.;
+      Obs.add m_seeks 1
+    end
   end
   else begin
     c.seeks <- c.seeks +. 1.;
+    Obs.add m_seeks 1;
     c.run_len <- 1
   end;
   c.last <- Some (obj, page)
@@ -88,13 +105,16 @@ let inject_io t dev c =
       if retried then begin
         c.retried <- c.retried +. 1.;
         c.transfers <- c.transfers +. 1.;
-        c.seeks <- c.seeks +. 1.
+        c.seeks <- c.seeks +. 1.;
+        Obs.add m_retried 1;
+        Obs.add m_transfers 1;
+        Obs.add m_seeks 1
       end;
       c.latency <- c.latency +. latency
 
 let access t dev ~obj ~page =
   let key = (obj, page) in
-  if Hashtbl.mem t.pool key then ()
+  if Hashtbl.mem t.pool key then Obs.add m_buffer_hits 1
   else begin
     let c = counters t dev in
     charge_io c ~obj ~page;

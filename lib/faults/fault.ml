@@ -8,6 +8,25 @@
    regardless of how calls to *different* sites interleave (e.g. under
    the domain pool). *)
 
+module Obs = Qsens_obs.Obs
+
+let m_failures = Obs.counter ~help:"injected call failures" "faults.failures"
+let m_timeouts = Obs.counter ~help:"injected call timeouts" "faults.timeouts"
+
+let m_evictions =
+  Obs.counter ~help:"injected cache evictions" "faults.evictions"
+
+let m_noised = Obs.counter ~help:"observations perturbed by noise" "faults.noised"
+let m_delayed = Obs.counter ~help:"calls that accrued latency" "faults.delayed"
+
+let m_retry_backoffs =
+  Obs.counter ~help:"retry backoffs taken" "retry.backoffs"
+
+let m_retry_giveups =
+  Obs.counter ~help:"retries exhausted or past deadline" "retry.giveups"
+
+let m_breaker_trips = Obs.counter ~help:"circuit breaker trips" "breaker.trips"
+
 (* ------------------------------------------------------------------ *)
 (* Models and plans *)
 
@@ -231,6 +250,12 @@ let tick inj site =
       0
 
 let record inj site index effect =
+  (match effect with
+  | Failed -> Obs.add m_failures 1
+  | Timed_out -> Obs.add m_timeouts 1
+  | Evicted -> Obs.add m_evictions 1
+  | Noised _ -> Obs.add m_noised 1
+  | Delayed _ -> Obs.add m_delayed 1);
   inj.events <- { site; index; effect } :: inj.events
 
 let transcript inj = List.rev inj.events
@@ -403,9 +428,12 @@ module Retry = struct
       | Ok v -> Ok v
       | Error e when not (transient e) -> Error e
       | Error e ->
-          if attempt >= policy.max_attempts then
+          if attempt >= policy.max_attempts then begin
+            Obs.add m_retry_giveups 1;
             Error (with_attempts attempt e)
+          end
           else begin
+            Obs.add m_retry_backoffs 1;
             let u = uniform ~seed ~site:(site ^ "#backoff") ~counter:attempt in
             let backoff =
               policy.base_backoff
@@ -413,8 +441,10 @@ module Retry = struct
               *. (1. +. (policy.jitter *. u))
             in
             let clock = clock +. backoff in
-            if clock > policy.deadline then
+            if clock > policy.deadline then begin
+              Obs.add m_retry_giveups 1;
               Error (Probe_timeout { site; attempts = attempt })
+            end
             else go (attempt + 1) clock
           end
     in
@@ -463,7 +493,9 @@ module Breaker = struct
   let trip t =
     t.state <- Open;
     t.remaining <- t.cooldown;
-    t.trips <- t.trips + 1
+    t.trips <- t.trips + 1;
+    Obs.add m_breaker_trips 1;
+    Obs.instant "breaker.trip"
 
   let record_success t =
     t.consecutive <- 0;

@@ -1,4 +1,16 @@
 open Qsens_linalg
+module Obs = Qsens_obs.Obs
+
+let m_calls = Obs.counter ~help:"fractional-program solves" "lp.calls"
+
+let m_grow_iters =
+  Obs.counter ~help:"upper-bound doubling iterations" "lp.grow_iters"
+
+let m_bisect_iters = Obs.counter ~help:"bisection iterations" "lp.bisect_iters"
+
+let m_degenerate =
+  Obs.counter ~help:"solves with an everywhere-zero denominator and numerator"
+    "lp.degenerate"
 
 let check_nonneg name v =
   Array.iter
@@ -13,6 +25,7 @@ let slack ~num ~den box t =
   (Vec.dot w corner, corner)
 
 let max_ratio ?(tol = 1e-12) ~num ~den box =
+  Obs.add m_calls 1;
   check_nonneg "max_ratio" num;
   check_nonneg "max_ratio" den;
   if Vec.dim num <> Box.dim box || Vec.dim den <> Box.dim box then
@@ -20,7 +33,11 @@ let max_ratio ?(tol = 1e-12) ~num ~den box =
   let corner_hi = box.Box.hi in
   if Vec.dot den corner_hi <= 0. then
     (* The denominator vanishes everywhere (den = 0 or box degenerate). *)
-    if Vec.dot num corner_hi > 0. then (infinity, corner_hi) else (nan, corner_hi)
+    if Vec.dot num corner_hi > 0. then (infinity, corner_hi)
+    else begin
+      Obs.add m_degenerate 1;
+      (nan, corner_hi)
+    end
   else begin
     (* Establish an upper bound by doubling, then bisect. *)
     let lo0 =
@@ -29,6 +46,7 @@ let max_ratio ?(tol = 1e-12) ~num ~den box =
       if d > 0. then Vec.dot num c /. d else 0.
     in
     let rec grow hi =
+      Obs.add m_grow_iters 1;
       let s, corner = slack ~num ~den box hi in
       if s > 0. && Vec.dot den corner <= 0. then (`Inf corner, hi)
       else if s > 0. then grow (hi *. 2.)
@@ -39,10 +57,11 @@ let max_ratio ?(tol = 1e-12) ~num ~den box =
     | `Fin, hi0 ->
         let rec bisect lo hi n =
           if n = 0 || hi -. lo <= tol *. Float.max 1. (Float.abs hi) then lo
-          else
+          else (
+            Obs.add m_bisect_iters 1;
             let mid = 0.5 *. (lo +. hi) in
             let s, _ = slack ~num ~den box mid in
-            if s > 0. then bisect mid hi (n - 1) else bisect lo mid (n - 1)
+            if s > 0. then bisect mid hi (n - 1) else bisect lo mid (n - 1))
         in
         let r = bisect 0. hi0 200 in
         let _, corner = slack ~num ~den box r in

@@ -1,0 +1,7 @@
+(* Monotonic wall clock.  The only sanctioned timing source in the tree:
+   everything else goes through [Obs] so that disabled instrumentation is
+   free and enabled instrumentation stays deterministic. *)
+
+let now_ns () : int64 = Monotonic_clock.now ()
+
+let now_s () = Int64.to_float (now_ns ()) *. 1e-9

@@ -1,0 +1,238 @@
+(* Structural validator for exported Chrome traces.  Used by the CI trace
+   smoke: parses the JSON with a minimal recursive-descent parser (no
+   external deps) and replays each track, checking that logical timestamps
+   strictly increase and that B/E span events obey stack discipline. *)
+
+type json =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of json list
+  | Obj of (string * json) list
+
+exception Parse_error of string
+
+let parse (s : string) : json =
+  let n = String.length s in
+  let pos = ref 0 in
+  let fail msg = raise (Parse_error (Printf.sprintf "%s at offset %d" msg !pos)) in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let advance () = incr pos in
+  let rec skip_ws () =
+    match peek () with
+    | Some (' ' | '\t' | '\n' | '\r') ->
+        advance ();
+        skip_ws ()
+    | _ -> ()
+  in
+  let expect c =
+    match peek () with
+    | Some c' when c' = c -> advance ()
+    | _ -> fail (Printf.sprintf "expected '%c'" c)
+  in
+  let literal lit v =
+    let l = String.length lit in
+    if !pos + l <= n && String.sub s !pos l = lit then (
+      pos := !pos + l;
+      v)
+    else fail (Printf.sprintf "expected %s" lit)
+  in
+  let parse_string () =
+    expect '"';
+    let buf = Buffer.create 16 in
+    let rec loop () =
+      match peek () with
+      | None -> fail "unterminated string"
+      | Some '"' -> advance ()
+      | Some '\\' -> (
+          advance ();
+          match peek () with
+          | Some '"' -> advance (); Buffer.add_char buf '"'; loop ()
+          | Some '\\' -> advance (); Buffer.add_char buf '\\'; loop ()
+          | Some '/' -> advance (); Buffer.add_char buf '/'; loop ()
+          | Some 'n' -> advance (); Buffer.add_char buf '\n'; loop ()
+          | Some 'r' -> advance (); Buffer.add_char buf '\r'; loop ()
+          | Some 't' -> advance (); Buffer.add_char buf '\t'; loop ()
+          | Some 'b' -> advance (); Buffer.add_char buf '\b'; loop ()
+          | Some 'f' -> advance (); Buffer.add_char buf '\012'; loop ()
+          | Some 'u' ->
+              advance ();
+              if !pos + 4 > n then fail "bad unicode escape";
+              let hex = String.sub s !pos 4 in
+              pos := !pos + 4;
+              (match int_of_string_opt ("0x" ^ hex) with
+              | Some code when code < 0x80 -> Buffer.add_char buf (Char.chr code)
+              | Some _ -> Buffer.add_char buf '?'
+              | None -> fail "bad unicode escape");
+              loop ()
+          | _ -> fail "bad escape")
+      | Some c ->
+          advance ();
+          Buffer.add_char buf c;
+          loop ()
+    in
+    loop ();
+    Buffer.contents buf
+  in
+  let parse_number () =
+    let start = !pos in
+    let is_num_char c =
+      match c with
+      | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+      | _ -> false
+    in
+    while (match peek () with Some c -> is_num_char c | None -> false) do
+      advance ()
+    done;
+    match float_of_string_opt (String.sub s start (!pos - start)) with
+    | Some f -> Num f
+    | None -> fail "bad number"
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | None -> fail "unexpected end of input"
+    | Some '{' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some '}' then (
+          advance ();
+          Obj [])
+        else
+          let rec members acc =
+            skip_ws ();
+            let k = parse_string () in
+            skip_ws ();
+            expect ':';
+            let v = parse_value () in
+            skip_ws ();
+            match peek () with
+            | Some ',' ->
+                advance ();
+                members ((k, v) :: acc)
+            | Some '}' ->
+                advance ();
+                Obj (List.rev ((k, v) :: acc))
+            | _ -> fail "expected ',' or '}'"
+          in
+          members []
+    | Some '[' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some ']' then (
+          advance ();
+          Arr [])
+        else
+          let rec elems acc =
+            let v = parse_value () in
+            skip_ws ();
+            match peek () with
+            | Some ',' ->
+                advance ();
+                elems (v :: acc)
+            | Some ']' ->
+                advance ();
+                Arr (List.rev (v :: acc))
+            | _ -> fail "expected ',' or ']'"
+          in
+          elems []
+    | Some '"' -> Str (parse_string ())
+    | Some 't' -> literal "true" (Bool true)
+    | Some 'f' -> literal "false" (Bool false)
+    | Some 'n' -> literal "null" Null
+    | Some _ -> parse_number ()
+  in
+  let v = parse_value () in
+  skip_ws ();
+  if !pos <> n then fail "trailing garbage";
+  v
+
+let member k = function Obj fields -> List.assoc_opt k fields | _ -> None
+
+(* Replays one event against its track state: (last ts, open-span stack). *)
+let validate (s : string) : (unit, string) result =
+  match parse s with
+  | exception Parse_error msg -> Error ("invalid JSON: " ^ msg)
+  | j -> (
+      match member "traceEvents" j with
+      | Some (Arr events) -> (
+          let tracks : (int, int * string list) Hashtbl.t = Hashtbl.create 8 in
+          let err = ref None in
+          let check e =
+            if !err = None then
+              let str k = match member k e with Some (Str s) -> Some s | _ -> None in
+              let num k = match member k e with Some (Num f) -> Some f | _ -> None in
+              match (str "ph", num "tid") with
+              | Some "M", _ -> ()
+              | Some ph, Some tidf -> (
+                  let tid = int_of_float tidf in
+                  let name = Option.value ~default:"" (str "name") in
+                  match num "ts" with
+                  | None -> err := Some (Printf.sprintf "event %S missing ts" name)
+                  | Some tsf ->
+                      let ts = int_of_float tsf in
+                      let last, stack =
+                        Option.value ~default:(0, []) (Hashtbl.find_opt tracks tid)
+                      in
+                      if ts <= last then
+                        err :=
+                          Some
+                            (Printf.sprintf
+                               "tid %d: ts %d not increasing (last %d)" tid ts last)
+                      else
+                        let stack' =
+                          match ph with
+                          | "B" -> Some (name :: stack)
+                          | "E" -> (
+                              match stack with
+                              | top :: rest when top = name -> Some rest
+                              | top :: _ ->
+                                  err :=
+                                    Some
+                                      (Printf.sprintf
+                                         "tid %d: E %S does not match open span %S"
+                                         tid name top);
+                                  None
+                              | [] ->
+                                  err :=
+                                    Some
+                                      (Printf.sprintf "tid %d: E %S with no open span"
+                                         tid name);
+                                  None)
+                          | "i" -> Some stack
+                          | other ->
+                              err := Some (Printf.sprintf "unknown phase %S" other);
+                              None
+                        in
+                        Option.iter
+                          (fun st -> Hashtbl.replace tracks tid (ts, st))
+                          stack'
+                  )
+              | Some _, None -> err := Some "event missing tid"
+              | None, _ -> err := Some "event missing ph"
+          in
+          List.iter
+            (fun e -> match e with Obj _ -> check e | _ -> err := Some "event not an object")
+            events;
+          match !err with
+          | Some msg -> Error msg
+          | None ->
+              let unclosed =
+                Hashtbl.fold
+                  (fun tid (_, stack) acc ->
+                    if stack = [] then acc
+                    else Printf.sprintf "tid %d: %d unclosed span(s)" tid (List.length stack) :: acc)
+                  tracks []
+                |> List.sort String.compare
+              in
+              if unclosed = [] then Ok ()
+              else Error (String.concat "; " unclosed))
+      | _ -> Error "missing traceEvents array")
+
+let validate_file path =
+  let ic = open_in_bin path in
+  let len = in_channel_length ic in
+  let s = really_input_string ic len in
+  close_in ic;
+  validate s

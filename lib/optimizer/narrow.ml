@@ -1,5 +1,12 @@
 open Qsens_plan
 open Qsens_faults
+module Obs = Qsens_obs.Obs
+
+let m_explains = Obs.counter ~help:"narrow EXPLAIN calls" "narrow.explains"
+let m_recosts = Obs.counter ~help:"narrow recost calls" "narrow.recosts"
+
+let m_repins =
+  Obs.counter ~help:"plan-cache repins after eviction" "narrow.repins"
 
 type t = {
   env : Env.t;
@@ -32,6 +39,8 @@ let faults t = t.faults
 
 let explain t ~costs =
   t.calls <- t.calls + 1;
+  Obs.add m_explains 1;
+  Obs.with_span "narrow.explain" @@ fun () ->
   let r = Optimizer.optimize t.env t.query ~costs in
   match Fault.apply_opt t.faults ~site:explain_site r.total_cost with
   | Error `Failed ->
@@ -47,6 +56,7 @@ let explain t ~costs =
       Ok (r.signature, total)
 
 let recost t ~signature ~costs =
+  Obs.add m_recosts 1;
   if Fault.evicts_opt t.faults ~site:recost_site then
     Hashtbl.remove t.seen signature;
   match Hashtbl.find_opt t.seen signature with
@@ -65,6 +75,7 @@ let repin t ~signature =
     match Hashtbl.find_opt t.origin signature with
     | None -> Error (Fault.Unknown_signature signature)
     | Some costs -> (
+        Obs.add m_repins 1;
         (* Re-EXPLAIN at the costs that produced the plan; the optimizer
            is deterministic, so the same signature lands back in the
            cache.  Counts as an optimizer call and is itself subject to

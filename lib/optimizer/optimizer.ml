@@ -1,4 +1,13 @@
 open Qsens_plan
+module Obs = Qsens_obs.Obs
+
+let m_calls = Obs.counter ~help:"optimizer invocations" "optimizer.calls"
+
+let m_memo_inserts =
+  Obs.counter ~help:"memo insertion attempts" "optimizer.memo_inserts"
+
+let m_memo_kept =
+  Obs.counter ~help:"memo insertions that improved a variant" "optimizer.memo_kept"
 
 type result = { plan : Node.t; total_cost : float; signature : string }
 
@@ -51,7 +60,11 @@ module Memo = struct
       | Some old -> c < Node.cost old costs
       | None -> true
     in
-    if better then Hashtbl.replace tbl key node
+    Obs.add m_memo_inserts 1;
+    if better then begin
+      Obs.add m_memo_kept 1;
+      Hashtbl.replace tbl key node
+    end
 end
 
 let popcount mask =
@@ -59,6 +72,8 @@ let popcount mask =
   go mask 0
 
 let optimize ?(max_bushy_side = 2) env (query : Query.t) ~costs =
+  Obs.add m_calls 1;
+  Obs.with_span "optimizer.optimize" @@ fun () ->
   let ctx = Node.make_ctx env query in
   let aliases =
     Array.of_list (List.map (fun (r : Query.relation) -> r.alias) query.relations)

@@ -6,6 +6,14 @@
    both uses all [domains] cores and makes [domains = 1] a true
    sequential inline fallback. *)
 
+module Obs = Qsens_obs.Obs
+
+let m_batches = Obs.counter ~help:"pool batches submitted" "pool.batches"
+let m_tasks = Obs.counter ~help:"pool tasks executed" "pool.tasks"
+
+let m_chunk_size =
+  Obs.histogram ~help:"elements per pool chunk" "pool.chunk_size"
+
 type batch = {
   tasks : (unit -> unit) array;
   retries : int;
@@ -143,7 +151,21 @@ let run ?(retry = 0) pool tasks =
   let retries = if retry < 0 then 0 else retry in
   let total = Array.length tasks in
   if total = 0 then ()
-  else if pool.size <= 1 || total = 1 then
+  else begin
+  (* Task identity for tracing is (batch, index) — logical position, not
+     the physical domain that happens to claim the task — so traces are
+     deterministic under any scheduling.  The disabled path leaves the
+     task array untouched. *)
+  let tasks =
+    if Obs.recording () then begin
+      Obs.add m_batches 1;
+      Obs.add m_tasks total;
+      let batch = Obs.begin_batch () in
+      Array.mapi (fun i f () -> Obs.with_task ~batch ~index:i f) tasks
+    end
+    else tasks
+  in
+  if pool.size <= 1 || total = 1 then
     Array.iter
       (fun f ->
         match attempt_task ~retries f with
@@ -184,6 +206,7 @@ let run ?(retry = 0) pool tasks =
     | Some (e, bt) -> Printexc.raise_with_backtrace e bt
     | None -> ()
   end
+  end
 
 let chunk_bounds ~n ~chunks i =
   if chunks < 1 || i < 0 || i >= chunks then
@@ -209,6 +232,8 @@ let parallel_for_chunked ?chunks ?retry pool ~n body =
       run ?retry pool
         (Array.init chunks (fun i ->
              let lo, hi = chunk_bounds ~n ~chunks i in
+             if Obs.recording () then
+               Obs.observe m_chunk_size (float_of_int (hi - lo));
              fun () -> body lo hi))
   end
 
@@ -232,6 +257,8 @@ let map_reduce ?chunks ?retry pool ~n ~map ~reduce ~init =
       run ?retry pool
         (Array.init chunks (fun i ->
              let lo, hi = chunk_bounds ~n ~chunks i in
+             if Obs.recording () then
+               Obs.observe m_chunk_size (float_of_int (hi - lo));
              fun () -> results.(i) <- Some (map lo hi)));
       Array.fold_left
         (fun acc r ->

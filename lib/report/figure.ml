@@ -1,21 +1,29 @@
 open Qsens_core
 
+(* Rows are keyed by delta *value* over the union of every series' grid:
+   series computed with different [?deltas] used to be paired to the first
+   series' grid by list index, silently misaligning their points. *)
 let series_table series =
   let deltas =
-    match series with
-    | (_, points) :: _ -> List.map (fun p -> p.Worst_case.delta) points
-    | [] -> []
+    List.sort_uniq Float.compare
+      (List.concat_map
+         (fun (_, points) -> List.map (fun p -> p.Worst_case.delta) points)
+         series)
   in
   let table =
     Table.make ~header:("delta" :: List.map fst series)
   in
-  List.iteri
-    (fun i delta ->
+  List.iter
+    (fun delta ->
       let row =
         Table.cell_f delta
         :: List.map
              (fun (_, points) ->
-               match List.nth_opt points i with
+               match
+                 List.find_opt
+                   (fun p -> Float.equal p.Worst_case.delta delta)
+                   points
+               with
                | Some p -> Table.cell_f p.Worst_case.gtc
                | None -> "-")
              series

@@ -1,0 +1,41 @@
+module Obs = Qsens_obs.Obs
+
+let kind_name = function
+  | Obs.Counter -> "counter"
+  | Obs.Gauge -> "gauge"
+  | Obs.Histogram -> "histogram"
+
+let value_cell = function
+  | Obs.Vcount n -> string_of_int n
+  | Obs.Vgauge v -> Table.cell_f v
+  | Obs.Vhist h ->
+      let mean = if h.n > 0 then h.sum /. Float.of_int h.n else 0. in
+      Printf.sprintf "n=%d mean=%s" h.n (Table.cell_f mean)
+
+let detail_cell m v =
+  match v with
+  | Obs.Vhist h ->
+      String.concat " "
+        (List.map
+           (fun (b, c) ->
+             Printf.sprintf "[%s,%s):%d"
+               (Table.cell_f (Obs.bucket_lo b))
+               (Table.cell_f (Obs.bucket_hi b))
+               c)
+           h.buckets)
+  | Obs.Vcount _ | Obs.Vgauge _ -> Obs.help m
+
+let summary_table () =
+  let table =
+    Table.make ~header:[ "metric"; "kind"; "value"; "detail" ]
+  in
+  List.iter
+    (fun (m, v) ->
+      Table.add_row table
+        [ Obs.name m; kind_name (Obs.kind m); value_cell v; detail_cell m v ])
+    (Obs.snapshot ());
+  table
+
+let print ?out () =
+  let table = summary_table () in
+  Table.print ?out table

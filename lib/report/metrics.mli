@@ -1,0 +1,6 @@
+(** ASCII rendering of the [Qsens_obs] metrics snapshot (the [--metrics]
+    flag): one row per metric that recorded data, merged across tracks in
+    deterministic order. *)
+
+val summary_table : unit -> Table.t
+val print : ?out:out_channel -> unit -> unit

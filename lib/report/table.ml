@@ -7,8 +7,14 @@ let add_row t row =
     invalid_arg "Table.add_row: width mismatch";
   t.rows <- row :: t.rows
 
+(* Non-finite values are normalized to fixed spellings: bare OCaml "inf" /
+   "nan" cells misparse in spreadsheet and plotting tools reading the CSV
+   export. *)
 let cell_f x =
-  if Float.is_integer x && Float.abs x < 1e7 then
+  if Float.is_nan x then "NaN"
+  else if Float.equal x infinity then "Inf"
+  else if Float.equal x neg_infinity then "-Inf"
+  else if Float.is_integer x && Float.abs x < 1e7 then
     Printf.sprintf "%.0f" x
   else Printf.sprintf "%.4g" x
 
@@ -38,7 +44,8 @@ let print ?(out = stdout) t =
 
 let to_csv t =
   let quote cell =
-    if String.exists (fun c -> c = ',' || c = '"' || c = '\n') cell then
+    if String.exists (fun c -> c = ',' || c = '"' || c = '\n' || c = '\r') cell
+    then
       "\"" ^ String.concat "\"\"" (String.split_on_char '"' cell) ^ "\""
     else cell
   in

@@ -158,6 +158,32 @@ let test_r001_scoped_to_lib () =
     ~file:"bench/fixture.ml" "let safe f x = try f x with _ -> 0\n"
 
 (* ------------------------------------------------------------------ *)
+(* O001: ad-hoc clock reads in instrumented code *)
+
+let test_o001_fires () =
+  check_diags "gettimeofday in library code"
+    [ (1, "O001") ]
+    ~file:"lib/engine/fixture.ml"
+    "let t0 () = Unix.gettimeofday ()\n";
+  check_diags "Sys.time in bench code"
+    [ (1, "O001") ]
+    ~file:"bench/fixture.ml" "let t0 () = Sys.time ()\n";
+  check_diags "raw monotonic clock in the CLI"
+    [ (1, "O001") ]
+    ~file:"bin/fixture.ml" "let t0 () = Monotonic_clock.now ()\n"
+
+let test_o001_obs_layer_exempt () =
+  (* lib/obs owns clock access; identical source there must not fire. *)
+  check_diags "lib/obs may read clocks" []
+    ~file:"lib/obs/clock.ml" "let now () = Monotonic_clock.now ()\n";
+  check_diags "test code is out of scope" []
+    ~file:"test/fixture.ml" "let t0 () = Unix.gettimeofday ()\n"
+
+let test_o001_obs_wrapper_is_silent () =
+  check_diags "going through the obs Clock wrapper is fine" []
+    ~file:"bench/fixture.ml" "let t0 () = Qsens_obs.Clock.now_s ()\n"
+
+(* ------------------------------------------------------------------ *)
 (* Suppression comments *)
 
 let bare_fold = "Hashtbl.fold (fun k _ acc -> k :: acc) tbl []"
@@ -233,7 +259,7 @@ let test_render () =
 let test_rule_catalogue () =
   Alcotest.(check (list string))
     "documented rule ids"
-    [ "D001"; "P001"; "F001"; "E001"; "W001"; "R001" ]
+    [ "D001"; "P001"; "F001"; "E001"; "W001"; "R001"; "O001" ]
     (List.map fst Qsens_lint.rules)
 
 (* ------------------------------------------------------------------ *)
@@ -280,6 +306,14 @@ let () =
           Alcotest.test_case "silent on specific handlers" `Quick
             test_r001_specific_handler_is_silent;
           Alcotest.test_case "scoped to lib" `Quick test_r001_scoped_to_lib;
+        ] );
+      ( "o001",
+        [
+          Alcotest.test_case "fires on raw clock reads" `Quick test_o001_fires;
+          Alcotest.test_case "obs layer and tests exempt" `Quick
+            test_o001_obs_layer_exempt;
+          Alcotest.test_case "silent via obs wrapper" `Quick
+            test_o001_obs_wrapper_is_silent;
         ] );
       ( "suppression",
         [

@@ -1,0 +1,226 @@
+(* Tier-1 tests for the qsens_obs deterministic observability layer:
+   the disabled path is a no-op, counters and histograms merge across
+   tracks, traces are byte-identical across runs and pool sizes (the
+   logical-clock guarantee), and the Chrome-trace validator accepts our
+   own output while rejecting malformed traces. *)
+
+module Obs = Qsens_obs.Obs
+module Trace_check = Qsens_obs.Trace_check
+module Pool = Qsens_parallel.Pool
+
+let m_count = Obs.counter ~help:"test counter" "test.count"
+let m_gauge = Obs.gauge ~help:"test gauge" "test.gauge"
+let m_hist = Obs.histogram ~help:"test histogram" "test.hist"
+
+let find_value name =
+  List.find_map
+    (fun (m, v) -> if String.equal (Obs.name m) name then Some v else None)
+    (Obs.snapshot ())
+
+(* ------------------------------------------------------------------ *)
+(* Disabled path *)
+
+let test_disabled_noop () =
+  Obs.reset ();
+  Alcotest.(check bool) "not recording" false (Obs.recording ());
+  Obs.add m_count 5;
+  Obs.set m_gauge 1.0;
+  Obs.observe m_hist 2.0;
+  Obs.enter "x";
+  Obs.leave "x";
+  Obs.instant "y";
+  Alcotest.(check int) "nothing recorded" 0 (List.length (Obs.snapshot ()))
+
+(* ------------------------------------------------------------------ *)
+(* Metrics *)
+
+let test_counter_and_gauge () =
+  Obs.start ();
+  Obs.add m_count 3;
+  Obs.add m_count 4;
+  Obs.set m_gauge 9.9;
+  Obs.set m_gauge 2.5;
+  Obs.stop ();
+  (match find_value "test.count" with
+  | Some (Obs.Vcount n) -> Alcotest.(check int) "counter sums" 7 n
+  | _ -> Alcotest.fail "test.count missing");
+  (match find_value "test.gauge" with
+  | Some (Obs.Vgauge v) ->
+      Alcotest.(check (float 0.)) "gauge keeps last value" 2.5 v
+  | _ -> Alcotest.fail "test.gauge missing");
+  Obs.reset ()
+
+let test_idempotent_registration () =
+  (* Re-registering a name returns the same metric; data recorded via
+     either handle lands in one cell. *)
+  let again = Obs.counter "test.count" in
+  Obs.start ();
+  Obs.add m_count 1;
+  Obs.add again 2;
+  Obs.stop ();
+  (match find_value "test.count" with
+  | Some (Obs.Vcount n) -> Alcotest.(check int) "one cell" 3 n
+  | _ -> Alcotest.fail "test.count missing");
+  Obs.reset ()
+
+let test_merge_across_tracks () =
+  (* Six pool tasks each bump the counter and observe the histogram;
+     the snapshot must merge all task tracks with the main track. *)
+  Pool.with_pool ~domains:2 (fun pool ->
+      Obs.start ();
+      Obs.add m_count 100;
+      Pool.run pool
+        (Array.init 6 (fun i () ->
+             Obs.add m_count (i + 1);
+             Obs.observe m_hist (float_of_int (i + 1))));
+      Obs.stop ());
+  (match find_value "test.count" with
+  | Some (Obs.Vcount n) -> Alcotest.(check int) "counter merged" 121 n
+  | _ -> Alcotest.fail "test.count missing");
+  (match find_value "test.hist" with
+  | Some (Obs.Vhist h) ->
+      Alcotest.(check int) "histogram n" 6 h.n;
+      Alcotest.(check (float 1e-9)) "histogram sum" 21. h.sum;
+      Alcotest.(check int) "bucket total" 6
+        (List.fold_left (fun acc (_, c) -> acc + c) 0 h.buckets)
+  | _ -> Alcotest.fail "test.hist missing");
+  Obs.reset ()
+
+(* ------------------------------------------------------------------ *)
+(* Histogram bucket math *)
+
+let test_bucket_edges () =
+  Alcotest.(check int) "zero" 0 (Obs.bucket_of 0.);
+  Alcotest.(check int) "negative" 0 (Obs.bucket_of (-3.));
+  Alcotest.(check int) "nan" 0 (Obs.bucket_of Float.nan);
+  Alcotest.(check int) "tiny underflows to bucket 0" 0 (Obs.bucket_of 1e-300);
+  Alcotest.(check int) "huge clamps high" 63 (Obs.bucket_of 1e300);
+  Alcotest.(check int) "non-finite goes to bucket 0" 0 (Obs.bucket_of infinity)
+
+let prop_bucket_contains =
+  (* Within the unclamped range, an observation falls inside its
+     bucket's [lo, hi) interval. *)
+  QCheck.Test.make ~count:500 ~name:"bucket bounds contain observation"
+    QCheck.(float_range 1e-5 1e12)
+    (fun v ->
+      let b = Obs.bucket_of v in
+      b >= 1 && b <= 63 && Obs.bucket_lo b <= v && v < Obs.bucket_hi b)
+
+(* ------------------------------------------------------------------ *)
+(* Trace determinism *)
+
+let workload pool =
+  Obs.with_span "outer" (fun () ->
+      Pool.run pool
+        (Array.init 6 (fun i () ->
+             Obs.instant "tick";
+             Obs.add m_count i)));
+  Obs.instant "done"
+
+let trace_of ~domains =
+  Pool.with_pool ~domains (fun pool ->
+      Obs.start ();
+      workload pool;
+      Obs.stop ());
+  let t = Obs.trace_string () in
+  Obs.reset ();
+  t
+
+let test_trace_deterministic () =
+  let t1 = trace_of ~domains:2 in
+  let t2 = trace_of ~domains:2 in
+  Alcotest.(check string) "byte-identical across runs" t1 t2;
+  let t3 = trace_of ~domains:3 in
+  Alcotest.(check string) "byte-identical across pool sizes" t1 t3;
+  let t4 = trace_of ~domains:1 in
+  Alcotest.(check string) "byte-identical vs inline execution" t1 t4
+
+let test_trace_validates () =
+  let t = trace_of ~domains:2 in
+  match Trace_check.validate t with
+  | Ok () -> ()
+  | Error msg -> Alcotest.fail ("own trace rejected: " ^ msg)
+
+let test_validator_rejects () =
+  let expect_error label s =
+    match Trace_check.validate s with
+    | Ok () -> Alcotest.fail (label ^ ": expected rejection")
+    | Error _ -> ()
+  in
+  expect_error "not json" "{not json";
+  expect_error "unmatched end"
+    {|{"traceEvents":[{"name":"a","ph":"E","pid":1,"tid":"main","ts":1}]}|};
+  expect_error "unclosed span"
+    {|{"traceEvents":[{"name":"a","ph":"B","pid":1,"tid":"main","ts":1}]}|};
+  expect_error "non-increasing ts"
+    {|{"traceEvents":[
+        {"name":"a","ph":"B","pid":1,"tid":"main","ts":1},
+        {"name":"a","ph":"E","pid":1,"tid":"main","ts":1}]}|};
+  expect_error "mismatched end name"
+    {|{"traceEvents":[
+        {"name":"a","ph":"B","pid":1,"tid":"main","ts":1},
+        {"name":"b","ph":"E","pid":1,"tid":"main","ts":2}]}|}
+
+let test_exception_closes_span () =
+  Obs.start ();
+  (try Obs.with_span "boom" (fun () -> failwith "boom") with Failure _ -> ());
+  Obs.stop ();
+  (match Trace_check.validate (Obs.trace_string ()) with
+  | Ok () -> ()
+  | Error msg -> Alcotest.fail ("span leaked on exception: " ^ msg));
+  Obs.reset ()
+
+(* ------------------------------------------------------------------ *)
+(* JSON export *)
+
+let contains ~sub s =
+  let n = String.length sub and m = String.length s in
+  let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
+  n = 0 || go 0
+
+let test_metrics_json_shape () =
+  Obs.start ();
+  Obs.add m_count 2;
+  Obs.set m_gauge 0.5;
+  Obs.stop ();
+  let json = Obs.metrics_json () in
+  Alcotest.(check bool) "is an object" true
+    (String.length json >= 2
+    && json.[0] = '{'
+    && String.ends_with ~suffix:"}" json);
+  Alcotest.(check bool) "contains the counter" true
+    (contains ~sub:{|"test.count": 2|} json);
+  Alcotest.(check bool) "contains the gauge" true
+    (contains ~sub:{|"test.gauge"|} json);
+  Obs.reset ()
+
+let () =
+  let props = List.map QCheck_alcotest.to_alcotest [ prop_bucket_contains ] in
+  Alcotest.run "obs"
+    [
+      ( "lifecycle",
+        [
+          Alcotest.test_case "disabled is a no-op" `Quick test_disabled_noop;
+          Alcotest.test_case "idempotent registration" `Quick
+            test_idempotent_registration;
+        ] );
+      ( "metrics",
+        [
+          Alcotest.test_case "counter and gauge" `Quick test_counter_and_gauge;
+          Alcotest.test_case "merge across tracks" `Quick
+            test_merge_across_tracks;
+          Alcotest.test_case "bucket edges" `Quick test_bucket_edges;
+          Alcotest.test_case "metrics json shape" `Quick
+            test_metrics_json_shape;
+        ] );
+      ( "trace",
+        [
+          Alcotest.test_case "deterministic" `Quick test_trace_deterministic;
+          Alcotest.test_case "validates" `Quick test_trace_validates;
+          Alcotest.test_case "validator rejects malformed" `Quick
+            test_validator_rejects;
+          Alcotest.test_case "exception closes span" `Quick
+            test_exception_closes_span;
+        ] );
+      ("buckets", props);
+    ]

@@ -242,6 +242,67 @@ let prop_curve_parallel =
              p.delta = q.delta && p.gtc = q.gtc && same_vec p.witness q.witness)
            seq par)
 
+(* Bit-level float equality: NaN = NaN is false under (=), so the
+   degenerate-plan properties compare IEEE bit patterns instead. *)
+let same_float a b =
+  Int64.equal (Int64.bits_of_float a) (Int64.bits_of_float b)
+
+let gen_plans_degenerate ~dim_lo ~dim_hi ~plans_lo ~plans_hi =
+  (* Like gen_plans, but one random plan row is zeroed (a zero-usage
+     plan) and the initial plan may be zeroed too, driving
+     Fractional.max_ratio into its degenerate 0/0 branch. *)
+  QCheck.Gen.(
+    gen_plans ~dim_lo ~dim_hi ~plans_lo ~plans_hi >>= fun (plans, delta) ->
+    let k = Array.length plans in
+    let m = Array.length plans.(0) in
+    int_range 0 (k - 1) >>= fun zi ->
+    bool >>= fun zero_initial ->
+    let plans = Array.map Array.copy plans in
+    plans.(zi) <- Array.make m 0.;
+    if zero_initial then plans.(0) <- Array.make m 0.;
+    return (plans, delta))
+
+let prop_curve_parallel_degenerate =
+  (* Zero-usage plans yield NaN cost ratios.  Both curve paths must
+     skip them identically — bit-for-bit agreement on every point,
+     including a NaN gtc when every plan is degenerate. *)
+  QCheck.Test.make ~count:40
+    ~name:"curve: zero-usage plans, parallel == sequential"
+    (QCheck.make
+       (gen_plans_degenerate ~dim_lo:2 ~dim_hi:5 ~plans_lo:2 ~plans_hi:8))
+    (fun (plans, _delta) ->
+      let deltas = [ 1.; 10.; 100. ] in
+      let seq = Worst_case.curve ~deltas ~plans ~initial:plans.(0) () in
+      let par =
+        Worst_case.curve ~deltas ~pool:pool2 ~plans ~initial:plans.(0) ()
+      in
+      List.length seq = List.length par
+      && List.for_all2
+           (fun (p : Worst_case.point) (q : Worst_case.point) ->
+             same_float p.delta q.delta
+             && same_float p.gtc q.gtc
+             && Vec.dim p.witness = Vec.dim q.witness
+             && Array.for_all2 same_float p.witness q.witness)
+           seq par)
+
+let test_curve_all_degenerate () =
+  (* Every plan zero-usage: no valid ratio anywhere, so both paths must
+     report gtc = NaN with the box centre as witness instead of the
+     argmax seed value. *)
+  let plans = [| Array.make 3 0.; Array.make 3 0. |] in
+  let deltas = [ 10. ] in
+  let seq = Worst_case.curve ~deltas ~plans ~initial:plans.(0) () in
+  let par =
+    Worst_case.curve ~deltas ~pool:pool2 ~plans ~initial:plans.(0) ()
+  in
+  match (seq, par) with
+  | [ p ], [ q ] ->
+      Alcotest.(check bool) "seq gtc NaN" true (Float.is_nan p.gtc);
+      Alcotest.(check bool) "par gtc NaN" true (Float.is_nan q.gtc);
+      Alcotest.(check bool) "witnesses equal" true
+        (same_vec p.witness q.witness)
+  | _ -> Alcotest.fail "expected one curve point per path"
+
 (* ------------------------------------------------------------------ *)
 (* Candidate discovery: identical probes and plan set with a pool *)
 
@@ -299,7 +360,7 @@ let () =
   let props =
     List.map QCheck_alcotest.to_alcotest
       [ prop_vertices_parallel; prop_worst_case_gtc_parallel;
-        prop_curve_parallel ]
+        prop_curve_parallel; prop_curve_parallel_degenerate ]
   in
   Alcotest.run "parallel"
     [
@@ -322,6 +383,11 @@ let () =
             test_sequential_fallback;
         ] );
       ("nth-subset", [ Alcotest.test_case "unrank" `Quick test_nth_subset ]);
+      ( "degenerate",
+        [
+          Alcotest.test_case "all-zero plans: NaN gtc, centre witness" `Quick
+            test_curve_all_degenerate;
+        ] );
       ( "discovery",
         [
           Alcotest.test_case "parallel identical" `Quick

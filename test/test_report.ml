@@ -30,6 +30,29 @@ let test_cell_formatting () =
   Alcotest.(check string) "large integral" "263100" (Qsens_report.Table.cell_f 263100.);
   Alcotest.(check string) "large" "2.631e+05" (Qsens_report.Table.cell_f 263100.5)
 
+let test_cell_non_finite () =
+  (* Bare OCaml spellings ("inf", "nan") misparse downstream; the cells
+     must use the fixed normalized forms. *)
+  Alcotest.(check string) "nan" "NaN" (Qsens_report.Table.cell_f Float.nan);
+  Alcotest.(check string) "inf" "Inf" (Qsens_report.Table.cell_f infinity);
+  Alcotest.(check string) "neg inf" "-Inf"
+    (Qsens_report.Table.cell_f neg_infinity)
+
+let test_csv_golden () =
+  (* Golden CSV: embedded commas, quotes, newlines, carriage returns and
+     non-finite values all survive a round trip through to_csv. *)
+  let t = Qsens_report.Table.make ~header:[ "name"; "value" ] in
+  Qsens_report.Table.add_row t [ "comma,here"; Qsens_report.Table.cell_f nan ];
+  Qsens_report.Table.add_row t
+    [ "say \"hi\""; Qsens_report.Table.cell_f infinity ];
+  Qsens_report.Table.add_row t
+    [ "line\nbreak"; Qsens_report.Table.cell_f neg_infinity ];
+  Qsens_report.Table.add_row t [ "cr\rhere"; Qsens_report.Table.cell_f 1.5 ];
+  Alcotest.(check string) "golden"
+    ("name,value\n" ^ "\"comma,here\",NaN\n" ^ "\"say \"\"hi\"\"\",Inf\n"
+   ^ "\"line\nbreak\",-Inf\n" ^ "\"cr\rhere\",1.5\n")
+    (Qsens_report.Table.to_csv t)
+
 let test_series_table () =
   let series =
     [ ("Q1", points [ (1., 1.); (10., 1.5) ]);
@@ -38,6 +61,20 @@ let test_series_table () =
   let t = Qsens_report.Figure.series_table series in
   let csv = Qsens_report.Table.to_csv t in
   Alcotest.(check string) "table" "delta,Q1,Q2\n1,1,1\n10,1.5,42\n" csv
+
+let test_series_table_heterogeneous () =
+  (* Series sampled on different delta grids: rows are keyed by delta
+     value (union of all grids, ascending), never by list position, and
+     a series with no point at a delta shows "-".  The old index-based
+     pairing silently misaligned exactly this input. *)
+  let series =
+    [ ("Q1", points [ (1., 1.); (10., 1.5); (100., 2.) ]);
+      ("Q2", points [ (10., 42.); (1000., 99.) ]) ]
+  in
+  let t = Qsens_report.Figure.series_table series in
+  let csv = Qsens_report.Table.to_csv t in
+  Alcotest.(check string) "union grid, keyed by delta"
+    "delta,Q1,Q2\n1,1,-\n10,1.5,42\n100,2,-\n1000,-,99\n" csv
 
 let test_ascii_plot_renders () =
   let series = [ ("Q1", points [ (1., 1.); (10., 100.); (100., 10000.) ]) ] in
@@ -78,10 +115,14 @@ let () =
           Alcotest.test_case "width mismatch" `Quick test_table_width_mismatch;
           Alcotest.test_case "csv quoting" `Quick test_csv_quoting;
           Alcotest.test_case "cell formatting" `Quick test_cell_formatting;
+          Alcotest.test_case "non-finite cells" `Quick test_cell_non_finite;
+          Alcotest.test_case "csv golden" `Quick test_csv_golden;
         ] );
       ( "figure",
         [
           Alcotest.test_case "series table" `Quick test_series_table;
+          Alcotest.test_case "series table heterogeneous grids" `Quick
+            test_series_table_heterogeneous;
           Alcotest.test_case "ascii plot" `Quick test_ascii_plot_renders;
           Alcotest.test_case "asymptote summary" `Quick test_asymptote_summary;
         ] );

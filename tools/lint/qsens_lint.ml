@@ -42,6 +42,7 @@ let rules =
     ("E001", "printing or exit in library code");
     ("W001", "ignored result of a must-use function");
     ("R001", "swallowed exception (try ... with _ ->) in library code");
+    ("O001", "ad-hoc clock read in instrumented code");
   ]
 
 let render d =
@@ -78,6 +79,15 @@ let e001_scope file = in_dir "lib" file && not (in_dir "lib/report" file)
    value, exactly the failure-swallowing the typed Fault.error pipeline
    exists to prevent.  Tests, bench and the CLI may still use it. *)
 let r001_scope file = in_dir "lib" file
+
+(* O001: the observability layer owns all clock access.  A raw
+   gettimeofday / Sys.time in instrumented code either corrupts span
+   timestamps (wall clocks step under NTP) or bypasses the logical
+   clock that makes traces deterministic.  Only lib/obs may read a
+   clock directly. *)
+let o001_scope file =
+  (in_dir "lib" file && not (in_dir "lib/obs" file))
+  || in_dir "bench" file || in_dir "bin" file
 
 (* ------------------------------------------------------------------ *)
 (* Longident helpers *)
@@ -160,6 +170,14 @@ let e001_fns =
     "prerr_string";
     "prerr_newline";
     "exit";
+  ]
+
+let o001_fns =
+  [
+    "Unix.gettimeofday";
+    "Unix.clock_gettime";
+    "Sys.time";
+    "Monotonic_clock.now";
   ]
 
 let is_d001 p = List.exists (ends_with_path p) d001_fns
@@ -323,6 +341,13 @@ let make_iter ~file ~emit =
             emit "F001" e.pexp_loc
               "polymorphic compare in numeric code; use Float.compare, \
                Vec.compare, or an explicit comparator";
+          if o001_scope file && List.exists (ends_with_path p) o001_fns then
+            emit "O001" e.pexp_loc
+              (Printf.sprintf
+                 "%s reads a clock directly; go through Qsens_obs (Clock for \
+                  monotonic time, spans for timing) so traces stay \
+                  deterministic"
+                 p);
           if f001_scope file && is_poly_mem p then
             emit "F001" e.pexp_loc
               (Printf.sprintf

@@ -1,0 +1,21 @@
+(* Validate Chrome-trace JSON emitted by `--trace`: well-formed JSON,
+   strictly increasing timestamps per track, and balanced begin/end
+   span pairs.  Exits nonzero on the first invalid file so CI can gate
+   on it. *)
+
+let () =
+  let files = List.tl (Array.to_list Sys.argv) in
+  if files = [] then begin
+    prerr_endline "usage: trace_check FILE...";
+    exit 2
+  end;
+  let bad = ref false in
+  List.iter
+    (fun file ->
+      match Qsens_obs.Trace_check.validate_file file with
+      | Ok () -> Printf.printf "%s: ok\n" file
+      | Error msg ->
+          Printf.eprintf "%s: %s\n" file msg;
+          bad := true)
+    files;
+  if !bad then exit 1
