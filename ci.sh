@@ -16,13 +16,22 @@ dune build @lint
 echo "== bench smoke"
 dune exec bench/main.exe -- --help > /dev/null
 
+# Smoke-size sweep benchmark: fails unless the kernel curve is
+# bit-identical to the per-delta rebuild.  Results go to a scratch
+# directory so the committed full-size BENCH_sweep.json is untouched.
+echo "== bench sweep smoke"
+sweep_tmp=$(mktemp -d)
+trap 'rm -rf "$sweep_tmp"' EXIT
+QSENS_RESULTS_DIR="$sweep_tmp" \
+  dune exec bench/main.exe -- sweep --smoke > /dev/null
+
 echo "== fault-injection smoke"
 dune exec bin/qsens_cli.exe -- lsq Q14 -l per-table -d 4 \
   --faults canned --retries 4 > /dev/null
 
 echo "== trace smoke"
 trace_tmp=$(mktemp -d)
-trap 'rm -rf "$trace_tmp"' EXIT
+trap 'rm -rf "$sweep_tmp" "$trace_tmp"' EXIT
 dune exec bin/qsens_cli.exe -- worst-case Q14 -l per-table -d 4 -j 2 \
   --trace "$trace_tmp/t1.json" > /dev/null
 dune exec bin/qsens_cli.exe -- worst-case Q14 -l per-table -d 4 -j 2 \

@@ -39,12 +39,39 @@ val worst_case_gtc :
   float * Vec.t
 (** [worst_case_gtc ~plans ~a box] —
     the maximum of [GTC_rel(a, .)] over the feasible cost region, with an
-    attaining cost vector.  Computed as
-    [max_b max_C (A . C) / (B . C)] — each inner maximization a
-    linear-fractional program over the box (see {!Qsens_geom.Fractional});
+    attaining cost vector.  Computed as [max_b max_C (A . C) / (B . C)];
     by Observation 2 the maximum is attained at a vertex of the region,
     and the returned vector is such a vertex.
+
+    Up to 10 dimensions the maximization enumerates the box vertices with
+    a packed plan matrix ({!Qsens_linalg.Kernel}) — exact, and
+    bit-identical to {!worst_case_gtc_naive}; beyond that it falls back to
+    {!worst_case_gtc_fractional}.  Requires nonnegative [plans] and [a]
+    on the vertex path.
 
     With [?pool] the per-plan maximizations run across domains; the
     argmax reduction breaks ties by lowest plan index, so the result is
     identical to the sequential run. *)
+
+val worst_case_gtc_naive :
+  ?pool:Qsens_parallel.Pool.t ->
+  plans:Vec.t array ->
+  a:Vec.t ->
+  Qsens_geom.Box.t ->
+  float * Vec.t
+(** The vertex-enumeration maximization with per-plan {!Vec.dot} instead
+    of the packed kernel — the bit-identity reference for
+    {!worst_case_gtc} on dimensions the kernel handles.  Same argmax,
+    tie-breaking and degenerate (NaN) semantics. *)
+
+val worst_case_gtc_fractional :
+  ?pool:Qsens_parallel.Pool.t ->
+  plans:Vec.t array ->
+  a:Vec.t ->
+  Qsens_geom.Box.t ->
+  float * Vec.t
+(** The pre-kernel path: each inner maximization a linear-fractional
+    program over the box (see {!Qsens_geom.Fractional}).  Kept as the
+    high-dimension fallback and as the honest baseline for the sweep
+    benchmark.  Converges to the vertex maximum within the bisection
+    tolerance but is not bit-identical to the vertex paths. *)

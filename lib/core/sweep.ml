@@ -1,0 +1,208 @@
+open Qsens_linalg
+module Pool = Qsens_parallel.Pool
+module Obs = Qsens_obs.Obs
+
+(* Same name as in Framework / Worst_case: registration is idempotent,
+   all sites feed one counter. *)
+let m_degenerate_ratios =
+  Obs.counter
+    ~help:"degenerate (NaN) plan ratios skipped in worst-case argmax"
+    "wc.degenerate_ratios"
+
+let m_plans_pruned =
+  Obs.counter ~help:"plans removed by dominance pruning before table build"
+    "sweep.plans_pruned"
+
+let m_evals =
+  Obs.counter ~help:"separable per-delta sweep evaluations" "sweep.evals"
+
+let max_dim = 12
+let supported ~dim = dim >= 1 && dim <= max_dim
+
+type t = {
+  center : Vec.t;
+  dim : int;
+  nv : int;
+  mask : int;
+  kept : int array;
+  sums : float array;
+  num_sums : float array;
+  degenerate : bool array;
+  initial_zero : bool;
+}
+
+let dim t = t.dim
+let num_patterns t = t.nv
+let kept t = Array.copy t.kept
+let center t = Vec.copy t.center
+
+(* Subset sums by the highest-bit recurrence: the entry for a pattern
+   whose top bit is [i] extends the entry with that bit cleared by
+   [w.(i)], so every subset accumulates its terms in ascending index
+   order — the same association as an ascending fold, which keeps the
+   full-pattern entry bit-identical to the [s_total] prepass sum. *)
+let subset_sums w m out pos =
+  out.(pos) <- 0.;
+  for i = 0 to m - 1 do
+    let bit = 1 lsl i in
+    for k = bit to (2 * bit) - 1 do
+      out.(pos + k) <- out.(pos + k - bit) +. w.(i)
+    done
+  done
+
+let ascending_sum w =
+  let acc = ref 0. in
+  for i = 0 to Array.length w - 1 do
+    acc := !acc +. w.(i)
+  done;
+  !acc
+
+let vertex_value ~delta ~inv a b = Float.fma delta a (b *. inv)
+
+let build ?pool ?(prune = true) ~plans ~initial ~center () =
+  let np = Array.length plans in
+  if np = 0 then invalid_arg "Sweep.build: no plans";
+  let m = Vec.dim center in
+  if not (supported ~dim:m) then
+    invalid_arg
+      (Printf.sprintf "Sweep.build: dimension %d outside 1..%d" m max_dim);
+  if Vec.dim initial <> m then invalid_arg "Sweep.build: dimension mismatch";
+  Array.iter
+    (fun p -> if Vec.dim p <> m then invalid_arg "Sweep.build: dimension mismatch")
+    plans;
+  Array.iter
+    (fun x -> if x <= 0. then invalid_arg "Sweep.build: center must be > 0")
+    center;
+  let check_nonneg v =
+    Array.iter
+      (fun x -> if x < 0. then invalid_arg "Sweep.build: negative component")
+      v
+  in
+  check_nonneg initial;
+  Array.iter check_nonneg plans;
+  Obs.with_span "sweep.build" @@ fun () ->
+  let nv = 1 lsl m in
+  let mask = nv - 1 in
+  let weights = Array.map (fun p -> Vec.map2 ( *. ) p center) plans in
+  let totals = Array.map ascending_sum weights in
+  let degenerate = Array.map (fun s -> Float.equal s 0.) totals in
+  let num_weights = Vec.map2 ( *. ) initial center in
+  let initial_zero = Float.equal (ascending_sum num_weights) 0. in
+  (* Dominance pruning (Section 4.4): a plan with a componentwise-cheaper
+     rival can never win the argmax — monotone rounding keeps its computed
+     denominator at least the rival's at every vertex, so its ratio never
+     strictly exceeds the rival's.  Only lower-index dominators prune
+     (preserving lowest-index tie-breaking), and only dominators whose
+     computed total is positive (an all-underflow dominator could turn a
+     finite ratio into a skipped NaN). *)
+  let kept =
+    if not prune then Array.init np Fun.id
+    else begin
+      let keep = Array.make np true in
+      for j = 1 to np - 1 do
+        let i = ref 0 in
+        while keep.(j) && !i < j do
+          if totals.(!i) > 0. && Vec.dominates plans.(!i) plans.(j) then
+            keep.(j) <- false;
+          incr i
+        done
+      done;
+      let n = Array.fold_left (fun acc k -> if k then acc + 1 else acc) 0 keep in
+      let kept = Array.make n 0 in
+      let next = ref 0 in
+      Array.iteri
+        (fun j k ->
+          if k then begin
+            kept.(!next) <- j;
+            incr next
+          end)
+        keep;
+      kept
+    end
+  in
+  Obs.add m_plans_pruned (np - Array.length kept);
+  let nkept = Array.length kept in
+  let sums = Array.make (nkept * nv) 0. in
+  let fill lo hi =
+    for kp = lo to hi - 1 do
+      subset_sums weights.(kept.(kp)) m sums (kp * nv)
+    done
+  in
+  (match pool with
+  | Some p when Pool.domains p > 1 && nkept > 1 ->
+      Pool.parallel_for_chunked p ~n:nkept fill
+  | _ -> fill 0 nkept);
+  let num_sums = Array.make nv 0. in
+  subset_sums num_weights m num_sums 0;
+  {
+    center = Vec.copy center;
+    dim = m;
+    nv;
+    mask;
+    kept;
+    sums;
+    num_sums;
+    degenerate;
+    initial_zero;
+  }
+
+let eval t ~delta =
+  if delta < 1. then invalid_arg "Sweep.eval: delta must be >= 1";
+  Obs.add m_evals 1;
+  let inv = 1. /. delta in
+  let nv = t.nv and mask = t.mask in
+  let sums = t.sums and num_sums = t.num_sums in
+  let best = ref neg_infinity and best_pat = ref (-1) and degen = ref 0 in
+  for kp = 0 to Array.length t.kept - 1 do
+    let p = t.kept.(kp) in
+    if t.degenerate.(p) && t.initial_zero then incr degen
+    else begin
+      let off = kp * nv in
+      for k = 0 to nv - 1 do
+        let den = vertex_value ~delta ~inv sums.(off + k) sums.(off + (mask lxor k)) in
+        let num = vertex_value ~delta ~inv num_sums.(k) num_sums.(mask lxor k) in
+        let r = num /. den in
+        (* Strict improvement: lowest (plan, pattern) wins ties and NaN
+           ratios fall through, exactly like the per-plan argmax. *)
+        if r > !best then begin
+          best := r;
+          best_pat := k
+        end
+      done
+    end
+  done;
+  Obs.add m_degenerate_ratios !degen;
+  if !best_pat >= 0 then (!best, !best_pat)
+  else ((if !degen > 0 then nan else !best), -1)
+
+let check_pattern t pattern =
+  if pattern < 0 || pattern >= t.nv then
+    invalid_arg
+      (Printf.sprintf "Sweep: pattern %d outside 0..%d" pattern (t.nv - 1))
+
+let kept_slot t plan =
+  if plan < 0 || plan >= Array.length t.degenerate then
+    invalid_arg (Printf.sprintf "Sweep: plan %d out of range" plan);
+  let rec go kp =
+    if kp >= Array.length t.kept then
+      invalid_arg (Printf.sprintf "Sweep: plan %d was pruned" plan)
+    else if t.kept.(kp) = plan then kp
+    else go (kp + 1)
+  in
+  go 0
+
+let plan_a t ~plan ~pattern =
+  check_pattern t pattern;
+  t.sums.((kept_slot t plan * t.nv) + pattern)
+
+let plan_b t ~plan ~pattern =
+  check_pattern t pattern;
+  t.sums.((kept_slot t plan * t.nv) + (t.mask lxor pattern))
+
+let initial_a t ~pattern =
+  check_pattern t pattern;
+  t.num_sums.(pattern)
+
+let initial_b t ~pattern =
+  check_pattern t pattern;
+  t.num_sums.(t.mask lxor pattern)

@@ -1,0 +1,104 @@
+(** Separable delta-sweep cache for the worst-case analysis.
+
+    By Observation 2 the worst-case global relative cost over the box
+    [[c_i/delta, c_i*delta]^m] is attained at a box vertex.  A vertex is a
+    sign pattern [s] — component [i] sits at [c_i*delta] when bit [i] of
+    the pattern is set, at [c_i/delta] otherwise — so a plan's cost there
+    separates as
+
+    {[ U . C(delta) = delta * A_s(U) + (1/delta) * B_s(U) ]}
+
+    with [A_s = sum over set bits of u_i*c_i] and [B_s] the complementary
+    sum.  The [A]/[B] tables depend only on the plan set and the box
+    {e center}, never on [delta]: build them once per curve, then every
+    grid point costs two fused multiply-adds per (plan, vertex) instead of
+    a fresh vertex enumeration with full dot products.
+
+    One subset-sum table [S] per plan stores both halves:
+    [A_s = S(pattern)] and [B_s = S(complement of pattern)].
+
+    {2 Determinism contract}
+
+    Subset sums accumulate in ascending component-index order (the
+    highest-bit recurrence), vertex values use one shared
+    [fma delta a (b * (1/delta))] with [1/delta] computed once per
+    [eval], and the flat argmax scans plans in ascending original index
+    and patterns in ascending order with strict improvement — so results
+    are bit-identical for any pool size, and identical whether the tables
+    are built once or rebuilt per delta.  Dominance pruning never changes
+    the result: only a lower-index, componentwise-cheaper plan with a
+    positive computed total prunes, and IEEE monotonicity of the whole
+    evaluation chain guarantees the pruned plan never strictly beats its
+    dominator at any vertex. *)
+
+open Qsens_linalg
+
+type t
+
+val max_dim : int
+(** Largest supported dimension (the tables hold [2^dim] entries per
+    plan); currently 12.  Beyond it, callers fall back to the
+    linear-fractional path. *)
+
+val supported : dim:int -> bool
+(** [supported ~dim] — whether {!build} accepts this dimension. *)
+
+val build :
+  ?pool:Qsens_parallel.Pool.t ->
+  ?prune:bool ->
+  plans:Vec.t array ->
+  initial:Vec.t ->
+  center:Vec.t ->
+  unit ->
+  t
+(** [build ~plans ~initial ~center ()] precomputes the per-plan subset-sum
+    tables for boxes [Box.around center ~delta] at any [delta >= 1].
+    [prune] (default true) drops dominated plans (Section 4.4) before the
+    tables are built — result-identical by the determinism contract.
+    With [?pool] the per-plan table fills run across domains (each plan's
+    table is a disjoint slice, results bit-identical to sequential).
+
+    Requires at least one plan, [supported ~dim:(Vec.dim center)],
+    componentwise positive [center], and nonnegative [plans]/[initial];
+    raises [Invalid_argument] otherwise. *)
+
+val eval : t -> delta:float -> float * int
+(** [eval t ~delta] is [(gtc, pattern)]: the worst-case GTC over
+    [Box.around center ~delta] and the sign pattern of an attaining
+    vertex ([Box.vertex box pattern]).  Ties break to the lowest
+    (plan index, pattern) pair; NaN ratios are skipped.  [pattern = -1]
+    means every plan was degenerate (plan and initial both everywhere
+    zero): [gtc] is NaN and no vertex attains it — callers report the box
+    center, as the fractional path does.  Raises [Invalid_argument] if
+    [delta < 1]. *)
+
+val vertex_value : delta:float -> inv:float -> float -> float -> float
+(** [vertex_value ~delta ~inv a b] is [fma delta a (b *. inv)] — the
+    vertex cost [delta*A + B/delta] with [inv = 1/delta].  Exposed so
+    tests and callers reproduce the kernel's exact bits. *)
+
+(** {2 Introspection} (golden tests, diagnostics)
+
+    [plan] indices refer to the original [plans] array; asking for a
+    pruned plan raises [Invalid_argument]. *)
+
+val dim : t -> int
+
+val num_patterns : t -> int
+(** [2^dim]: sign patterns per plan. *)
+
+val kept : t -> int array
+(** Original indices of the plans that survived pruning, ascending. *)
+
+val center : t -> Vec.t
+
+val plan_a : t -> plan:int -> pattern:int -> float
+(** [A_s]: the subset sum of [u_i * c_i] over the set bits of
+    [pattern]. *)
+
+val plan_b : t -> plan:int -> pattern:int -> float
+(** [B_s]: the complementary subset sum (cleared bits of [pattern]). *)
+
+val initial_a : t -> pattern:int -> float
+
+val initial_b : t -> pattern:int -> float

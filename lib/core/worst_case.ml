@@ -18,15 +18,61 @@ let default_deltas =
   (* 10^0, 10^0.25, ..., 10^4 *)
   List.init 17 (fun i -> Float.pow 10. (0.25 *. Float.of_int i))
 
-let gtc_at_full ?pool ~plans ~initial delta =
-  let m = Vec.dim initial in
-  let box = Box.around (Vec.make m 1.) ~delta in
-  Framework.worst_case_gtc ?pool ~plans ~a:initial box
+(* All curves sweep boxes around the estimated cost point, which is the
+   all-ones vector in the (active) group subspace. *)
+let ones_center ~initial = Vec.make (Vec.dim initial) 1.
 
-let gtc_at ?pool ~plans ~initial delta =
-  fst (gtc_at_full ?pool ~plans ~initial delta)
+(* ------------------------------------------------------------------ *)
+(* Kernel path: separable subset-sum tables, built once per sweep. *)
 
-let curve ?(deltas = default_deltas) ?pool ~plans ~initial () =
+let point_of_eval ~center ~delta (gtc, pattern) =
+  let box = Box.around center ~delta in
+  let witness =
+    if pattern < 0 then Box.center box else Box.vertex box pattern
+  in
+  { delta; gtc; witness }
+
+let curve_kernel ~deltas ?pool ~plans ~initial () =
+  let center = ones_center ~initial in
+  let sweep = Sweep.build ?pool ~plans ~initial ~center () in
+  let darr = Array.of_list deltas in
+  let nd = Array.length darr in
+  let results = Array.make nd { delta = nan; gtc = nan; witness = [||] } in
+  let fill lo hi =
+    for di = lo to hi - 1 do
+      let delta = darr.(di) in
+      results.(di) <- point_of_eval ~center ~delta (Sweep.eval sweep ~delta)
+    done
+  in
+  (match pool with
+  | Some p when Pool.domains p > 1 && nd > 1 ->
+      Pool.parallel_for_chunked p ~n:nd fill
+  | _ -> fill 0 nd);
+  Obs.add m_curve_points nd;
+  Array.to_list results
+
+let curve_naive ?(deltas = default_deltas) ?pool ~plans ~initial () =
+  (* Reference for the kernel path: rebuild the (delta-independent)
+     tables from scratch at every delta, pruning disabled — bit-identical
+     to [curve] by the Sweep determinism contract, at naive cost. *)
+  let center = ones_center ~initial in
+  List.map
+    (fun delta ->
+      let sweep = Sweep.build ?pool ~prune:false ~plans ~initial ~center () in
+      Obs.add m_curve_points 1;
+      point_of_eval ~center ~delta (Sweep.eval sweep ~delta))
+    deltas
+
+(* ------------------------------------------------------------------ *)
+(* Legacy path: a linear-fractional program per (plan, delta) cell.
+   High-dimension fallback, and the pre-kernel baseline the sweep
+   benchmark reports speedups against. *)
+
+let gtc_at_full_legacy ?pool ~plans ~initial delta =
+  let box = Box.around (ones_center ~initial) ~delta in
+  Framework.worst_case_gtc_fractional ?pool ~plans ~a:initial box
+
+let curve_legacy ?(deltas = default_deltas) ?pool ~plans ~initial () =
   let np = Array.length plans in
   match pool with
   | Some p when Pool.domains p > 1 && np > 0 && deltas <> [] ->
@@ -34,12 +80,10 @@ let curve ?(deltas = default_deltas) ?pool ~plans ~initial () =
          (delta, plan) cell is an independent linear-fractional program.
          The per-delta argmax then reduces in plan-index order, so each
          point is bit-identical to the sequential computation. *)
-      let m = Vec.dim initial in
+      let center = ones_center ~initial in
       let darr = Array.of_list deltas in
       let nd = Array.length darr in
-      let boxes =
-        Array.map (fun delta -> Box.around (Vec.make m 1.) ~delta) darr
-      in
+      let boxes = Array.map (fun delta -> Box.around center ~delta) darr in
       let results = Array.make (nd * np) (neg_infinity, [||]) in
       Pool.parallel_for_chunked p ~n:(nd * np) (fun lo hi ->
           for t = lo to hi - 1 do
@@ -75,10 +119,37 @@ let curve ?(deltas = default_deltas) ?pool ~plans ~initial () =
   | _ ->
       List.map
         (fun delta ->
-          let gtc, witness = gtc_at_full ~plans ~initial delta in
+          let gtc, witness = gtc_at_full_legacy ~plans ~initial delta in
           Obs.add m_curve_points 1;
           { delta; gtc; witness })
         deltas
+
+(* ------------------------------------------------------------------ *)
+(* Dispatchers. *)
+
+let use_kernel ~plans ~initial =
+  Array.length plans > 0 && Sweep.supported ~dim:(Vec.dim initial)
+
+let gtc_at_full ?pool ~plans ~initial delta =
+  if use_kernel ~plans ~initial then begin
+    (* Through the same Sweep tables as [curve], so a single-delta query
+       is bit-identical to the matching curve point. *)
+    let center = ones_center ~initial in
+    let sweep = Sweep.build ?pool ~plans ~initial ~center () in
+    let p = point_of_eval ~center ~delta (Sweep.eval sweep ~delta) in
+    (p.gtc, p.witness)
+  end
+  else
+    let box = Box.around (ones_center ~initial) ~delta in
+    Framework.worst_case_gtc ?pool ~plans ~a:initial box
+
+let gtc_at ?pool ~plans ~initial delta =
+  fst (gtc_at_full ?pool ~plans ~initial delta)
+
+let curve ?(deltas = default_deltas) ?pool ~plans ~initial () =
+  if use_kernel ~plans ~initial && deltas <> [] then
+    curve_kernel ~deltas ?pool ~plans ~initial ()
+  else curve_legacy ~deltas ?pool ~plans ~initial ()
 
 let asymptote points =
   match points with

@@ -26,15 +26,55 @@ val curve :
     [plans] for each delta.  Vectors live in the (active) group subspace,
     where the estimated cost point is the all-ones vector.
 
-    With [?pool] the flattened plans x deltas cells evaluate across
-    domains; per-delta argmax reduction breaks ties by lowest plan index,
-    so every [(delta, gtc, witness)] triple is identical to the
-    sequential run. *)
+    Up to {!Sweep.max_dim} dimensions the sweep builds the separable
+    subset-sum tables once ({!Sweep.build}) and evaluates every delta
+    with two fused multiply-adds per (plan, vertex) — bit-identical to
+    {!curve_naive}, which rebuilds the tables at every grid point.
+    Beyond that it falls back to the linear-fractional path
+    ({!curve_legacy}).
+
+    With [?pool] the table build and the per-delta evaluations run across
+    domains; ties break by lowest (plan index, vertex pattern), so every
+    [(delta, gtc, witness)] triple is identical to the sequential run. *)
+
+val curve_naive :
+  ?deltas:float list ->
+  ?pool:Qsens_parallel.Pool.t ->
+  plans:Vec.t array ->
+  initial:Vec.t ->
+  unit ->
+  point list
+(** The bit-identity reference for [curve]: rebuilds the sweep tables
+    from scratch at every delta with dominance pruning disabled.
+    Requires at least one plan and [Sweep.supported] dimensions. *)
+
+val curve_legacy :
+  ?deltas:float list ->
+  ?pool:Qsens_parallel.Pool.t ->
+  plans:Vec.t array ->
+  initial:Vec.t ->
+  unit ->
+  point list
+(** The pre-kernel sweep: one linear-fractional program per
+    (plan, delta) cell.  High-dimension fallback, and the baseline the
+    sweep benchmark measures speedups against.  Converges to the same
+    curve within the bisection tolerance but is not bit-identical to the
+    kernel path. *)
 
 val gtc_at :
   ?pool:Qsens_parallel.Pool.t -> plans:Vec.t array -> initial:Vec.t -> float -> float
 (** [gtc_at ~plans ~initial delta] — the worst-case GTC at one error
     bound [delta]. *)
+
+val gtc_at_full :
+  ?pool:Qsens_parallel.Pool.t ->
+  plans:Vec.t array ->
+  initial:Vec.t ->
+  float ->
+  float * Vec.t
+(** As {!gtc_at}, also returning the attaining cost vector.  Goes through
+    the same sweep tables as [curve], so the result is bit-identical to
+    the matching curve point. *)
 
 val asymptote : point list -> [ `Bounded of float | `Quadratic of float ]
 (** Classify the curve's tail: [`Bounded c] when the last decade grows by

@@ -110,8 +110,19 @@ let vertices ?(eps = 1e-7) ?(max_subsets = 200_000) ?pool hs =
       if total > max_subsets then raise Too_large;
       if total = 0 then []
       else begin
+        (* Packed feasibility check: one contiguous matrix of constraint
+           normals, scanned row by row with early exit.  Each row product
+           is bit-identical to [Halfspace.eval], so the predicate decides
+           exactly as the per-halfspace [Halfspace.contains] loop. *)
+        let normals = Kernel.pack (Array.map (fun h -> h.Halfspace.normal) arr) in
+        let offsets = Array.map (fun h -> h.Halfspace.offset) arr in
         let satisfies_all x =
-          Array.for_all (fun h -> Halfspace.contains ~eps h x) arr
+          let ok = ref true and i = ref 0 in
+          while !ok && !i < count do
+            if Kernel.dot_row normals !i x -. offsets.(!i) > eps then ok := false;
+            incr i
+          done;
+          !ok
         in
         let solve idx =
           let m =

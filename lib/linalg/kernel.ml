@@ -1,0 +1,82 @@
+type t = { data : float array; rows : int; cols : int }
+
+let pack plans =
+  let rows = Array.length plans in
+  if rows = 0 then { data = [||]; rows = 0; cols = 0 }
+  else begin
+    let cols = Array.length plans.(0) in
+    Array.iteri
+      (fun i p ->
+        if Array.length p <> cols then
+          invalid_arg
+            (Printf.sprintf "Kernel.pack: row %d has %d columns, expected %d" i
+               (Array.length p) cols))
+      plans;
+    let data = Array.make (rows * cols) 0. in
+    Array.iteri
+      (fun i p -> Array.blit p 0 data (i * cols) cols)
+      plans;
+    { data; rows; cols }
+  end
+
+let rows t = t.rows
+let cols t = t.cols
+
+let get t i j =
+  if i < 0 || i >= t.rows || j < 0 || j >= t.cols then
+    invalid_arg
+      (Printf.sprintf "Kernel.get: index (%d, %d) outside %dx%d matrix" i j
+         t.rows t.cols);
+  t.data.((i * t.cols) + j)
+
+let row t i =
+  if i < 0 || i >= t.rows then
+    invalid_arg
+      (Printf.sprintf "Kernel.row: row %d outside %dx%d matrix" i t.rows t.cols);
+  Array.sub t.data (i * t.cols) t.cols
+
+let dot_row t i x =
+  if i < 0 || i >= t.rows then
+    invalid_arg
+      (Printf.sprintf "Kernel.dot_row: row %d outside %dx%d matrix" i t.rows
+         t.cols);
+  Vec.dot_sub t.data (i * t.cols) t.cols x
+
+let matvec t x out =
+  if Array.length x <> t.cols then
+    invalid_arg
+      (Printf.sprintf "Kernel.matvec: vector has dimension %d, expected %d"
+         (Array.length x) t.cols);
+  if Array.length out <> t.rows then
+    invalid_arg
+      (Printf.sprintf "Kernel.matvec: output has dimension %d, expected %d"
+         (Array.length out) t.rows);
+  let data = t.data and cols = t.cols in
+  (* Four-row blocking: independent accumulators per row amortize the
+     load of [x.(j)] across rows.  Columns are never blocked — each row
+     accumulates in ascending index order, so every entry is bit-identical
+     to [Vec.dot (row t i) x]. *)
+  let i = ref 0 in
+  while !i + 4 <= t.rows do
+    let r0 = !i * cols in
+    let r1 = r0 + cols in
+    let r2 = r1 + cols in
+    let r3 = r2 + cols in
+    let acc0 = ref 0. and acc1 = ref 0. in
+    let acc2 = ref 0. and acc3 = ref 0. in
+    for j = 0 to cols - 1 do
+      let xj = x.(j) in
+      acc0 := !acc0 +. (data.(r0 + j) *. xj);
+      acc1 := !acc1 +. (data.(r1 + j) *. xj);
+      acc2 := !acc2 +. (data.(r2 + j) *. xj);
+      acc3 := !acc3 +. (data.(r3 + j) *. xj)
+    done;
+    out.(!i) <- !acc0;
+    out.(!i + 1) <- !acc1;
+    out.(!i + 2) <- !acc2;
+    out.(!i + 3) <- !acc3;
+    i := !i + 4
+  done;
+  for r = !i to t.rows - 1 do
+    out.(r) <- Vec.dot_sub data (r * cols) cols x
+  done

@@ -1,0 +1,46 @@
+(** Flat, row-major plan matrices.
+
+    Candidate plans' usage vectors are packed into one contiguous
+    [float array] so the hot paths — worst-case sweeps, Monte-Carlo
+    sampling, vertex feasibility checks — evaluate all plan costs at a
+    cost vector with a blocked, allocation-free matrix-vector product
+    instead of per-plan {!Vec.dot} calls over an array of boxed rows.
+
+    {2 Determinism contract}
+
+    Every row product accumulates in ascending column order, exactly like
+    {!Vec.dot}: [matvec] and [dot_row] results are bit-identical to the
+    naive per-row dots.  Blocking is over rows only (independent
+    accumulators); columns are never reordered or split.
+
+    {2 Thread safety}
+
+    A packed matrix is immutable after {!pack}; concurrent reads from
+    multiple domains are safe.  [matvec] writes only to the caller's
+    [out] array. *)
+
+type t
+
+val pack : Vec.t array -> t
+(** [pack plans] copies the rows into one contiguous row-major array.
+    Raises [Invalid_argument] if the rows have unequal lengths.  The
+    empty array packs to a 0x0 matrix. *)
+
+val rows : t -> int
+val cols : t -> int
+
+val get : t -> int -> int -> float
+(** [get t i j] is entry (i, j); raises [Invalid_argument] out of range. *)
+
+val row : t -> int -> Vec.t
+(** [row t i] is a fresh copy of row [i]. *)
+
+val dot_row : t -> int -> Vec.t -> float
+(** [dot_row t i x] is [Vec.dot (row t i) x] without the copy —
+    bit-identical, allocation-free. *)
+
+val matvec : t -> Vec.t -> Vec.t -> unit
+(** [matvec t x out] stores the product [t x] into [out]
+    ([dim out = rows t]).  Each entry is bit-identical to
+    [dot_row t i x].  Raises [Invalid_argument] on dimension
+    mismatch. *)

@@ -24,12 +24,28 @@ let dot a b =
   done;
   !acc
 
-let map2 f a b =
-  check_dims "map2" a b;
+let dot_sub a pos len x =
+  if pos < 0 || len < 0 || pos + len > Array.length a then
+    invalid_arg
+      (Printf.sprintf "Vec.dot_sub: slice [%d, %d) outside array of length %d"
+         pos (pos + len) (Array.length a));
+  if len <> Array.length x then
+    invalid_arg
+      (Printf.sprintf "Vec.dot_sub: dimension mismatch (%d vs %d)" len
+         (Array.length x));
+  let acc = ref 0. in
+  for i = 0 to len - 1 do
+    acc := !acc +. (a.(pos + i) *. x.(i))
+  done;
+  !acc
+
+let map2_named name f a b =
+  check_dims name a b;
   Array.init (Array.length a) (fun i -> f a.(i) b.(i))
 
-let add a b = map2 ( +. ) a b
-let sub a b = map2 ( -. ) a b
+let map2 f a b = map2_named "map2" f a b
+let add a b = map2_named "add" ( +. ) a b
+let sub a b = map2_named "sub" ( -. ) a b
 let scale k a = Array.map (fun x -> k *. x) a
 let neg a = scale (-1.) a
 let norm2 a = sqrt (dot a a)

@@ -44,6 +44,14 @@ val dot : t -> t -> float
 (** [dot u c] is the inner product; raises [Invalid_argument] on dimension
     mismatch.  This is the total plan cost [T = U . C] of Equation 3. *)
 
+val dot_sub : t -> int -> int -> t -> float
+(** [dot_sub a pos len x] is the inner product of the slice
+    [a.(pos) .. a.(pos + len - 1)] with [x], accumulated in ascending
+    index order exactly like {!dot} — allocation-free, for packed
+    row-major plan matrices (see [Qsens_linalg.Kernel]).  Raises
+    [Invalid_argument] if the slice lies outside [a] or
+    [len <> dim x]. *)
+
 val add : t -> t -> t
 
 val sub : t -> t -> t

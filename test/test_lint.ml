@@ -184,6 +184,32 @@ let test_o001_obs_wrapper_is_silent () =
     ~file:"bench/fixture.ml" "let t0 () = Qsens_obs.Clock.now_s ()\n"
 
 (* ------------------------------------------------------------------ *)
+(* K001: Vec.dot banned from the worst-case sweep hot path *)
+
+let test_k001_fires () =
+  check_diags "Vec.dot in worst_case.ml"
+    [ (1, "K001") ]
+    ~file:"lib/core/worst_case.ml"
+    "let cost u c = Vec.dot u c\n";
+  check_diags "qualified Vec.dot also fires"
+    [ (1, "K001") ]
+    ~file:"lib/core/worst_case.ml"
+    "let cost u c = Qsens_linalg.Vec.dot u c\n"
+
+let test_k001_scoped_to_worst_case () =
+  check_diags "other core files may dot" []
+    ~file:"lib/core/framework.ml" "let cost u c = Vec.dot u c\n";
+  check_diags "Vec.dot_sub is not Vec.dot" []
+    ~file:"lib/core/worst_case.ml"
+    "let cost a c = Vec.dot_sub a 0 2 c\n"
+
+let test_k001_suppressible () =
+  check_diags "disable comment silences" []
+    ~file:"lib/core/worst_case.ml"
+    "(* qsens-lint: disable=K001 — cold diagnostic path *)\n\
+     let cost u c = Vec.dot u c\n"
+
+(* ------------------------------------------------------------------ *)
 (* Suppression comments *)
 
 let bare_fold = "Hashtbl.fold (fun k _ acc -> k :: acc) tbl []"
@@ -259,7 +285,7 @@ let test_render () =
 let test_rule_catalogue () =
   Alcotest.(check (list string))
     "documented rule ids"
-    [ "D001"; "P001"; "F001"; "E001"; "W001"; "R001"; "O001" ]
+    [ "D001"; "P001"; "F001"; "E001"; "W001"; "R001"; "O001"; "K001" ]
     (List.map fst Qsens_lint.rules)
 
 (* ------------------------------------------------------------------ *)
@@ -314,6 +340,15 @@ let () =
             test_o001_obs_layer_exempt;
           Alcotest.test_case "silent via obs wrapper" `Quick
             test_o001_obs_wrapper_is_silent;
+        ] );
+      ( "k001",
+        [
+          Alcotest.test_case "fires on Vec.dot in the sweep" `Quick
+            test_k001_fires;
+          Alcotest.test_case "scoped to worst_case.ml" `Quick
+            test_k001_scoped_to_worst_case;
+          Alcotest.test_case "suppressible with justification" `Quick
+            test_k001_suppressible;
         ] );
       ( "suppression",
         [

@@ -1,0 +1,350 @@
+(* Tier-1 tests for the flat cost kernel (Qsens_linalg.Kernel) and the
+   separable delta-sweep cache (Qsens_core.Sweep).
+
+   The load-bearing property is *bit-identity*: the kernel-path
+   [Worst_case.curve] / [Framework.worst_case_gtc] must agree with their
+   naive references down to the last IEEE bit — same gtc, same witness
+   vertex, same argmax ties — sequentially and under pools of 1, 2 and 3
+   domains, including all-degenerate NaN plan sets. *)
+
+open Qsens_core
+open Qsens_linalg
+open Qsens_geom
+module Pool = Qsens_parallel.Pool
+
+let pool1 = Pool.create ~domains:1 ()
+let pool2 = Pool.create ~domains:2 ()
+let pool3 = Pool.create ~domains:3 ()
+
+let () =
+  at_exit (fun () ->
+      Pool.shutdown pool1;
+      Pool.shutdown pool2;
+      Pool.shutdown pool3)
+
+let same_float a b =
+  Int64.equal (Int64.bits_of_float a) (Int64.bits_of_float b)
+
+let same_vec a b =
+  Vec.dim a = Vec.dim b && Array.for_all2 same_float a b
+
+let check_bits =
+  Alcotest.testable (fun ppf f -> Format.fprintf ppf "%h" f) same_float
+
+(* ------------------------------------------------------------------ *)
+(* Vec micro-fixes *)
+
+let test_dot_sub () =
+  let a = [| 1.; 2.; 3.; 4.; 5.; 6. |] in
+  let x = [| 0.5; 0.25; 4. |] in
+  Alcotest.check check_bits "prefix slice"
+    (Vec.dot [| 1.; 2.; 3. |] x)
+    (Vec.dot_sub a 0 3 x);
+  Alcotest.check check_bits "inner slice"
+    (Vec.dot [| 3.; 4.; 5. |] x)
+    (Vec.dot_sub a 2 3 x);
+  Alcotest.check check_bits "empty slice" 0. (Vec.dot_sub a 6 0 [||]);
+  Alcotest.check_raises "slice out of range"
+    (Invalid_argument "Vec.dot_sub: slice [4, 7) outside array of length 6")
+    (fun () -> ignore (Vec.dot_sub a 4 3 x));
+  Alcotest.check_raises "length mismatch"
+    (Invalid_argument "Vec.dot_sub: dimension mismatch (2 vs 3)") (fun () ->
+      ignore (Vec.dot_sub a 0 2 x))
+
+let test_check_dims_names () =
+  (* Every public binary operation must raise with its own name — not a
+     shared internal one — so the failing call site is identifiable. *)
+  let a = [| 1.; 2. |] and b = [| 1.; 2.; 3. |] in
+  List.iter
+    (fun (name, f) ->
+      Alcotest.check_raises name
+        (Invalid_argument
+           (Printf.sprintf "Vec.%s: dimension mismatch (2 vs 3)" name))
+        (fun () -> ignore (f a b)))
+    [
+      ("dot", fun a b -> [| Vec.dot a b |]);
+      ("add", Vec.add);
+      ("sub", Vec.sub);
+      ("map2", Vec.map2 ( +. ));
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Kernel: packing and blocked matvec *)
+
+let gen_matrix =
+  QCheck.Gen.(
+    int_range 1 9 >>= fun rows ->
+    int_range 1 7 >>= fun cols ->
+    pair
+      (array_size (return rows)
+         (array_size (return cols) (float_range (-10.) 10.)))
+      (array_size (return cols) (float_range (-10.) 10.)))
+
+let prop_matvec_bits =
+  QCheck.Test.make ~count:200 ~name:"Kernel: matvec == per-row Vec.dot"
+    (QCheck.make gen_matrix) (fun (plans, x) ->
+      let t = Kernel.pack plans in
+      let out = Vec.zero (Array.length plans) in
+      Kernel.matvec t x out;
+      Array.for_all2
+        (fun row y ->
+          same_float (Vec.dot row x) y
+          && same_float (Kernel.dot_row t (Array.length plans - 1) x)
+               (Vec.dot plans.(Array.length plans - 1) x))
+        plans out)
+
+let test_kernel_shapes () =
+  let t = Kernel.pack [| [| 1.; 2. |]; [| 3.; 4. |]; [| 5.; 6. |] |] in
+  Alcotest.(check int) "rows" 3 (Kernel.rows t);
+  Alcotest.(check int) "cols" 2 (Kernel.cols t);
+  Alcotest.(check (float 0.)) "get" 4. (Kernel.get t 1 1);
+  Alcotest.(check bool) "row copy" true (same_vec [| 5.; 6. |] (Kernel.row t 2));
+  let empty = Kernel.pack [||] in
+  Alcotest.(check int) "empty rows" 0 (Kernel.rows empty);
+  Alcotest.check_raises "ragged"
+    (Invalid_argument "Kernel.pack: row 1 has 1 columns, expected 2") (fun () ->
+      ignore (Kernel.pack [| [| 1.; 2. |]; [| 3. |] |]));
+  Alcotest.check_raises "matvec dim"
+    (Invalid_argument "Kernel.matvec: vector has dimension 1, expected 2")
+    (fun () -> Kernel.matvec t [| 1. |] (Vec.zero 3))
+
+(* ------------------------------------------------------------------ *)
+(* Sweep golden test: hand-computed A/B tables on the Section-4 style
+   2-plan, 2-resource example. *)
+
+let test_sweep_golden_tables () =
+  (* Resources (c1, c2) = (2, 3); plan U = (1, 4), initial A = (5, 7).
+     Weights u_i * c_i: plan (2, 12), initial (10, 21).  Patterns index
+     bit i -> component i at c_i * delta:
+       pattern 00: A = 0,      B = 2 + 12 = 14
+       pattern 01: A = 2,      B = 12
+       pattern 10: A = 12,     B = 2
+       pattern 11: A = 14,     B = 0 *)
+  let plans = [| [| 1.; 4. |]; [| 5.; 7. |] |] in
+  let initial = [| 5.; 7. |] in
+  let center = [| 2.; 3. |] in
+  let t = Sweep.build ~plans ~initial ~center () in
+  Alcotest.(check int) "dim" 2 (Sweep.dim t);
+  Alcotest.(check int) "patterns" 4 (Sweep.num_patterns t);
+  List.iter
+    (fun (pattern, a, b) ->
+      Alcotest.check check_bits
+        (Printf.sprintf "A at %d" pattern)
+        a
+        (Sweep.plan_a t ~plan:0 ~pattern);
+      Alcotest.check check_bits
+        (Printf.sprintf "B at %d" pattern)
+        b
+        (Sweep.plan_b t ~plan:0 ~pattern))
+    [ (0, 0., 14.); (1, 2., 12.); (2, 12., 2.); (3, 14., 0.) ];
+  List.iter
+    (fun (pattern, a, b) ->
+      Alcotest.check check_bits
+        (Printf.sprintf "initial A at %d" pattern)
+        a
+        (Sweep.initial_a t ~pattern);
+      Alcotest.check check_bits
+        (Printf.sprintf "initial B at %d" pattern)
+        b
+        (Sweep.initial_b t ~pattern))
+    [ (0, 0., 31.); (1, 10., 21.); (2, 21., 10.); (3, 31., 0.) ];
+  (* Vertex values at delta = 2: cost = 2A + B/2. *)
+  let delta = 2. in
+  let inv = 1. /. delta in
+  Alcotest.check check_bits "vertex value 01" 10.
+    (Sweep.vertex_value ~delta ~inv
+       (Sweep.plan_a t ~plan:0 ~pattern:1)
+       (Sweep.plan_b t ~plan:0 ~pattern:1));
+  (* The eval result must match the direct vertex-enumeration maximum. *)
+  let gtc, pattern = Sweep.eval t ~delta in
+  let box = Box.around center ~delta in
+  let expect, expect_k =
+    let best = ref neg_infinity and bk = ref (-1) in
+    for k = 0 to 3 do
+      let v = Box.vertex box k in
+      let r = Vec.dot initial v /. Vec.dot plans.(0) v in
+      if r > !best then begin
+        best := r;
+        bk := k
+      end
+    done;
+    (!best, !bk)
+  in
+  Alcotest.(check (float 1e-12)) "eval matches direct vertex max" expect gtc;
+  Alcotest.(check int) "witness pattern" expect_k pattern
+
+let test_sweep_pruning () =
+  (* Plan 2 is dominated by plan 1 (componentwise cheaper): it must be
+     pruned, leave the result unchanged, and asking for its table must
+     raise.  The degenerate zero plan is never pruned. *)
+  let plans = [| [| 3.; 1. |]; [| 1.; 2. |]; [| 2.; 3. |]; [| 0.; 0. |] |] in
+  let initial = [| 3.; 1. |] in
+  let center = [| 1.; 1. |] in
+  let t = Sweep.build ~plans ~initial ~center () in
+  Alcotest.(check (list int)) "kept" [ 0; 1; 3 ]
+    (Array.to_list (Sweep.kept t));
+  Alcotest.check_raises "pruned plan table"
+    (Invalid_argument "Sweep: plan 2 was pruned") (fun () ->
+      ignore (Sweep.plan_a t ~plan:2 ~pattern:0));
+  let unpruned = Sweep.build ~prune:false ~plans ~initial ~center () in
+  List.iter
+    (fun delta ->
+      let g1, k1 = Sweep.eval t ~delta in
+      let g2, k2 = Sweep.eval unpruned ~delta in
+      Alcotest.check check_bits "same gtc" g2 g1;
+      Alcotest.(check int) "same witness pattern" k2 k1)
+    [ 1.; 3.; 10.; 1000. ]
+
+(* ------------------------------------------------------------------ *)
+(* Bit-identity: kernel curve vs naive rebuild, all pool sizes *)
+
+let gen_plan_set ~dim_lo ~dim_hi ~plans_lo ~plans_hi ~degenerate =
+  QCheck.Gen.(
+    int_range dim_lo dim_hi >>= fun m ->
+    int_range plans_lo plans_hi >>= fun k ->
+    array_size (return k) (array_size (return m) (float_range 0.1 10.))
+    >>= fun plans ->
+    if not degenerate then return plans
+    else
+      int_range 0 (k - 1) >>= fun zi ->
+      bool >>= fun zero_initial ->
+      let plans = Array.map Array.copy plans in
+      plans.(zi) <- Array.make m 0.;
+      if zero_initial then plans.(0) <- Array.make m 0.;
+      return plans)
+
+let deltas = [ 1.; 2.; 10.; 177.; 10_000. ]
+
+let same_points ps qs =
+  List.length ps = List.length qs
+  && List.for_all2
+       (fun (p : Worst_case.point) (q : Worst_case.point) ->
+         same_float p.delta q.delta
+         && same_float p.gtc q.gtc
+         && same_vec p.witness q.witness)
+       ps qs
+
+let curve_property plans =
+  let initial = plans.(0) in
+  let reference = Worst_case.curve_naive ~deltas ~plans ~initial () in
+  same_points reference (Worst_case.curve ~deltas ~plans ~initial ())
+  && List.for_all
+       (fun pool ->
+         same_points reference
+           (Worst_case.curve ~deltas ~pool ~plans ~initial ())
+         && same_points reference
+              (Worst_case.curve_naive ~deltas ~pool ~plans ~initial ()))
+       [ pool1; pool2; pool3 ]
+  (* Single-delta queries must return the matching curve point bits. *)
+  && List.for_all
+       (fun p ->
+         let open Worst_case in
+         let g, w = (p.gtc, p.witness) in
+         let g', w' = gtc_at_full ~plans ~initial p.delta in
+         same_float g g' && same_vec w w')
+       reference
+
+and gtc_property plans =
+  let a = plans.(0) in
+  let m = Array.length plans.(0) in
+  List.for_all
+    (fun delta ->
+      let box = Box.around (Vec.make m 1.) ~delta in
+      let g, w = Framework.worst_case_gtc_naive ~plans ~a box in
+      List.for_all
+        (fun pool ->
+          let g', w' = Framework.worst_case_gtc ?pool ~plans ~a box in
+          same_float g g' && same_vec w w')
+        [ None; Some pool1; Some pool2; Some pool3 ])
+    [ 1.; 10.; 1000. ]
+
+let prop_curve_bits =
+  QCheck.Test.make ~count:60 ~name:"curve: kernel == naive, pools 1/2/3"
+    (QCheck.make
+       (gen_plan_set ~dim_lo:2 ~dim_hi:6 ~plans_lo:2 ~plans_hi:10
+          ~degenerate:false))
+    curve_property
+
+let prop_curve_bits_degenerate =
+  QCheck.Test.make ~count:60
+    ~name:"curve: kernel == naive with zero-usage plans"
+    (QCheck.make
+       (gen_plan_set ~dim_lo:2 ~dim_hi:5 ~plans_lo:2 ~plans_hi:8
+          ~degenerate:true))
+    curve_property
+
+let prop_worst_case_gtc_bits =
+  QCheck.Test.make ~count:60 ~name:"worst_case_gtc: kernel == naive"
+    (QCheck.make
+       (gen_plan_set ~dim_lo:2 ~dim_hi:6 ~plans_lo:2 ~plans_hi:12
+          ~degenerate:false))
+    gtc_property
+
+let prop_worst_case_gtc_bits_degenerate =
+  QCheck.Test.make ~count:40
+    ~name:"worst_case_gtc: kernel == naive, zero-usage plans"
+    (QCheck.make
+       (gen_plan_set ~dim_lo:2 ~dim_hi:5 ~plans_lo:2 ~plans_hi:8
+          ~degenerate:true))
+    gtc_property
+
+let test_all_degenerate () =
+  (* Every plan zero-usage and a zero initial: NaN gtc with the box
+     center as witness, on both paths, every pool size. *)
+  let plans = [| Array.make 3 0.; Array.make 3 0. |] in
+  Alcotest.(check bool) "all-degenerate curves agree" true
+    (curve_property plans);
+  let p =
+    List.hd (Worst_case.curve ~deltas:[ 10. ] ~plans ~initial:plans.(0) ())
+  in
+  Alcotest.(check bool) "gtc is NaN" true (Float.is_nan p.Worst_case.gtc);
+  let box = Box.around (Vec.make 3 1.) ~delta:10. in
+  Alcotest.(check bool) "witness is center" true
+    (same_vec (Box.center box) p.Worst_case.witness)
+
+let test_curve_matches_legacy () =
+  (* The kernel curve must agree with the pre-kernel bisection path
+     within its tolerance — this pins the kernel to the original
+     semantics, not merely to itself. *)
+  let plans = [| [| 1.; 4.; 2. |]; [| 5.; 1.; 1. |]; [| 2.; 2.; 2. |] |] in
+  let initial = plans.(0) in
+  let kernel = Worst_case.curve ~plans ~initial () in
+  let legacy = Worst_case.curve_legacy ~plans ~initial () in
+  List.iter2
+    (fun (p : Worst_case.point) (q : Worst_case.point) ->
+      Alcotest.check check_bits "same delta" q.delta p.delta;
+      Alcotest.(check bool)
+        (Printf.sprintf "gtc within bisection tol at delta %g" p.delta)
+        true
+        (Float.abs (p.gtc -. q.gtc) <= 1e-9 *. Float.max 1. (Float.abs q.gtc)))
+    kernel legacy
+
+let () =
+  let qsuite name tests = (name, List.map QCheck_alcotest.to_alcotest tests) in
+  Alcotest.run "sweep"
+    [
+      ( "vec",
+        [
+          Alcotest.test_case "dot_sub" `Quick test_dot_sub;
+          Alcotest.test_case "check_dims names" `Quick test_check_dims_names;
+        ] );
+      ( "kernel",
+        [
+          Alcotest.test_case "shapes and errors" `Quick test_kernel_shapes;
+          QCheck_alcotest.to_alcotest prop_matvec_bits;
+        ] );
+      ( "sweep",
+        [
+          Alcotest.test_case "golden tables" `Quick test_sweep_golden_tables;
+          Alcotest.test_case "dominance pruning" `Quick test_sweep_pruning;
+          Alcotest.test_case "all degenerate" `Quick test_all_degenerate;
+          Alcotest.test_case "kernel vs legacy" `Quick test_curve_matches_legacy;
+        ] );
+      qsuite "bit-identity"
+        [
+          prop_curve_bits;
+          prop_curve_bits_degenerate;
+          prop_worst_case_gtc_bits;
+          prop_worst_case_gtc_bits_degenerate;
+        ];
+    ]

@@ -20,8 +20,11 @@
      R001  swallowed exception: [try ... with _ ->] in library code,
            which hides the typed failure the resilient pipeline depends
            on
+     K001  [Vec.dot] in lib/core/worst_case.ml — the per-delta sweep
+           must go through the Sweep/Kernel tables, never regress to
+           per-plan dots
 
-   Rationale for each rule lives in DESIGN.md sections 8 and 9. *)
+   Rationale for each rule lives in DESIGN.md sections 8, 9 and 11. *)
 
 open Ppxlib
 
@@ -43,6 +46,7 @@ let rules =
     ("W001", "ignored result of a must-use function");
     ("R001", "swallowed exception (try ... with _ ->) in library code");
     ("O001", "ad-hoc clock read in instrumented code");
+    ("K001", "naive Vec.dot in the worst-case sweep hot path");
   ]
 
 let render d =
@@ -88,6 +92,12 @@ let r001_scope file = in_dir "lib" file
 let o001_scope file =
   (in_dir "lib" file && not (in_dir "lib/obs" file))
   || in_dir "bench" file || in_dir "bin" file
+
+(* K001: the delta sweep's hot path.  Worst_case must evaluate plan
+   costs through the separable Sweep tables (or the packed Kernel);
+   a [Vec.dot] reappearing in this file means a per-delta loop has
+   regressed to the naive per-plan form the kernel exists to replace. *)
+let k001_scope file = normalize file = "lib/core/worst_case.ml"
 
 (* ------------------------------------------------------------------ *)
 (* Longident helpers *)
@@ -353,7 +363,12 @@ let make_iter ~file ~emit =
               (Printf.sprintf
                  "%s uses polymorphic equality; use an explicit equality \
                   (List.exists with String.equal / Float comparators)"
-                 p)
+                 p);
+          if k001_scope file && ends_with_path p "Vec.dot" then
+            emit "K001" e.pexp_loc
+              "Vec.dot in the worst-case sweep regresses the per-delta hot \
+               path to the naive form; evaluate through Sweep's separable \
+               tables or the packed Kernel"
       | _ -> ()
 
     method private sort_protects f args =
