@@ -672,10 +672,60 @@ let time_best ~repeats f =
    silently reported as if the speedup were genuine. *)
 let oversubscribed domains = domains > Domain.recommended_domain_count ()
 
+(* --chunk: also sweep the chunk granularity of the per-delta loop. *)
+let chunk_sweep_on = ref false
+
+(* Honesty check on the artifact being replaced: a committed
+   BENCH_parallel.json whose every speedup came from a single hardware
+   CPU is time-sharing noise.  Scan it for a ["cpus_online": 1] field
+   (top-level or per-workload) before overwriting. *)
+let json_records_single_cpu path =
+  Sys.file_exists path
+  &&
+  let ic = open_in path in
+  let len = in_channel_length ic in
+  let s = really_input_string ic len in
+  close_in ic;
+  let key = "\"cpus_online\":" in
+  let klen = String.length key in
+  let single = ref false in
+  for i = 0 to String.length s - klen do
+    if String.equal (String.sub s i klen) key then begin
+      let j = ref (i + klen) in
+      while !j < String.length s && s.[!j] = ' ' do incr j done;
+      let d = ref 0 in
+      while
+        !j + !d < String.length s
+        && s.[!j + !d] >= '0'
+        && s.[!j + !d] <= '9'
+      do
+        incr d
+      done;
+      if !d > 0 && int_of_string (String.sub s !j !d) = 1 then single := true
+    end
+  done;
+  !single
+
 let bench_parallel () =
   heading "Parallel sweep: domain-pool speedup on the hot analysis paths";
   let repeats = 3 in
+  if Domain.recommended_domain_count () = 1 then
+    print_endline
+      "*** WARNING: a single hardware CPU is online — every speedup below \
+       is domains time-sharing one core, not parallelism.  Do not commit \
+       this run's BENCH_parallel.json. ***";
+  (let prior = Filename.concat (results_dir ()) "BENCH_parallel.json" in
+   if json_records_single_cpu prior then
+     Printf.printf
+       "*** WARNING: the existing %s was produced on a single CPU \
+        (\"cpus_online\": 1) — its speedups are not parallel measurements. \
+        ***\n"
+       prior);
   let measure name ~seq ~par =
+    (* cpus_online is recorded per workload, at measurement time: parts
+       of a sweep can run under different CPU affinity (containers,
+       taskset), and a single top-level count would launder that. *)
+    let cpus = Domain.recommended_domain_count () in
     let seq_result, seq_t, seq_mean = time_best ~repeats seq in
     let rows =
       List.map
@@ -689,7 +739,7 @@ let bench_parallel () =
               (d, par_t, par_mean, seq_t /. par_t)))
         !domain_counts
     in
-    (name, seq_t, seq_mean, rows)
+    (name, cpus, seq_t, seq_mean, rows)
   in
   let st = Random.State.make [| 11 |] in
   let random_plans ~dim ~count =
@@ -732,7 +782,7 @@ let bench_parallel () =
                 "mean (s)"; "speedup" ]
   in
   List.iter
-    (fun (name, seq_t, _seq_mean, rows) ->
+    (fun (name, _cpus, seq_t, _seq_mean, rows) ->
       List.iter
         (fun (d, par_t, par_mean, speedup) ->
           Table_r.add_row t
@@ -748,6 +798,78 @@ let bench_parallel () =
      best-of-%d with means alongside)\n"
     (Domain.recommended_domain_count ())
     repeats;
+  (* Chunk-granularity sweep: the same pruned high-dimension curve loop,
+     chunked coarser and finer than the pool default, to surface
+     load-imbalance (per-delta search costs vary wildly) versus dispatch
+     overhead. *)
+  let chunk_rows =
+    if not !chunk_sweep_on then []
+    else begin
+      let dim = 16 and count = 24 and replicas = 8 in
+      let st = Random.State.make [| 11; dim |] in
+      let plans =
+        Array.init count (fun _ ->
+            Array.init dim (fun _ -> 0.1 +. Random.State.float st 9.9))
+      in
+      let bnb =
+        Sweep.Bnb.build ~plans ~initial:plans.(0)
+          ~center:(Qsens_linalg.Vec.make dim 1.)
+          ()
+      in
+      let darr =
+        Array.concat
+          (List.init replicas (fun _ ->
+               Array.of_list Worst_case.default_deltas))
+      in
+      let nd = Array.length darr in
+      let out = Array.make nd nan in
+      let fill lo hi =
+        for i = lo to hi - 1 do
+          (* qsens-lint: disable=P001 — chunks cover disjoint index ranges *)
+          out.(i) <- fst (Sweep.Bnb.eval bnb ~delta:darr.(i))
+        done
+      in
+      fill 0 nd;
+      let reference = Array.copy out in
+      let _, seq_t, _ = time_best ~repeats (fun () -> fill 0 nd) in
+      let rows =
+        List.concat_map
+          (fun d ->
+            Pool.with_pool ~domains:d (fun p ->
+                List.map
+                  (fun mult ->
+                    let chunks = mult * d in
+                    let _, par_t, par_mean =
+                      time_best ~repeats (fun () ->
+                          Pool.parallel_for_chunked ~chunks p ~n:nd fill)
+                    in
+                    if out <> reference then
+                      failwith
+                        "chunk sweep: parallel result differs from sequential";
+                    (d, mult, chunks, par_t, par_mean, seq_t /. par_t))
+                  [ 1; 2; 4; 8 ]))
+          !domain_counts
+      in
+      let tc =
+        Table_r.make
+          ~header:[ "domains"; "chunks"; "parallel (s)"; "mean (s)"; "speedup" ]
+      in
+      List.iter
+        (fun (d, _mult, chunks, par_t, par_mean, speedup) ->
+          Table_r.add_row tc
+            [ string_of_int d; string_of_int chunks;
+              Printf.sprintf "%.3f" par_t; Printf.sprintf "%.3f" par_mean;
+              Printf.sprintf "%.2fx%s" speedup
+                (if oversubscribed d then " (oversubscribed)" else "") ])
+        rows;
+      Printf.printf
+        "\nchunk sweep: pruned worst-case evals, dim=%d plans=%d, %d grid \
+         points (sequential %.3f s)\n"
+        dim count nd seq_t;
+      Table_r.print tc;
+      rows
+    end
+  in
   let dir = results_dir () in
   let path = Filename.concat dir "BENCH_parallel.json" in
   let oc = open_out path in
@@ -756,11 +878,12 @@ let bench_parallel () =
     repeats
     (Domain.recommended_domain_count ());
   List.iteri
-    (fun i (name, seq_t, seq_mean, rows) ->
+    (fun i (name, cpus, seq_t, seq_mean, rows) ->
       Printf.fprintf oc
-        "    {\n      \"name\": %S,\n      \"sequential_s\": %.6f,\n      \
+        "    {\n      \"name\": %S,\n      \"cpus_online\": %d,\n      \
+         \"sequential_s\": %.6f,\n      \
          \"sequential_mean_s\": %.6f,\n      \"runs\": [\n"
-        name seq_t seq_mean;
+        name cpus seq_t seq_mean;
       List.iteri
         (fun j (d, par_t, par_mean, speedup) ->
           Printf.fprintf oc
@@ -772,11 +895,24 @@ let bench_parallel () =
       Printf.fprintf oc "      ]\n    }%s\n"
         (if i = List.length results - 1 then "" else ","))
     results;
+  output_string oc "  ]";
+  if chunk_rows <> [] then begin
+    output_string oc ",\n  \"chunk_sweep\": [\n";
+    List.iteri
+      (fun i (d, _mult, chunks, par_t, par_mean, speedup) ->
+        Printf.fprintf oc
+          "    { \"domains\": %d, \"chunks\": %d, \"parallel_s\": %.6f, \
+           \"mean_s\": %.6f, \"speedup\": %.4f, \"oversubscribed\": %b }%s\n"
+          d chunks par_t par_mean speedup (oversubscribed d)
+          (if i = List.length chunk_rows - 1 then "" else ","))
+      chunk_rows;
+    output_string oc "  ]"
+  end;
   (* With --metrics on, embed this part's counter block (device, pool,
      LP, ... counters accumulated so far) in the JSON artifact. *)
   if Obs.recording () then
-    Printf.fprintf oc "  ],\n  \"counters\": %s\n}\n" (Obs.metrics_json ())
-  else output_string oc "  ]\n}\n";
+    Printf.fprintf oc ",\n  \"counters\": %s\n}\n" (Obs.metrics_json ())
+  else output_string oc "\n}\n";
   close_out oc;
   Printf.printf "[wrote %s]\n" path
 
@@ -886,6 +1022,121 @@ let bench_sweep () =
   Printf.printf "[wrote %s]\n" path
 
 (* ------------------------------------------------------------------ *)
+(* High-dimension worst case: the branch-and-bound vertex search versus
+   the 2^dim exhaustive frontier.  Node counts come straight from
+   Sweep.Bnb.eval_with_stats — honest even without --metrics.  --smoke
+   shrinks the sweep for CI and adds a dim-8 bitwise cross-check of
+   curve_pruned against the exhaustive kernel. *)
+
+let bench_highdim () =
+  heading "High-dimension worst case: branch-and-bound vertex search";
+  let repeats = if !sweep_smoke then 2 else 3 in
+  let dims = if !sweep_smoke then [ 18 ] else [ 12; 18; 24 ] in
+  let plan_count = if !sweep_smoke then 6 else 24 in
+  let deltas = Worst_case.default_deltas in
+  let grid = List.length deltas in
+  let random_plans dim =
+    let st = Random.State.make [| 11; dim |] in
+    Array.init plan_count (fun _ ->
+        Array.init dim (fun _ -> 0.1 +. Random.State.float st 9.9))
+  in
+  if !sweep_smoke then begin
+    (* Below the exhaustive gate the pruned path must reproduce the
+       kernel bits exactly — gtc and witness vertices. *)
+    let st = Random.State.make [| 11; 8 |] in
+    let plans =
+      Array.init 8 (fun _ ->
+          Array.init 8 (fun _ -> 0.1 +. Random.State.float st 9.9))
+    in
+    let initial = plans.(0) in
+    let reference = Worst_case.curve ~deltas ~plans ~initial () in
+    let pruned = Worst_case.curve_pruned ~deltas ~plans ~initial () in
+    let bits = Int64.bits_of_float in
+    List.iter2
+      (fun (p : Worst_case.point) (q : Worst_case.point) ->
+        if
+          bits p.gtc <> bits q.gtc
+          || Array.length p.witness <> Array.length q.witness
+          || not (Array.for_all2 (fun a b -> bits a = bits b) p.witness q.witness)
+        then
+          failwith
+            (Printf.sprintf
+               "highdim: pruned curve differs from the exhaustive kernel at \
+                delta %g"
+               q.delta))
+      pruned reference;
+    print_endline
+      "dim-8 cross-check: curve_pruned bit-identical to the exhaustive \
+       kernel (gtc and witnesses)"
+  end;
+  let rows =
+    List.map
+      (fun dim ->
+        let plans = random_plans dim in
+        let initial = plans.(0) in
+        let center = Qsens_linalg.Vec.make dim 1. in
+        let bnb = Sweep.Bnb.build ~plans ~initial ~center () in
+        let kept = Array.length (Sweep.Bnb.kept bnb) in
+        let eval_all () =
+          List.fold_left
+            (fun (nodes, leaves) delta ->
+              let _, (n, l) = Sweep.Bnb.eval_with_stats bnb ~delta in
+              (nodes + n, leaves + l))
+            (0, 0) deltas
+        in
+        let (nodes, leaves), best, mean = time_best ~repeats eval_all in
+        let _, curve_best, _ =
+          time_best ~repeats (fun () ->
+              Worst_case.curve_pruned ~deltas ~plans ~initial ())
+        in
+        (* What exhaustive enumeration would evaluate for the same
+           grid: every pattern of every kept plan at every delta. *)
+        let exhaustive = kept * (1 lsl dim) * grid in
+        (dim, kept, nodes, leaves, exhaustive, best, mean, curve_best))
+      dims
+  in
+  let t =
+    Table_r.make
+      ~header:[ "dim"; "kept"; "nodes"; "leaves"; "exhaustive"; "visited";
+                "eval best (s)"; "curve best (s)" ]
+  in
+  List.iter
+    (fun (dim, kept, nodes, leaves, exhaustive, best, _mean, curve_best) ->
+      Table_r.add_row t
+        [ string_of_int dim; string_of_int kept; string_of_int nodes;
+          string_of_int leaves; string_of_int exhaustive;
+          Printf.sprintf "%.5f%%"
+            (100. *. Float.of_int nodes /. Float.of_int exhaustive);
+          Printf.sprintf "%.4f" best; Printf.sprintf "%.4f" curve_best ])
+    rows;
+  Table_r.print t;
+  Printf.printf
+    "(plans=%d grid=%d best-of-%d, single-threaded; \"exhaustive\" is \
+     kept_plans * 2^dim * grid leaves the gated path would evaluate)\n"
+    plan_count grid repeats;
+  let path = Filename.concat (results_dir ()) "BENCH_highdim.json" in
+  let oc = open_out path in
+  Printf.fprintf oc
+    "{\n  \"smoke\": %b,\n  \"plans\": %d,\n  \"grid_points\": %d,\n  \
+     \"repeats\": %d,\n  \"dims\": [\n"
+    !sweep_smoke plan_count grid repeats;
+  List.iteri
+    (fun i (dim, kept, nodes, leaves, exhaustive, best, mean, curve_best) ->
+      Printf.fprintf oc
+        "    { \"dim\": %d, \"kept_plans\": %d, \"nodes\": %d, \"leaves\": \
+         %d, \"exhaustive_leaves\": %d, \"visited_fraction\": %.3e, \
+         \"eval_best_s\": %.6f, \"eval_mean_s\": %.6f, \"curve_best_s\": \
+         %.6f }%s\n"
+        dim kept nodes leaves exhaustive
+        (Float.of_int nodes /. Float.of_int exhaustive)
+        best mean curve_best
+        (if i = List.length rows - 1 then "" else ","))
+    rows;
+  output_string oc "  ]\n}\n";
+  close_out oc;
+  Printf.printf "[wrote %s]\n" path
+
+(* ------------------------------------------------------------------ *)
 
 let all_parts =
   [
@@ -905,10 +1156,12 @@ let all_parts =
     ("timing", bench_timing);
     ("parallel", bench_parallel);
     ("sweep", bench_sweep);
+    ("highdim", bench_highdim);
   ]
 
 let usage () =
-  Printf.printf "usage: bench [--domains N] [--metrics] [--smoke] [part ...]\n\n";
+  Printf.printf
+    "usage: bench [--domains N] [--metrics] [--smoke] [--chunk] [part ...]\n\n";
   Printf.printf "parts (default: all):\n  %s\n\n"
     (String.concat " " (List.map fst all_parts));
   Printf.printf
@@ -918,7 +1171,11 @@ let usage () =
     \  --metrics     record observability counters per part (printed after \
      each\n\
     \                part and written to BENCH_metrics.json)\n\
-    \  --smoke       shrink the 'sweep' part to CI-smoke sizes\n\
+    \  --smoke       shrink the 'sweep' and 'highdim' parts to CI-smoke \
+     sizes\n\
+    \                (highdim also cross-checks the pruned path bitwise at \
+     dim 8)\n\
+    \  --chunk       add a chunk-granularity sweep to the 'parallel' part\n\
     \  --help, -h    show this message\n"
 
 (* Per-part observability: with --metrics, each part runs in a fresh
@@ -984,6 +1241,9 @@ let () =
         strip rest
     | "--smoke" :: rest ->
         sweep_smoke := true;
+        strip rest
+    | "--chunk" :: rest ->
+        chunk_sweep_on := true;
         strip rest
     | x :: rest -> x :: strip rest
     | [] -> []

@@ -201,6 +201,8 @@ let worst_case_cmd =
       (List.length r.candidates.plans)
       (if r.candidates.verified_complete then " (verified complete)"
        else " (not verified complete)");
+    Printf.printf "evaluation path: %s\n"
+      (Worst_case.path_name ~dim:r.active_dim);
     let table = Qsens_report.Figure.series_table [ (name, r.curve) ] in
     Qsens_report.Table.print table;
     (match Worst_case.asymptote r.curve with

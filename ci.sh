@@ -25,6 +25,14 @@ trap 'rm -rf "$sweep_tmp"' EXIT
 QSENS_RESULTS_DIR="$sweep_tmp" \
   dune exec bench/main.exe -- sweep --smoke > /dev/null
 
+# Smoke-size high-dimension benchmark: fails unless the pruned
+# branch-and-bound curve is bit-identical to the exhaustive kernel at
+# dim 8 (gtc and witnesses), then runs a dim-18 search beyond the
+# exhaustive gate.  Committed full-size BENCH_highdim.json is untouched.
+echo "== bench highdim smoke"
+QSENS_RESULTS_DIR="$sweep_tmp" \
+  dune exec bench/main.exe -- highdim --smoke > /dev/null
+
 echo "== fault-injection smoke"
 dune exec bin/qsens_cli.exe -- lsq Q14 -l per-table -d 4 \
   --faults canned --retries 4 > /dev/null

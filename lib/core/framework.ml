@@ -74,8 +74,10 @@ let worst_case_gtc_fractional ?pool ~plans ~a box =
       ((if degen > 0 then nan else best), Box.center box)
 
 (* Beyond this dimension, enumerating all 2^m vertices stops paying off
-   against the bisection path; the dispatcher falls back. *)
-let vertex_max_dim = 10
+   against the bisection path; the dispatcher falls back.  One source of
+   truth with the Sweep gate: callers needing larger boxes go through
+   the branch-and-bound path (Sweep.Bnb / Worst_case). *)
+let vertex_max_dim = Limits.exhaustive_max_dim
 
 (* Shared vertex-enumeration argmax: per plan, scan all box vertices with
    strict improvement (lowest pattern wins ties, NaN skipped), then the

@@ -1,0 +1,19 @@
+(* One home for the dimension gates of the worst-case machinery, so the
+   exhaustive and pruned paths can never drift apart again (they once
+   disagreed: Framework capped vertices at 10 while Sweep accepted 12). *)
+
+let exhaustive_max_dim = 12
+let bnb_max_dim = 30
+
+let exhaustive_gate_message ~who ~dim =
+  Printf.sprintf
+    "%s: dimension %d exceeds the exhaustive vertex gate (%d); use the \
+     branch-and-bound path (Sweep.Bnb / Worst_case.curve, up to %d \
+     dimensions)"
+    who dim exhaustive_max_dim bnb_max_dim
+
+let bnb_gate_message ~who ~dim =
+  Printf.sprintf
+    "%s: dimension %d exceeds the branch-and-bound gate (%d); only the \
+     linear-fractional fallback covers this size"
+    who dim bnb_max_dim

@@ -1,0 +1,24 @@
+(** Dimension gates for the worst-case vertex machinery.
+
+    Both the exhaustive subset-sum tables ({!Sweep}) and the packed
+    vertex enumeration ({!Framework}) pay [2^dim]; the branch-and-bound
+    search ({!Sweep.Bnb}) prunes that exponential and extends the exact
+    path well past the table gate.  Every dispatcher derives its cutoff
+    from these two constants — they are the single source of truth. *)
+
+val exhaustive_max_dim : int
+(** Largest dimension the [2^dim]-table / full-enumeration paths accept
+    (currently 12).  Doubles per dimension: past this the exhaustive
+    paths stop paying. *)
+
+val bnb_max_dim : int
+(** Largest dimension the branch-and-bound vertex search accepts
+    (currently 30, bounded by pattern bits in an [int] and by bound
+    quality, not by memory — the search state is [O(dim)]). *)
+
+val exhaustive_gate_message : who:string -> dim:int -> string
+(** Error text for an exhaustive-path overflow, naming the pruned path
+    as the escape hatch. *)
+
+val bnb_gate_message : who:string -> dim:int -> string
+(** Error text for a branch-and-bound overflow. *)

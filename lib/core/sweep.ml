@@ -1,6 +1,7 @@
 open Qsens_linalg
 module Pool = Qsens_parallel.Pool
 module Obs = Qsens_obs.Obs
+module Vertex_enum = Qsens_geom.Vertex_enum
 
 (* Same name as in Framework / Worst_case: registration is idempotent,
    all sites feed one counter. *)
@@ -16,8 +17,69 @@ let m_plans_pruned =
 let m_evals =
   Obs.counter ~help:"separable per-delta sweep evaluations" "sweep.evals"
 
-let max_dim = 12
+let m_bnb_evals =
+  Obs.counter ~help:"branch-and-bound worst-case evaluations" "bnb.evals"
+
+let m_bnb_nodes =
+  Obs.counter ~help:"branch-and-bound search nodes visited" "bnb.nodes"
+
+let m_bnb_leaves =
+  Obs.counter ~help:"branch-and-bound leaf ratios evaluated" "bnb.leaves"
+
+let max_dim = Limits.exhaustive_max_dim
 let supported ~dim = dim >= 1 && dim <= max_dim
+
+(* Shared by the exhaustive and branch-and-bound builders: everything but
+   the dimension gate, which differs between them. *)
+let validate_inputs ~who ~plans ~initial ~center =
+  let m = Vec.dim center in
+  if Vec.dim initial <> m then invalid_arg (who ^ ": dimension mismatch");
+  Array.iter
+    (fun p -> if Vec.dim p <> m then invalid_arg (who ^ ": dimension mismatch"))
+    plans;
+  Array.iter
+    (fun x -> if x <= 0. then invalid_arg (who ^ ": center must be > 0"))
+    center;
+  let check_nonneg v =
+    Array.iter
+      (fun x -> if x < 0. then invalid_arg (who ^ ": negative component"))
+      v
+  in
+  check_nonneg initial;
+  Array.iter check_nonneg plans
+
+(* Dominance pruning (Section 4.4): a plan with a componentwise-cheaper
+   rival can never win the argmax — monotone rounding keeps its computed
+   denominator at least the rival's at every vertex, so its ratio never
+   strictly exceeds the rival's.  Only lower-index dominators prune
+   (preserving lowest-index tie-breaking), and only dominators whose
+   computed total is positive (an all-underflow dominator could turn a
+   finite ratio into a skipped NaN). *)
+let dominance_kept ~prune ~plans ~totals =
+  let np = Array.length plans in
+  if not prune then Array.init np Fun.id
+  else begin
+    let keep = Array.make np true in
+    for j = 1 to np - 1 do
+      let i = ref 0 in
+      while keep.(j) && !i < j do
+        if totals.(!i) > 0. && Vec.dominates plans.(!i) plans.(j) then
+          keep.(j) <- false;
+        incr i
+      done
+    done;
+    let n = Array.fold_left (fun acc k -> if k then acc + 1 else acc) 0 keep in
+    let kept = Array.make n 0 in
+    let next = ref 0 in
+    Array.iteri
+      (fun j k ->
+        if k then begin
+          kept.(!next) <- j;
+          incr next
+        end)
+      keep;
+    kept
+  end
 
 type t = {
   center : Vec.t;
@@ -63,23 +125,11 @@ let build ?pool ?(prune = true) ~plans ~initial ~center () =
   let np = Array.length plans in
   if np = 0 then invalid_arg "Sweep.build: no plans";
   let m = Vec.dim center in
+  if m < 1 then
+    invalid_arg (Printf.sprintf "Sweep.build: dimension %d outside 1..%d" m max_dim);
   if not (supported ~dim:m) then
-    invalid_arg
-      (Printf.sprintf "Sweep.build: dimension %d outside 1..%d" m max_dim);
-  if Vec.dim initial <> m then invalid_arg "Sweep.build: dimension mismatch";
-  Array.iter
-    (fun p -> if Vec.dim p <> m then invalid_arg "Sweep.build: dimension mismatch")
-    plans;
-  Array.iter
-    (fun x -> if x <= 0. then invalid_arg "Sweep.build: center must be > 0")
-    center;
-  let check_nonneg v =
-    Array.iter
-      (fun x -> if x < 0. then invalid_arg "Sweep.build: negative component")
-      v
-  in
-  check_nonneg initial;
-  Array.iter check_nonneg plans;
+    invalid_arg (Limits.exhaustive_gate_message ~who:"Sweep.build" ~dim:m);
+  validate_inputs ~who:"Sweep.build" ~plans ~initial ~center;
   Obs.with_span "sweep.build" @@ fun () ->
   let nv = 1 lsl m in
   let mask = nv - 1 in
@@ -88,38 +138,7 @@ let build ?pool ?(prune = true) ~plans ~initial ~center () =
   let degenerate = Array.map (fun s -> Float.equal s 0.) totals in
   let num_weights = Vec.map2 ( *. ) initial center in
   let initial_zero = Float.equal (ascending_sum num_weights) 0. in
-  (* Dominance pruning (Section 4.4): a plan with a componentwise-cheaper
-     rival can never win the argmax — monotone rounding keeps its computed
-     denominator at least the rival's at every vertex, so its ratio never
-     strictly exceeds the rival's.  Only lower-index dominators prune
-     (preserving lowest-index tie-breaking), and only dominators whose
-     computed total is positive (an all-underflow dominator could turn a
-     finite ratio into a skipped NaN). *)
-  let kept =
-    if not prune then Array.init np Fun.id
-    else begin
-      let keep = Array.make np true in
-      for j = 1 to np - 1 do
-        let i = ref 0 in
-        while keep.(j) && !i < j do
-          if totals.(!i) > 0. && Vec.dominates plans.(!i) plans.(j) then
-            keep.(j) <- false;
-          incr i
-        done
-      done;
-      let n = Array.fold_left (fun acc k -> if k then acc + 1 else acc) 0 keep in
-      let kept = Array.make n 0 in
-      let next = ref 0 in
-      Array.iteri
-        (fun j k ->
-          if k then begin
-            kept.(!next) <- j;
-            incr next
-          end)
-        keep;
-      kept
-    end
-  in
+  let kept = dominance_kept ~prune ~plans ~totals in
   Obs.add m_plans_pruned (np - Array.length kept);
   let nkept = Array.length kept in
   let sums = Array.make (nkept * nv) 0. in
@@ -153,12 +172,18 @@ let eval t ~delta =
   let nv = t.nv and mask = t.mask in
   let sums = t.sums and num_sums = t.num_sums in
   let best = ref neg_infinity and best_pat = ref (-1) and degen = ref 0 in
+  (* delta = 1 collapses the box to its center: every pattern names the
+     same vertex, differing only in summation order.  Evaluate pattern 0
+     alone — the ascending scan's tie-winner up to that ulp wobble — so
+     the branch-and-bound path, which pins every branch at a collapsed
+     box, stays bit-identical to this reference. *)
+  let pattern_hi = if Float.equal delta 1. then 0 else nv - 1 in
   for kp = 0 to Array.length t.kept - 1 do
     let p = t.kept.(kp) in
     if t.degenerate.(p) && t.initial_zero then incr degen
     else begin
       let off = kp * nv in
-      for k = 0 to nv - 1 do
+      for k = 0 to pattern_hi do
         let den = vertex_value ~delta ~inv sums.(off + k) sums.(off + (mask lxor k)) in
         let num = vertex_value ~delta ~inv num_sums.(k) num_sums.(mask lxor k) in
         let r = num /. den in
@@ -206,3 +231,203 @@ let initial_a t ~pattern =
 let initial_b t ~pattern =
   check_pattern t pattern;
   t.num_sums.(t.mask lxor pattern)
+
+(* ------------------------------------------------------------------ *)
+(* Branch-and-bound evaluation: same worst-case GTC argmax as [eval],
+   computed without the 2^dim subset-sum tables.  Per delta, every kept
+   plan becomes a {!Vertex_enum.Bnb.spec} whose leaf kernel re-derives
+   the exact [eval] ratio — ascending-index numerator and denominator
+   partial sums through the shared [vertex_value] — so the result is
+   bit-identical to the exhaustive sweep wherever both are defined. *)
+module Bnb = struct
+  let max_dim = Limits.bnb_max_dim
+  let supported ~dim = dim >= 1 && dim <= max_dim
+
+  type t = {
+    center : Vec.t;
+    dim : int;
+    kept : int array;
+    weights : float array array;  (* kept-slot indexed *)
+    num_weights : float array;
+    wsum : float array;  (* kept x (dim+1) ascending prefix sums *)
+    nsum : float array;  (* (dim+1) ascending prefix sums *)
+    eq : bool array array;  (* weight bitwise equal to the initial's *)
+    pinned : bool array array;  (* both weights bitwise +0. *)
+    identical : bool array;  (* whole plan bitwise equal to the initial *)
+    degenerate : bool array;  (* original plan indexed *)
+    initial_zero : bool;
+  }
+
+  let dim t = t.dim
+  let kept t = Array.copy t.kept
+  let center t = Vec.copy t.center
+
+  let same_bits a b = Int64.equal (Int64.bits_of_float a) (Int64.bits_of_float b)
+
+  let build ?(prune = true) ~plans ~initial ~center () =
+    let np = Array.length plans in
+    if np = 0 then invalid_arg "Sweep.Bnb.build: no plans";
+    let m = Vec.dim center in
+    if m < 1 then
+      invalid_arg
+        (Printf.sprintf "Sweep.Bnb.build: dimension %d outside 1..%d" m max_dim);
+    if not (supported ~dim:m) then
+      invalid_arg (Limits.bnb_gate_message ~who:"Sweep.Bnb.build" ~dim:m);
+    validate_inputs ~who:"Sweep.Bnb.build" ~plans ~initial ~center;
+    Obs.with_span "bnb.build" @@ fun () ->
+    let all_weights = Array.map (fun p -> Vec.map2 ( *. ) p center) plans in
+    let totals = Array.map ascending_sum all_weights in
+    let degenerate = Array.map (fun s -> Float.equal s 0.) totals in
+    let num_weights = Vec.map2 ( *. ) initial center in
+    let initial_zero = Float.equal (ascending_sum num_weights) 0. in
+    let kept = dominance_kept ~prune ~plans ~totals in
+    Obs.add m_plans_pruned (np - Array.length kept);
+    let weights = Array.map (fun p -> all_weights.(p)) kept in
+    let wsum = Kernel.prefix_sums (Kernel.pack weights) in
+    let nsum = Kernel.prefix_sums (Kernel.pack [| num_weights |]) in
+    let eq =
+      Array.map
+        (fun w -> Array.init m (fun i -> same_bits w.(i) num_weights.(i)))
+        weights
+    in
+    let zero_bits x = Int64.equal (Int64.bits_of_float x) 0L in
+    let pinned =
+      Array.map
+        (fun w ->
+          Array.init m (fun i -> zero_bits w.(i) && zero_bits num_weights.(i)))
+        weights
+    in
+    let identical = Array.map (fun e -> Array.for_all Fun.id e) eq in
+    {
+      center = Vec.copy center;
+      dim = m;
+      kept;
+      weights;
+      num_weights;
+      wsum;
+      nsum;
+      eq;
+      pinned;
+      identical;
+      degenerate;
+      initial_zero;
+    }
+
+  (* Exact exhaustive kernel for one pattern: ascending-index partial
+     sums on both sides — the same association as the subset-sum tables'
+     highest-bit recurrence — through the shared [vertex_value].  The
+     search result is bit-identical to [Sweep.eval] because every
+     surviving leaf goes through this. *)
+  let leaf_ratio ~delta ~inv ~wn ~wd k =
+    let an = ref 0. and bn = ref 0. and ad = ref 0. and bd = ref 0. in
+    for i = 0 to Array.length wd - 1 do
+      if k land (1 lsl i) <> 0 then begin
+        an := !an +. wn.(i);
+        ad := !ad +. wd.(i)
+      end
+      else begin
+        bn := !bn +. wn.(i);
+        bd := !bd +. wd.(i)
+      end
+    done;
+    vertex_value ~delta ~inv !an !bn /. vertex_value ~delta ~inv !ad !bd
+
+  (* Per-coordinate branch terms for the bounds: with delta >= 1 and
+     nonnegative weights, the high side [delta * w] is the larger term
+     and the low side [w / delta] the smaller, so suffix maxima and
+     minima reduce to scaled prefix sums.  [num_bound_eq] is accumulated
+     term by term — never as [delta * (total - eq_part)] — because
+     cancellation in that difference could undershoot the true bound by
+     far more than the search's 1e-12 inflation. *)
+  let spec_of t ~delta ~inv s =
+    let m = t.dim in
+    let wd = t.weights.(s) and wn = t.num_weights in
+    let eq = t.eq.(s) in
+    let num_hi = Array.make m 0.
+    and num_lo = Array.make m 0.
+    and den_hi = Array.make m 0.
+    and den_lo = Array.make m 0.
+    and num_bound = Array.make m 0.
+    and num_bound_eq = Array.make m 0.
+    and den_bound = Array.make m 0. in
+    let stride = m + 1 in
+    let acc_eq = ref 0. in
+    for i = 0 to m - 1 do
+      num_hi.(i) <- delta *. wn.(i);
+      num_lo.(i) <- wn.(i) *. inv;
+      den_hi.(i) <- delta *. wd.(i);
+      den_lo.(i) <- wd.(i) *. inv;
+      num_bound.(i) <- delta *. t.nsum.(i + 1);
+      den_bound.(i) <- inv *. t.wsum.((s * stride) + i + 1);
+      acc_eq := !acc_eq +. (if eq.(i) then wn.(i) *. inv else delta *. wn.(i));
+      num_bound_eq.(i) <- !acc_eq
+    done;
+    {
+      Vertex_enum.Bnb.dim = m;
+      num_hi;
+      num_lo;
+      den_hi;
+      den_lo;
+      num_bound;
+      num_bound_eq;
+      den_bound;
+      pinned = t.pinned.(s);
+      identical = t.identical.(s);
+      leaf = (fun k -> leaf_ratio ~delta ~inv ~wn ~wd k);
+    }
+
+  let eval_with_stats ?pool t ~delta =
+    if delta < 1. then invalid_arg "Sweep.Bnb.eval: delta must be >= 1";
+    Obs.add m_bnb_evals 1;
+    let inv = 1. /. delta in
+    let nkept = Array.length t.kept in
+    let degen = ref 0 in
+    let result =
+      if Float.equal delta 1. then begin
+        (* Same collapsed-box shortcut as [eval]: pattern 0 only. *)
+        let best = ref neg_infinity and best_pat = ref (-1) in
+        let leaves = ref 0 in
+        for s = 0 to nkept - 1 do
+          if t.degenerate.(t.kept.(s)) && t.initial_zero then incr degen
+          else begin
+            incr leaves;
+            let r =
+              leaf_ratio ~delta ~inv ~wn:t.num_weights ~wd:t.weights.(s) 0
+            in
+            if r > !best then begin
+              best := r;
+              best_pat := 0
+            end
+          end
+        done;
+        Obs.add m_bnb_nodes !leaves;
+        Obs.add m_bnb_leaves !leaves;
+        let res =
+          if !best_pat >= 0 then (!best, !best_pat)
+          else ((if !degen > 0 then nan else !best), -1)
+        in
+        (res, (!leaves, !leaves))
+      end
+      else begin
+        let specs = ref [] in
+        for s = nkept - 1 downto 0 do
+          if t.degenerate.(t.kept.(s)) && t.initial_zero then incr degen
+          else specs := spec_of t ~delta ~inv s :: !specs
+        done;
+        let specs = Array.of_list !specs in
+        let stats = Vertex_enum.Bnb.fresh_stats () in
+        let v, pat, _ = Vertex_enum.Bnb.search ?pool ~stats specs in
+        Obs.add m_bnb_nodes stats.Vertex_enum.Bnb.nodes;
+        Obs.add m_bnb_leaves stats.Vertex_enum.Bnb.leaves;
+        let res =
+          if pat >= 0 then (v, pat)
+          else ((if !degen > 0 then nan else v), -1)
+        in
+        (res, (stats.Vertex_enum.Bnb.nodes, stats.Vertex_enum.Bnb.leaves))
+      end
+    in
+    Obs.add m_degenerate_ratios !degen;
+    result
+
+  let eval ?pool t ~delta = fst (eval_with_stats ?pool t ~delta)
+end

@@ -37,8 +37,9 @@ type t
 
 val max_dim : int
 (** Largest supported dimension (the tables hold [2^dim] entries per
-    plan); currently 12.  Beyond it, callers fall back to the
-    linear-fractional path. *)
+    plan); equals {!Limits.exhaustive_max_dim}.  Beyond it, callers move
+    to the branch-and-bound path ({!Bnb}), and past
+    {!Limits.bnb_max_dim} to the linear-fractional fallback. *)
 
 val supported : dim:int -> bool
 (** [supported ~dim] — whether {!build} accepts this dimension. *)
@@ -70,7 +71,12 @@ val eval : t -> delta:float -> float * int
     means every plan was degenerate (plan and initial both everywhere
     zero): [gtc] is NaN and no vertex attains it — callers report the box
     center, as the fractional path does.  Raises [Invalid_argument] if
-    [delta < 1]. *)
+    [delta < 1].
+
+    At [delta = 1] the box collapses to its center — every pattern names
+    the same vertex up to summation order — so only pattern 0, the
+    ascending scan's tie-winner, is evaluated.  {!Bnb.eval} applies the
+    same shortcut, keeping the two paths bit-identical there too. *)
 
 val vertex_value : delta:float -> inv:float -> float -> float -> float
 (** [vertex_value ~delta ~inv a b] is [fma delta a (b *. inv)] — the
@@ -102,3 +108,61 @@ val plan_b : t -> plan:int -> pattern:int -> float
 val initial_a : t -> pattern:int -> float
 
 val initial_b : t -> pattern:int -> float
+
+(** {2 Branch-and-bound evaluation}
+
+    The same worst-case argmax as {!eval}, computed without the [2^dim]
+    subset-sum tables: per delta, every kept plan becomes a
+    {!Qsens_geom.Vertex_enum.Bnb} search whose suffix bounds come from
+    ascending prefix sums of the plan weights (DESIGN.md section 12).
+    Every surviving leaf re-derives the exact {!eval} ratio — ascending
+    partial sums on both sides through {!vertex_value} — so wherever both
+    paths are defined ([dim <= max_dim]) the results are bit-identical,
+    including tie-breaking, degenerate-plan handling and the [delta = 1]
+    shortcut. *)
+module Bnb : sig
+  type t
+
+  val max_dim : int
+  (** Largest supported dimension; equals {!Limits.bnb_max_dim}. *)
+
+  val supported : dim:int -> bool
+
+  val build :
+    ?prune:bool ->
+    plans:Vec.t array ->
+    initial:Vec.t ->
+    center:Vec.t ->
+    unit ->
+    t
+  (** Same validation, dominance pruning and degenerate bookkeeping as
+      the exhaustive {!build}, but only O(plans * dim) state: packed
+      weights and their ascending prefix sums.  Raises
+      [Invalid_argument] under the same conditions, with the dimension
+      gate at {!max_dim}. *)
+
+  val eval : ?pool:Qsens_parallel.Pool.t -> t -> delta:float -> float * int
+  (** Bit-identical to the exhaustive [eval] (same [(gtc, pattern)],
+      same ties, same [pattern = -1] degenerate contract), for any pool
+      size.  With [?pool] the top branch prefixes of each plan's search
+      shard across domains. *)
+
+  val eval_with_stats :
+    ?pool:Qsens_parallel.Pool.t ->
+    t ->
+    delta:float ->
+    (float * int) * (int * int)
+  (** [eval] plus [(nodes, leaves)] visited by the search — the honesty
+      counters behind BENCH_highdim.json.  Deterministic for a fixed
+      pool size; pooled runs visit more nodes because the incumbent does
+      not travel between shards. *)
+
+  (** {3 Introspection} *)
+
+  val dim : t -> int
+
+  val kept : t -> int array
+  (** Original indices of the plans that survived pruning, ascending. *)
+
+  val center : t -> Vec.t
+end

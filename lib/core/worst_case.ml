@@ -64,6 +64,37 @@ let curve_naive ?(deltas = default_deltas) ?pool ~plans ~initial () =
     deltas
 
 (* ------------------------------------------------------------------ *)
+(* Branch-and-bound path: no 2^dim tables, so it covers the dimensions
+   the exhaustive kernel gates out — and doubles as a cross-checkable
+   shadow of the kernel below the gate, where the two are bit-identical
+   (Sweep.Bnb's determinism contract). *)
+
+let curve_bnb ~deltas ?pool ~plans ~initial () =
+  let center = ones_center ~initial in
+  let bnb = Sweep.Bnb.build ~plans ~initial ~center () in
+  let darr = Array.of_list deltas in
+  let nd = Array.length darr in
+  let results = Array.make nd { delta = nan; gtc = nan; witness = [||] } in
+  let fill ?pool lo hi =
+    for di = lo to hi - 1 do
+      let delta = darr.(di) in
+      results.(di) <-
+        point_of_eval ~center ~delta (Sweep.Bnb.eval ?pool bnb ~delta)
+    done
+  in
+  (match pool with
+  | Some p when Pool.domains p > 1 && nd > 1 ->
+      (* Chunk over grid points; the searches inside each chunk run
+         sequentially (pools are not reentrant).  Results are identical
+         either way — only the node counts differ between sharded and
+         sequential searches. *)
+      Pool.parallel_for_chunked p ~n:nd (fun lo hi -> fill lo hi)
+  | Some p when Pool.domains p > 1 -> fill ~pool:p 0 nd
+  | _ -> fill 0 nd);
+  Obs.add m_curve_points nd;
+  Array.to_list results
+
+(* ------------------------------------------------------------------ *)
 (* Legacy path: a linear-fractional program per (plan, delta) cell.
    High-dimension fallback, and the pre-kernel baseline the sweep
    benchmark reports speedups against. *)
@@ -130,6 +161,14 @@ let curve_legacy ?(deltas = default_deltas) ?pool ~plans ~initial () =
 let use_kernel ~plans ~initial =
   Array.length plans > 0 && Sweep.supported ~dim:(Vec.dim initial)
 
+let use_bnb ~plans ~initial =
+  Array.length plans > 0 && Sweep.Bnb.supported ~dim:(Vec.dim initial)
+
+let path_name ~dim =
+  if Sweep.supported ~dim then "exhaustive sweep"
+  else if Sweep.Bnb.supported ~dim then "branch-and-bound"
+  else "linear-fractional fallback"
+
 let gtc_at_full ?pool ~plans ~initial delta =
   if use_kernel ~plans ~initial then begin
     (* Through the same Sweep tables as [curve], so a single-delta query
@@ -137,6 +176,12 @@ let gtc_at_full ?pool ~plans ~initial delta =
     let center = ones_center ~initial in
     let sweep = Sweep.build ?pool ~plans ~initial ~center () in
     let p = point_of_eval ~center ~delta (Sweep.eval sweep ~delta) in
+    (p.gtc, p.witness)
+  end
+  else if use_bnb ~plans ~initial then begin
+    let center = ones_center ~initial in
+    let bnb = Sweep.Bnb.build ~plans ~initial ~center () in
+    let p = point_of_eval ~center ~delta (Sweep.Bnb.eval ?pool bnb ~delta) in
     (p.gtc, p.witness)
   end
   else
@@ -147,9 +192,14 @@ let gtc_at ?pool ~plans ~initial delta =
   fst (gtc_at_full ?pool ~plans ~initial delta)
 
 let curve ?(deltas = default_deltas) ?pool ~plans ~initial () =
-  if use_kernel ~plans ~initial && deltas <> [] then
+  if deltas = [] then []
+  else if use_kernel ~plans ~initial then
     curve_kernel ~deltas ?pool ~plans ~initial ()
+  else if use_bnb ~plans ~initial then curve_bnb ~deltas ?pool ~plans ~initial ()
   else curve_legacy ~deltas ?pool ~plans ~initial ()
+
+let curve_pruned ?(deltas = default_deltas) ?pool ~plans ~initial () =
+  if deltas = [] then [] else curve_bnb ~deltas ?pool ~plans ~initial ()
 
 let asymptote points =
   match points with

@@ -29,13 +29,30 @@ val curve :
     Up to {!Sweep.max_dim} dimensions the sweep builds the separable
     subset-sum tables once ({!Sweep.build}) and evaluates every delta
     with two fused multiply-adds per (plan, vertex) — bit-identical to
-    {!curve_naive}, which rebuilds the tables at every grid point.
-    Beyond that it falls back to the linear-fractional path
-    ({!curve_legacy}).
+    {!curve_naive}, which rebuilds the tables at every grid point.  From
+    there up to {!Sweep.Bnb.max_dim} dimensions it switches to the
+    branch-and-bound vertex search ({!curve_pruned} — bit-identical to
+    the exhaustive path wherever both are defined), and only beyond that
+    to the linear-fractional fallback ({!curve_legacy}).
 
     With [?pool] the table build and the per-delta evaluations run across
     domains; ties break by lowest (plan index, vertex pattern), so every
     [(delta, gtc, witness)] triple is identical to the sequential run. *)
+
+val curve_pruned :
+  ?deltas:float list ->
+  ?pool:Qsens_parallel.Pool.t ->
+  plans:Vec.t array ->
+  initial:Vec.t ->
+  unit ->
+  point list
+(** The branch-and-bound path, forced: one {!Sweep.Bnb} build, then a
+    pruned vertex search per grid point.  Below {!Sweep.max_dim} every
+    [(delta, gtc, witness)] triple is bit-identical to {!curve} — the
+    qcheck cross-check in the test suite — and above it this {e is} what
+    [curve] runs.  Requires at least one plan and
+    [Sweep.Bnb.supported] dimensions; raises [Invalid_argument]
+    otherwise. *)
 
 val curve_naive :
   ?deltas:float list ->
@@ -73,8 +90,14 @@ val gtc_at_full :
   float ->
   float * Vec.t
 (** As {!gtc_at}, also returning the attaining cost vector.  Goes through
-    the same sweep tables as [curve], so the result is bit-identical to
-    the matching curve point. *)
+    the same evaluation path as [curve] — exhaustive tables, then
+    branch-and-bound, then linear-fractional, by dimension — so the
+    result is bit-identical to the matching curve point. *)
+
+val path_name : dim:int -> string
+(** Which evaluation path {!curve} and {!gtc_at} take at this dimension:
+    ["exhaustive sweep"], ["branch-and-bound"] or
+    ["linear-fractional fallback"].  Surfaced by the CLI. *)
 
 val asymptote : point list -> [ `Bounded of float | `Quadratic of float ]
 (** Classify the curve's tail: [`Bounded c] when the last decade grows by

@@ -33,6 +33,80 @@ val vertices :
     in rank order, so the result is {e identical} — same vertices, same
     order — to the sequential run. *)
 
+(** {2 Branch-and-bound vertex search}
+
+    Maximizes a ratio [num(k) / den(k)] over box sign patterns
+    [k] in [0 .. 2^dim - 1] without enumerating them all: coordinates
+    are fixed one at a time from the highest index down, each subtree is
+    bounded optimistically from the per-coordinate suffix bounds, and
+    subtrees that cannot beat the incumbent are pruned.  Replaces the
+    [2^dim] wall of the worst-case GTC path (DESIGN.md section 12). *)
+module Bnb : sig
+  type spec = {
+    dim : int;
+    num_hi : float array;  (** numerator term of coordinate [i], bit set *)
+    num_lo : float array;  (** numerator term of coordinate [i], bit clear *)
+    den_hi : float array;  (** denominator term, bit set *)
+    den_lo : float array;  (** denominator term, bit clear *)
+    num_bound : float array;
+        (** [num_bound.(d)] bounds (from above, up to rounding covered
+            by the internal inflation) the best numerator completion
+            over free coordinates [0 .. d]:
+            [sum of max(num_hi, num_lo) over j <= d]. *)
+    num_bound_eq : float array;
+        (** The Section-5.6 complementary-pair tightening: as
+            [num_bound], but coordinates whose num and den terms are
+            bitwise equal on both sides contribute their {e min} term —
+            the analytic pin to the twin leaf that dominates whenever
+            the ratio is at least 1.  Only consulted while the incumbent
+            exceeds [1 + 1e-9]. *)
+    den_bound : float array;
+        (** [den_bound.(d)] bounds from below the least denominator
+            completion: [sum of min(den_hi, den_lo) over j <= d]. *)
+    pinned : bool array;
+        (** Coordinates whose branches are bitwise inert (e.g. zero
+            weight on both sides): never branched, fixed to the cleared
+            bit — the tie-winning lower pattern. *)
+    identical : bool;
+        (** All leaves share one value bitwise (numerator and
+            denominator kernels coincide): only pattern 0 — the
+            tie-winner — is evaluated. *)
+    leaf : int -> float;
+        (** Exact ratio at a full pattern.  This is the kernel the
+            result is bit-identical to: the search returns exactly the
+            [(value, pattern)] a flat ascending scan of [leaf] over all
+            patterns (strict improvement, NaN skipped) would return. *)
+  }
+
+  type stats = { mutable nodes : int; mutable leaves : int }
+  (** Visited bound-check nodes and evaluated leaves.  Deterministic for
+      a fixed pool size; pooled runs visit more nodes than sequential
+      ones because the incumbent does not travel between shards. *)
+
+  val fresh_stats : unit -> stats
+
+  val search :
+    ?pool:Qsens_parallel.Pool.t ->
+    ?stats:stats ->
+    spec array ->
+    float * int * int
+  (** [search specs] is [(value, pattern, spec_index)] of the maximal
+      leaf ratio over all specs, ties to the lowest (spec, pattern) —
+      bit-identical to scanning every [leaf] of every spec in ascending
+      order with strict improvement.  [(neg_infinity, -1, -1)] when no
+      leaf compares above [neg_infinity] (all NaN, or no specs).
+
+      The incumbent is pre-seeded with a value strictly below the best
+      leaf a per-spec Dinkelbach warm start reaches, so near-optimal
+      subtrees prune immediately; the seed carries no pattern, which
+      preserves first-tie-wins.
+
+      With [?pool], each spec's top branch prefixes become independent
+      tasks (fresh incumbent each, same shared seed) reduced in
+      (spec, prefix) order with strict improvement — the result is
+      identical to the sequential scan for any pool size. *)
+end
+
 val count_subsets : int -> int -> int
 (** [count_subsets n k] is [C(n, k)], saturating at [max_int]. *)
 

@@ -42,6 +42,19 @@ let dot_row t i x =
          t.cols);
   Vec.dot_sub t.data (i * t.cols) t.cols x
 
+let prefix_sums t =
+  let stride = t.cols + 1 in
+  let out = Array.make (t.rows * stride) 0. in
+  for i = 0 to t.rows - 1 do
+    let base = i * stride and row = i * t.cols in
+    let acc = ref 0. in
+    for j = 0 to t.cols - 1 do
+      acc := !acc +. t.data.(row + j);
+      out.(base + j + 1) <- !acc
+    done
+  done;
+  out
+
 let matvec t x out =
   if Array.length x <> t.cols then
     invalid_arg

@@ -210,6 +210,32 @@ let test_k001_suppressible () =
      let cost u c = Vec.dot u c\n"
 
 (* ------------------------------------------------------------------ *)
+(* K002: exhaustive vertex enumeration banned from the dispatcher *)
+
+let test_k002_fires () =
+  check_diags "Vertex_enum.vertices in worst_case.ml"
+    [ (1, "K002") ]
+    ~file:"lib/core/worst_case.ml"
+    "let vs hs = Vertex_enum.vertices hs\n";
+  check_diags "qualified call also fires"
+    [ (1, "K002") ]
+    ~file:"lib/core/worst_case.ml"
+    "let vs hs = Qsens_geom.Vertex_enum.vertices hs\n"
+
+let test_k002_scoped_and_precise () =
+  check_diags "other files may enumerate" []
+    ~file:"lib/core/framework.ml" "let vs hs = Vertex_enum.vertices hs\n";
+  check_diags "the pruned search is the sanctioned path" []
+    ~file:"lib/core/worst_case.ml"
+    "let v specs = Vertex_enum.Bnb.search specs\n"
+
+let test_k002_suppressible () =
+  check_diags "disable comment silences" []
+    ~file:"lib/core/worst_case.ml"
+    "(* qsens-lint: disable=K002 — cold diagnostic path *)\n\
+     let vs hs = Vertex_enum.vertices hs\n"
+
+(* ------------------------------------------------------------------ *)
 (* Suppression comments *)
 
 let bare_fold = "Hashtbl.fold (fun k _ acc -> k :: acc) tbl []"
@@ -285,7 +311,7 @@ let test_render () =
 let test_rule_catalogue () =
   Alcotest.(check (list string))
     "documented rule ids"
-    [ "D001"; "P001"; "F001"; "E001"; "W001"; "R001"; "O001"; "K001" ]
+    [ "D001"; "P001"; "F001"; "E001"; "W001"; "R001"; "O001"; "K001"; "K002" ]
     (List.map fst Qsens_lint.rules)
 
 (* ------------------------------------------------------------------ *)
@@ -349,6 +375,15 @@ let () =
             test_k001_scoped_to_worst_case;
           Alcotest.test_case "suppressible with justification" `Quick
             test_k001_suppressible;
+        ] );
+      ( "k002",
+        [
+          Alcotest.test_case "fires on exhaustive enumeration" `Quick
+            test_k002_fires;
+          Alcotest.test_case "scoped and precise" `Quick
+            test_k002_scoped_and_precise;
+          Alcotest.test_case "suppressible with justification" `Quick
+            test_k002_suppressible;
         ] );
       ( "suppression",
         [

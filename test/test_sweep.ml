@@ -302,6 +302,153 @@ let test_all_degenerate () =
   Alcotest.(check bool) "witness is center" true
     (same_vec (Box.center box) p.Worst_case.witness)
 
+(* ------------------------------------------------------------------ *)
+(* Branch-and-bound path (Sweep.Bnb / Worst_case.curve_pruned) *)
+
+let test_bnb_golden_node_count () =
+  (* Same Section-4 style example as the golden tables; initial = plan 1,
+     so plan 1 is dominated by plan 0 and pruned.  Weights: plan (2, 12),
+     initial (10, 21); delta = 2 leaves (ascending pattern order):
+       k=0: 15.5/7   k=1: 30.5/10 = 3.05   k=2: 47/25   k=3: 62/28.
+     The Dinkelbach warm start reaches 3.05, so the seeded search visits
+     exactly 5 nodes: root; clear-bit-1 node (bound 30.5/7, kept) with
+     its two leaves k=0 and k=1; set-bit-1 node pruned at bound
+     62/25 = 2.48 < 3.05.  Two leaves evaluated, none of the seeding
+     probes counted. *)
+  let plans = [| [| 1.; 4. |]; [| 5.; 7. |] |] in
+  let initial = [| 5.; 7. |] in
+  let center = [| 2.; 3. |] in
+  let t = Sweep.Bnb.build ~plans ~initial ~center () in
+  Alcotest.(check (list int)) "plan 1 pruned" [ 0 ]
+    (Array.to_list (Sweep.Bnb.kept t));
+  let (gtc, pattern), (nodes, leaves) =
+    Sweep.Bnb.eval_with_stats t ~delta:2.
+  in
+  let ref_gtc, ref_pattern =
+    Sweep.eval (Sweep.build ~plans ~initial ~center ()) ~delta:2.
+  in
+  Alcotest.check check_bits "gtc matches exhaustive" ref_gtc gtc;
+  Alcotest.(check int) "witness pattern" ref_pattern pattern;
+  Alcotest.(check int) "pattern is 1" 1 pattern;
+  Alcotest.(check int) "visited nodes" 5 nodes;
+  Alcotest.(check int) "evaluated leaves" 2 leaves
+
+let test_limit_gates () =
+  (* One constant feeds every gate; the exhaustive message names the
+     branch-and-bound escape hatch. *)
+  Alcotest.(check int) "sweep gate" Limits.exhaustive_max_dim Sweep.max_dim;
+  Alcotest.(check int) "bnb gate" Limits.bnb_max_dim Sweep.Bnb.max_dim;
+  let over = Limits.exhaustive_max_dim + 1 in
+  let mk m = (Array.make m 1., Array.make m 1.) in
+  let initial, center = mk over in
+  Alcotest.check_raises "exhaustive gate"
+    (Invalid_argument
+       (Limits.exhaustive_gate_message ~who:"Sweep.build" ~dim:over))
+    (fun () ->
+      ignore (Sweep.build ~plans:[| initial |] ~initial ~center ()));
+  let over_bnb = Limits.bnb_max_dim + 1 in
+  let initial, center = mk over_bnb in
+  Alcotest.check_raises "bnb gate"
+    (Invalid_argument
+       (Limits.bnb_gate_message ~who:"Sweep.Bnb.build" ~dim:over_bnb))
+    (fun () ->
+      ignore (Sweep.Bnb.build ~plans:[| initial |] ~initial ~center ()))
+
+(* Messy (non-ones) centers: the pruned argmax must reproduce the
+   exhaustive bits at every delta and pool size — including delta = 1,
+   where both paths take the collapsed-box shortcut. *)
+let bnb_eval_property (plans, center) =
+  let initial = plans.(0) in
+  let sweep = Sweep.build ~plans ~initial ~center () in
+  let bnb = Sweep.Bnb.build ~plans ~initial ~center () in
+  List.for_all
+    (fun delta ->
+      let g, k = Sweep.eval sweep ~delta in
+      List.for_all
+        (fun pool ->
+          let g', k' = Sweep.Bnb.eval ?pool bnb ~delta in
+          (same_float g g' || (Float.is_nan g && Float.is_nan g')) && k = k')
+        [ None; Some pool1; Some pool2; Some pool3 ])
+    deltas
+
+let bnb_curve_property plans =
+  let initial = plans.(0) in
+  let reference = Worst_case.curve ~deltas ~plans ~initial () in
+  List.for_all
+    (fun pool ->
+      same_points reference
+        (Worst_case.curve_pruned ~deltas ?pool ~plans ~initial ()))
+    [ None; Some pool1; Some pool2; Some pool3 ]
+
+let gen_plan_set_center ~dim_lo ~dim_hi ~plans_lo ~plans_hi ~degenerate =
+  QCheck.Gen.(
+    gen_plan_set ~dim_lo ~dim_hi ~plans_lo ~plans_hi ~degenerate
+    >>= fun plans ->
+    array_size
+      (return (Array.length plans.(0)))
+      (float_range 0.1 10.)
+    >>= fun center -> return (plans, center))
+
+let prop_bnb_eval_bits =
+  QCheck.Test.make ~count:60
+    ~name:"Sweep.Bnb: eval == exhaustive eval, messy centers, pools 1/2/3"
+    (QCheck.make
+       (gen_plan_set_center ~dim_lo:2 ~dim_hi:10 ~plans_lo:2 ~plans_hi:10
+          ~degenerate:false))
+    bnb_eval_property
+
+let prop_bnb_eval_bits_degenerate =
+  QCheck.Test.make ~count:40
+    ~name:"Sweep.Bnb: eval == exhaustive eval, zero-usage plans"
+    (QCheck.make
+       (gen_plan_set_center ~dim_lo:2 ~dim_hi:6 ~plans_lo:2 ~plans_hi:8
+          ~degenerate:true))
+    bnb_eval_property
+
+let prop_bnb_curve_bits =
+  QCheck.Test.make ~count:40
+    ~name:"curve_pruned == curve, pools 1/2/3"
+    (QCheck.make
+       (gen_plan_set ~dim_lo:2 ~dim_hi:10 ~plans_lo:2 ~plans_hi:10
+          ~degenerate:false))
+    bnb_curve_property
+
+let prop_bnb_curve_bits_degenerate =
+  QCheck.Test.make ~count:30
+    ~name:"curve_pruned == curve with zero-usage plans"
+    (QCheck.make
+       (gen_plan_set ~dim_lo:2 ~dim_hi:6 ~plans_lo:2 ~plans_hi:8
+          ~degenerate:true))
+    bnb_curve_property
+
+let test_bnb_beyond_exhaustive () =
+  (* Above the exhaustive gate the dispatcher must route through the
+     branch-and-bound path; pin it to the pre-kernel bisection semantics
+     within its tolerance, and to the single-delta query bits. *)
+  let m = Sweep.max_dim + 2 in
+  let rand = Random.State.make [| 23; m |] in
+  let plans =
+    Array.init 6 (fun _ ->
+        Array.init m (fun _ -> 0.1 +. Random.State.float rand 9.9))
+  in
+  let initial = plans.(0) in
+  Alcotest.(check string)
+    "path" "branch-and-bound"
+    (Worst_case.path_name ~dim:m);
+  let deltas = [ 1.; 10.; 1000. ] in
+  let pruned = Worst_case.curve ~deltas ~plans ~initial () in
+  let legacy = Worst_case.curve_legacy ~deltas ~plans ~initial () in
+  List.iter2
+    (fun (p : Worst_case.point) (q : Worst_case.point) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "gtc within bisection tol at delta %g" p.delta)
+        true
+        (Float.abs (p.gtc -. q.gtc) <= 1e-9 *. Float.max 1. (Float.abs q.gtc));
+      let g, w = Worst_case.gtc_at_full ~plans ~initial p.delta in
+      Alcotest.check check_bits "gtc_at_full matches curve" p.gtc g;
+      Alcotest.(check bool) "witness matches curve" true (same_vec p.witness w))
+    pruned legacy
+
 let test_curve_matches_legacy () =
   (* The kernel curve must agree with the pre-kernel bisection path
      within its tolerance — this pins the kernel to the original
@@ -340,11 +487,23 @@ let () =
           Alcotest.test_case "all degenerate" `Quick test_all_degenerate;
           Alcotest.test_case "kernel vs legacy" `Quick test_curve_matches_legacy;
         ] );
+      ( "bnb",
+        [
+          Alcotest.test_case "golden node count" `Quick
+            test_bnb_golden_node_count;
+          Alcotest.test_case "limit gates" `Quick test_limit_gates;
+          Alcotest.test_case "beyond exhaustive gate" `Quick
+            test_bnb_beyond_exhaustive;
+        ] );
       qsuite "bit-identity"
         [
           prop_curve_bits;
           prop_curve_bits_degenerate;
           prop_worst_case_gtc_bits;
           prop_worst_case_gtc_bits_degenerate;
+          prop_bnb_eval_bits;
+          prop_bnb_eval_bits_degenerate;
+          prop_bnb_curve_bits;
+          prop_bnb_curve_bits_degenerate;
         ];
     ]

@@ -47,6 +47,7 @@ let rules =
     ("R001", "swallowed exception (try ... with _ ->) in library code");
     ("O001", "ad-hoc clock read in instrumented code");
     ("K001", "naive Vec.dot in the worst-case sweep hot path");
+    ("K002", "exhaustive vertex enumeration in the worst-case dispatcher");
   ]
 
 let render d =
@@ -98,6 +99,12 @@ let o001_scope file =
    a [Vec.dot] reappearing in this file means a per-delta loop has
    regressed to the naive per-plan form the kernel exists to replace. *)
 let k001_scope file = normalize file = "lib/core/worst_case.ml"
+
+(* K002: same file.  Above the exhaustive gate the dispatcher must go
+   through the pruned search (Sweep.Bnb); a [Vertex_enum.vertices] call
+   reappearing here means a code path has regressed to materializing
+   all 2^dim box vertices. *)
+let k002_scope = k001_scope
 
 (* ------------------------------------------------------------------ *)
 (* Longident helpers *)
@@ -368,7 +375,12 @@ let make_iter ~file ~emit =
             emit "K001" e.pexp_loc
               "Vec.dot in the worst-case sweep regresses the per-delta hot \
                path to the naive form; evaluate through Sweep's separable \
-               tables or the packed Kernel"
+               tables or the packed Kernel";
+          if k002_scope file && ends_with_path p "Vertex_enum.vertices" then
+            emit "K002" e.pexp_loc
+              "Vertex_enum.vertices in the worst-case dispatcher materializes \
+               all 2^dim box vertices; go through the pruned search \
+               (Sweep.Bnb / Vertex_enum.Bnb.search)"
       | _ -> ()
 
     method private sort_protects f args =
