@@ -13,6 +13,9 @@ dune runtest
 echo "== dune build @lint"
 dune build @lint
 
+echo "== dune build @check"
+dune build @check
+
 echo "== bench smoke"
 dune exec bench/main.exe -- --help > /dev/null
 

@@ -145,7 +145,7 @@ let discover ?(seed = 42) ?(random_corners = 64) ?(max_pair_rounds = 8)
     | Some p when Qsens_parallel.Pool.domains p > 1 && nregions > 1 ->
         Qsens_parallel.Pool.parallel_for_chunked p ~n:nregions (fun lo hi ->
             for i = lo to hi - 1 do
-              (* qsens-lint: disable=P001 — chunks cover disjoint index ranges *)
+              (* qsens-lint: disable=P001; qsens-check: disable=C001 — chunks cover disjoint index ranges *)
               out.(i) <- enum i
             done)
     | _ ->

@@ -111,6 +111,7 @@ let worst_case_gtc_vertices ~den ?pool ~plans ~a box =
     for pi = lo to hi - 1 do
       let pbest = ref neg_infinity and pk = ref (-1) in
       for k = 0 to nv - 1 do
+        (* qsens-check: disable=C001 — [den] is a read-only cost evaluator supplied by the caller *)
         let r = nums.(k) /. den pi verts.(k) in
         if r > !pbest then begin
           pbest := r;

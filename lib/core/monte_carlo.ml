@@ -44,6 +44,7 @@ let gtc_distribution ?(seed = 97) ?(samples = 10_000) ?pool ~plans ~initial
     for i = lo to hi - 1 do
       let theta = Box.sample st box in
       let gtc = gtc_at theta costs_scratch in
+      (* qsens-check: disable=C001 — each task fills a disjoint [lo, hi) slice *)
       values.(i) <- gtc;
       if gtc <= 1. +. 1e-9 then incr local_optimal
     done;
@@ -62,7 +63,7 @@ let gtc_distribution ?(seed = 97) ?(samples = 10_000) ?pool ~plans ~initial
                Qsens_parallel.Pool.chunk_bounds ~n:samples ~chunks:d k
              in
              fun () ->
-               (* qsens-lint: disable=P001 — each task writes only its own block slot *)
+               (* qsens-lint: disable=P001; qsens-check: disable=C001 — each task writes only its own block slot *)
                per_block.(k) <- fill (Random.State.make [| seed + k |]) lo hi));
       optimal := Array.fold_left ( + ) 0 per_block
   | _ -> optimal := fill (Random.State.make [| seed |]) 0 samples);

@@ -144,6 +144,7 @@ let build ?pool ?(prune = true) ~plans ~initial ~center () =
   let sums = Array.make (nkept * nv) 0. in
   let fill lo hi =
     for kp = lo to hi - 1 do
+      (* qsens-check: disable=C001 — each chunk writes the disjoint [kp*nv, (kp+1)*nv) block of [sums] *)
       subset_sums weights.(kept.(kp)) m sums (kp * nv)
     done
   in

@@ -41,6 +41,7 @@ let curve_kernel ~deltas ?pool ~plans ~initial () =
   let fill lo hi =
     for di = lo to hi - 1 do
       let delta = darr.(di) in
+      (* qsens-check: disable=C001 — each chunk fills a disjoint [lo, hi) slice *)
       results.(di) <- point_of_eval ~center ~delta (Sweep.eval sweep ~delta)
     done
   in
@@ -78,6 +79,7 @@ let curve_bnb ~deltas ?pool ~plans ~initial () =
   let fill ?pool lo hi =
     for di = lo to hi - 1 do
       let delta = darr.(di) in
+      (* qsens-check: disable=C001 — each chunk fills a disjoint [lo, hi) slice *)
       results.(di) <-
         point_of_eval ~center ~delta (Sweep.Bnb.eval ?pool bnb ~delta)
     done
@@ -119,7 +121,7 @@ let curve_legacy ?(deltas = default_deltas) ?pool ~plans ~initial () =
       Pool.parallel_for_chunked p ~n:(nd * np) (fun lo hi ->
           for t = lo to hi - 1 do
             let di = t / np and pi = t mod np in
-            (* qsens-lint: disable=P001 — chunks cover disjoint index ranges *)
+            (* qsens-lint: disable=P001; qsens-check: disable=C001 — chunks cover disjoint index ranges *)
             results.(t) <-
               Fractional.max_ratio ~num:initial ~den:plans.(pi) boxes.(di)
           done);

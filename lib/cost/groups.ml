@@ -66,6 +66,7 @@ let pp_vec g ppf v =
   Format.fprintf ppf "@[<v>";
   Array.iteri
     (fun i name ->
-      if v.(i) <> 0. then Format.fprintf ppf "%-28s %.6g@," name v.(i))
+      if not (Float.equal v.(i) 0.) then
+        Format.fprintf ppf "%-28s %.6g@," name v.(i))
     g.names;
   Format.fprintf ppf "@]"

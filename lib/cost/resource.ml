@@ -10,7 +10,11 @@ let compare a b =
   | Seek d1, Seek d2 | Transfer d1, Transfer d2 -> Device.compare d1 d2
   | _ -> Int.compare (rank a) (rank b)
 
-let equal a b = compare a b = 0
+let equal a b =
+  match (a, b) with
+  | Cpu, Cpu -> true
+  | Seek d1, Seek d2 | Transfer d1, Transfer d2 -> Device.equal d1 d2
+  | _ -> false
 let device = function Cpu -> None | Seek d | Transfer d -> Some d
 
 let to_string = function

@@ -32,7 +32,7 @@ let pp_vec s ppf v =
   Format.fprintf ppf "@[<v>";
   Array.iteri
     (fun i r ->
-      if v.(i) <> 0. then
+      if not (Float.equal v.(i) 0.) then
         Format.fprintf ppf "%-28s %.6g@," (Resource.to_string r) v.(i))
     s.resources;
   Format.fprintf ppf "@]"

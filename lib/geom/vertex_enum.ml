@@ -340,7 +340,7 @@ module Bnb = struct
                     ~depth0:(base - 1) ~pattern0:(prefix lsl base)
                     ~pnum0:pnum ~pden0:pden
               end);
-             (* qsens-lint: disable=P001 — each task writes only its own slot *)
+             (* qsens-lint: disable=P001; qsens-check: disable=C001 — each task writes only its own slot *)
              results.(ti) <- (!best, !best_pat, !best_spec, st.nodes, st.leaves)));
     let best = ref seed and best_pat = ref (-1) and best_spec = ref (-1) in
     Array.iter
@@ -427,7 +427,7 @@ let vertices ?(eps = 1e-7) ?(max_subsets = 200_000) ?pool hs =
               Pool.run p
                 (Array.init chunks (fun c ->
                      let lo, hi = Pool.chunk_bounds ~n:total ~chunks c in
-                     (* qsens-lint: disable=P001 — each task writes only its own chunk slot *)
+                     (* qsens-lint: disable=P001; qsens-check: disable=C001 — each task writes only its own chunk slot *)
                      fun () -> parts.(c) <- candidates ~start:lo ~len:(hi - lo)));
               Array.to_list parts
           | _ -> [ candidates ~start:0 ~len:total ]

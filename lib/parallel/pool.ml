@@ -234,6 +234,7 @@ let parallel_for_chunked ?chunks ?retry pool ~n body =
              let lo, hi = chunk_bounds ~n ~chunks i in
              if Obs.recording () then
                Obs.observe m_chunk_size (float_of_int (hi - lo));
+             (* qsens-check: disable=C001 — trampoline: the caller's [body] contract is chunk-disjoint writes *)
              fun () -> body lo hi))
   end
 
@@ -259,6 +260,7 @@ let map_reduce ?chunks ?retry pool ~n ~map ~reduce ~init =
              let lo, hi = chunk_bounds ~n ~chunks i in
              if Obs.recording () then
                Obs.observe m_chunk_size (float_of_int (hi - lo));
+             (* qsens-check: disable=C001 — each task stores into its own slot; [map] must not share state *)
              fun () -> results.(i) <- Some (map lo hi)));
       Array.fold_left
         (fun acc r ->

@@ -38,7 +38,7 @@ let rec of_aliases t aliases =
       card
 
 and compute t aliases =
-  let inside a = List.mem a aliases in
+  let inside a = List.exists (String.equal a) aliases in
   let internal_edges =
     List.filter (fun (j : Query.join) -> inside j.left && inside j.right)
       t.query.joins

@@ -158,7 +158,7 @@ let index_scan ctx alias (idx : Index.t) =
     in
     let leading_is_join_col =
       match idx.key_columns with
-      | lead :: _ -> List.mem lead (join_columns_of ctx alias)
+      | lead :: _ -> List.exists (String.equal lead) (join_columns_of ctx alias)
       | [] -> false
     in
     (* Reject accesses that neither filter, nor cover, nor provide a
@@ -218,7 +218,7 @@ let index_nlj ctx ~outer ~inner_alias (idx : Index.t) (j : Query.join) =
   if
     idx.table <> r.table
     || (not (Index.matches_column idx inner_col))
-    || not (List.mem outer_alias outer.aliases)
+    || not (List.exists (String.equal outer_alias) outer.aliases)
   then None
   else begin
     let tbl = Env.table env r.table in

@@ -39,7 +39,11 @@ let make ~name ~relations ?(joins = []) ?group_by ?(group_cols = [])
   check_dup sorted;
   List.iter
     (fun j ->
-      if not (List.mem j.left aliases && List.mem j.right aliases) then
+      if
+        not
+          (List.exists (String.equal j.left) aliases
+          && List.exists (String.equal j.right) aliases)
+      then
         invalid_arg
           (Printf.sprintf "Query.make: join references unknown alias (%s, %s)"
              j.left j.right);

@@ -1,0 +1,6 @@
+(* Same race as fx_suppressed.ml, silenced via ./check.allow. *)
+
+let run pool =
+  let hits = ref 0 in
+  Qsens_parallel.Pool.run pool [| (fun () -> incr hits) |];
+  !hits

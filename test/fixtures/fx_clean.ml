@@ -1,0 +1,15 @@
+(* C001 negative: the helper mutates its argument, but every call site
+   inside the task passes task-local storage, so nothing may fire. *)
+
+let fill_slice arr n =
+  for i = 0 to n - 1 do
+    arr.(i) <- float_of_int i
+  done
+
+let run pool =
+  Qsens_parallel.Pool.map_reduce pool ~n:100
+    ~map:(fun lo hi ->
+      let scratch = Array.make 16 0. in
+      fill_slice scratch (min 16 (hi - lo));
+      Array.fold_left ( +. ) 0. scratch)
+    ~reduce:( +. ) ~init:0.

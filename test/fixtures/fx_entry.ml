@@ -1,0 +1,6 @@
+(* C002 fixture: this module is named with --entry in the tests.
+   [summarize] is tainted through a cross-module call chain; [stable]
+   uses the sorted variant and must stay clean. *)
+
+let summarize tbl = List.length (Fx_nondet.leak tbl)
+let stable tbl = List.length (Fx_nondet.sorted tbl)

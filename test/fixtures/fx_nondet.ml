@@ -1,0 +1,7 @@
+(* Determinism fixtures: [leak] exposes hash-table iteration order,
+   [sorted] launders it through an explicit sort. *)
+
+let leak tbl = Hashtbl.fold (fun k _ acc -> k :: acc) tbl []
+
+let sorted tbl =
+  Hashtbl.fold (fun k _ acc -> k :: acc) tbl [] |> List.sort String.compare

@@ -1,0 +1,18 @@
+(* C001 positive: the write is two calls below the task closure. *)
+
+let tally acc v = acc := !acc + v
+
+let accumulate acc lo hi =
+  for i = lo to hi - 1 do
+    tally acc i
+  done
+
+let run pool =
+  let total = ref 0 in
+  Qsens_parallel.Pool.parallel_for_chunked pool ~n:100 (fun lo hi ->
+      accumulate total lo hi);
+  !total
+
+(* C001 positive: cross-module write to toplevel mutable state. *)
+let run_global pool =
+  Qsens_parallel.Pool.run pool [| (fun () -> Fx_state.bump ()) |]

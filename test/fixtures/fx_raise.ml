@@ -1,0 +1,19 @@
+(* C003 fixtures: [run]'s task raises Failure through [mid]; in
+   [run_caught] the task catches it, so nothing may fire. *)
+
+let mid x = if x < 0 then failwith "negative" else x * 2
+
+let task lo hi =
+  let s = ref 0 in
+  for i = lo to hi - 1 do
+    s := !s + mid i
+  done;
+  !s
+
+let run pool =
+  Qsens_parallel.Pool.map_reduce pool ~n:10 ~map:task ~reduce:( + ) ~init:0
+
+let run_caught pool =
+  Qsens_parallel.Pool.map_reduce pool ~n:10
+    ~map:(fun lo hi -> try task lo hi with Failure _ -> 0)
+    ~reduce:( + ) ~init:0

@@ -1,0 +1,7 @@
+(* Shared toplevel mutable state for the race fixtures. *)
+
+let counter = ref 0
+let tbl : (string, int) Hashtbl.t = Hashtbl.create 8
+
+(* Writes toplevel state — calling this from a pool task is a race. *)
+let bump () = incr counter

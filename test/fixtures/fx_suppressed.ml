@@ -1,0 +1,11 @@
+(* Same race as fx_allowed.ml, silenced by an inline directive. *)
+
+let run pool =
+  let hits = ref 0 in
+  Qsens_parallel.Pool.run pool
+    [|
+      (fun () ->
+        (* qsens-check: disable=C001 — fixture: deliberately suppressed *)
+        incr hits);
+    |];
+  !hits

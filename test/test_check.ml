@@ -1,0 +1,184 @@
+(* Golden tests for qsens_check over the compiled fixture library in
+   ./fixtures: each rule has a firing fixture and a compliant twin that
+   must stay silent, plus suppression-comment, check.allow, and
+   effect-table behaviour.  The fixtures are analyzed from their .cmt
+   files, exactly as `dune build @check` analyzes lib/. *)
+
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  m = 0 || go 0
+
+let fixture_result =
+  lazy
+    (Qsens_check.analyze ~entries:[ "Fx_entry" ] ~root:".."
+       (Qsens_check.find_cmts [ "fixtures" ]))
+
+let findings_in file =
+  List.filter
+    (fun (d : Qsens_lint.diagnostic) -> Filename.basename d.file = file)
+    (Lazy.force fixture_result).findings
+
+let rules_in file = List.map (fun (d : Qsens_lint.diagnostic) -> d.rule) (findings_in file)
+
+(* ------------------------------------------------------------------ *)
+(* C001: domain races *)
+
+let test_race_two_calls_deep () =
+  let c001 =
+    List.filter (fun (d : Qsens_lint.diagnostic) -> d.rule = "C001") (findings_in "fx_race.ml")
+  in
+  Alcotest.(check int) "two findings in fx_race.ml" 2 (List.length c001);
+  let deep =
+    List.find
+      (fun (d : Qsens_lint.diagnostic) -> contains d.message "accumulate")
+      c001
+  in
+  Alcotest.(check bool)
+    "names the mutating helper chain" true
+    (contains deep.message "tally");
+  Alcotest.(check bool)
+    "classifies the target as captured" true
+    (contains deep.message "captured")
+
+let test_race_cross_module_global () =
+  let global =
+    List.find
+      (fun (d : Qsens_lint.diagnostic) -> contains d.message "Fx_state.bump")
+      (findings_in "fx_race.ml")
+  in
+  Alcotest.(check string) "rule" "C001" global.rule;
+  Alcotest.(check bool)
+    "names the toplevel ref" true
+    (contains global.message "Fx_state.counter")
+
+let test_clean_pipeline_is_silent () =
+  Alcotest.(check (list string))
+    "task-local storage never fires" [] (rules_in "fx_clean.ml");
+  Alcotest.(check (list string))
+    "helper that mutates its argument never fires" []
+    (rules_in "fx_state.ml")
+
+(* ------------------------------------------------------------------ *)
+(* C002: determinism taint from entry points *)
+
+let test_entry_taint_chain () =
+  let c002 =
+    List.filter
+      (fun (d : Qsens_lint.diagnostic) -> d.rule = "C002")
+      (Lazy.force fixture_result).findings
+  in
+  Alcotest.(check int) "exactly one tainted path" 1 (List.length c002);
+  let d = List.hd c002 in
+  Alcotest.(check string)
+    "witness is the fold site" "fx_nondet.ml"
+    (Filename.basename d.file);
+  Alcotest.(check bool)
+    "blames the entry point" true
+    (contains d.message "Fx_entry.summarize");
+  Alcotest.(check bool)
+    "shows the cross-module chain" true
+    (contains d.message "Fx_nondet.leak");
+  Alcotest.(check bool)
+    "the sorted twin stays clean" false
+    (contains d.message "stable")
+
+(* ------------------------------------------------------------------ *)
+(* C003: escaping exceptions *)
+
+let test_raise_escapes_task () =
+  let c003 = findings_in "fx_raise.ml" in
+  Alcotest.(check (list string)) "only the uncaught task fires" [ "C003" ]
+    (List.map (fun (d : Qsens_lint.diagnostic) -> d.rule) c003);
+  let d = List.hd c003 in
+  Alcotest.(check bool) "names the exception" true (contains d.message "Failure");
+  Alcotest.(check bool)
+    "shows the raise chain" true
+    (contains d.message "Fx_raise.mid")
+
+(* ------------------------------------------------------------------ *)
+(* Suppression and allowlist *)
+
+let test_inline_suppression () =
+  let r = Lazy.force fixture_result in
+  Alcotest.(check (list string)) "no visible finding" []
+    (rules_in "fx_suppressed.ml");
+  Alcotest.(check int) "counted as suppressed" 1 r.suppressed
+
+let test_check_allow () =
+  let r = Lazy.force fixture_result in
+  Alcotest.(check (list string)) "no visible finding" []
+    (rules_in "fx_allowed.ml");
+  Alcotest.(check int) "counted as allowlisted" 1 r.allowlisted
+
+(* ------------------------------------------------------------------ *)
+(* Effect table *)
+
+let flags_of table name =
+  match List.assoc_opt name table with
+  | Some f -> f
+  | None -> Alcotest.failf "no effect row for %s" name
+
+let test_fixture_effect_table () =
+  let t = (Lazy.force fixture_result).table in
+  Alcotest.(check string)
+    "leak is nondet" "nondet"
+    (flags_of t "Check_fixtures.Fx_nondet.leak");
+  Alcotest.(check string)
+    "sorted twin is pure" "pure"
+    (flags_of t "Check_fixtures.Fx_nondet.sorted");
+  Alcotest.(check string)
+    "tally writes its first argument" "writes-param(0)"
+    (flags_of t "Check_fixtures.Fx_race.tally");
+  Alcotest.(check string)
+    "mid raises Failure" "raises(Failure)"
+    (flags_of t "Check_fixtures.Fx_raise.mid");
+  Alcotest.(check string)
+    "bump writes global state" "writes-global reads-mut"
+    (flags_of t "Check_fixtures.Fx_state.bump")
+
+(* Snapshot of real rows from lib/core/sweep.ml — pins the analysis of
+   production code, not just fixtures. *)
+let test_sweep_effect_snapshot () =
+  let r = Qsens_check.analyze ~root:".." (Qsens_check.find_cmts [ "../lib/core" ]) in
+  let t = r.table in
+  Alcotest.(check string)
+    "subset_sums writes the sums argument" "writes-param(2)"
+    (flags_of t "Qsens_core.Sweep.subset_sums");
+  Alcotest.(check string)
+    "build validates its inputs" "raises(Invalid_argument)"
+    (flags_of t "Qsens_core.Sweep.build");
+  Alcotest.(check string)
+    "eval validates its inputs" "raises(Invalid_argument)"
+    (flags_of t "Qsens_core.Sweep.eval");
+  Alcotest.(check string)
+    "center is pure" "pure"
+    (flags_of t "Qsens_core.Sweep.center")
+
+let () =
+  Alcotest.run "check"
+    [
+      ( "c001",
+        [
+          Alcotest.test_case "race two calls deep" `Quick
+            test_race_two_calls_deep;
+          Alcotest.test_case "cross-module global write" `Quick
+            test_race_cross_module_global;
+          Alcotest.test_case "task-local pipeline is silent" `Quick
+            test_clean_pipeline_is_silent;
+        ] );
+      ( "c002",
+        [ Alcotest.test_case "cross-module taint chain" `Quick test_entry_taint_chain ] );
+      ( "c003",
+        [ Alcotest.test_case "escaping exception" `Quick test_raise_escapes_task ] );
+      ( "suppression",
+        [
+          Alcotest.test_case "inline directive" `Quick test_inline_suppression;
+          Alcotest.test_case "check.allow" `Quick test_check_allow;
+        ] );
+      ( "effects",
+        [
+          Alcotest.test_case "fixture table" `Quick test_fixture_effect_table;
+          Alcotest.test_case "sweep snapshot" `Quick test_sweep_effect_snapshot;
+        ] );
+    ]

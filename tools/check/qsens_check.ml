@@ -1,0 +1,1546 @@
+(* qsens-check: a typed whole-program effect analyzer for the qsens
+   tree.  Where qsens_lint parses one file at a time and can only see
+   lexically-local hazards, qsens_check reads the .cmt typed ASTs dune
+   already produces, builds a cross-module call graph for the whole
+   lib/ tree, and infers a per-function effect signature by fixpoint:
+
+     writes-global    mutates state reachable from a toplevel binding
+     writes-param(i)  mutates state reachable from its i-th formal
+     writes-unknown   mutates state it cannot attribute to either
+     reads-mut        reads toplevel mutable state
+     io               prints, touches channels or the environment
+     clock            reads a wall/monotonic clock
+     nondet           depends on unsorted Hashtbl iteration order,
+                      physical domain identity, or global Random state
+     raises(E,..)     may raise E to its caller (typed per exception)
+
+   Three interprocedural checks run on top of the signatures:
+
+     C001 domain-race: a closure passed to a Qsens_parallel.Pool
+          combinator must be transitively free of writes to state
+          shared across tasks.  The analysis follows calls,
+          distinguishes task-local refs/arrays allocated inside the
+          closure from captured or toplevel mutable state, and trusts
+          the effect-free lib/obs instrumentation points.
+     C002 determinism-taint: functions in the result-producing entry
+          modules (Worst_case, Sweep, Candidates, Monte_carlo) must
+          not transitively depend on a nondet or clock source.
+     C003 escaping-exception: a Pool task must not raise exceptions
+          (other than the programming-error pair Invalid_argument /
+          Assert_failure) that escape the task, because failures are
+          expected to travel through the typed lib/faults channel.
+
+   Findings reuse the linter's conventions: the same
+   file:line:col: [RULE] output, inline suppression via
+   [(* qsens-check: disable=RULE — rationale *)] on the finding's line
+   or the line above, and per-directory [check.allow] files.
+
+   Soundness caveats (see DESIGN.md section 13): calls through stored
+   or returned closures are invisible (C001 therefore checks at task
+   submission sites); unknown external functions are assumed pure;
+   implicit stdlib raises (Not_found from find, ...) are not tracked;
+   mutation of values the classifier cannot attribute (class
+   "unknown") shows in the effect table but does not fire C001. *)
+
+type witness = {
+  w_loc : Location.t;
+  w_desc : string;
+  w_via : string list; (* call chain, outermost callee first *)
+}
+
+type effects = {
+  mutable writes_global : witness option;
+  mutable writes_params : (int * witness) list;
+  mutable writes_unknown : witness option;
+  mutable reads_mut : witness option;
+  mutable io : witness option;
+  mutable clock : witness option;
+  mutable nondet : witness option;
+  mutable raises : (string * witness) list; (* exn last component *)
+}
+
+let fresh_effects () =
+  {
+    writes_global = None;
+    writes_params = [];
+    writes_unknown = None;
+    reads_mut = None;
+    io = None;
+    clock = None;
+    nondet = None;
+    raises = [];
+  }
+
+(* How a value reached the expression under scrutiny.  [Aparam i] only
+   occurs while analyzing a function body; [Acaptured] only while
+   scanning a task closure. *)
+type arg_class =
+  | Alocal (* allocated in the current scope: safe to mutate *)
+  | Aparam of int (* the i-th formal of the enclosing function *)
+  | Acaptured (* captured from outside the task closure *)
+  | Aglobal_mut of string (* a toplevel mutable binding (canonical) *)
+  | Aother (* unattributable *)
+
+type guard = { g_all : bool; g_names : string list }
+
+type call = {
+  callee : string; (* canonical *)
+  c_args : (int option * arg_class) list; (* formal index, class *)
+  c_guards : guard list; (* exception handlers active at the call *)
+  c_ho : bool; (* referenced as a value: argument mapping unknown *)
+}
+
+type fn_info = {
+  canon : string;
+  mutable formals : Asttypes.arg_label list; (* definition order *)
+  sig_ : effects; (* direct effects, then transitive after fixpoint *)
+  mutable calls : call list;
+}
+
+type unit_ctx = {
+  u_canon : string;
+  u_file : string;
+  u_str : Typedtree.structure;
+  (* Ident.unique_name -> canonical, for same-unit toplevel refs that
+     appear as bare stamped idents. *)
+  toplevel : (string, string) Hashtbl.t;
+  (* local [module M = Path] aliases and nested-module idents. *)
+  aliases : (string, string list) Hashtbl.t;
+  (* every local binding's class, keyed by Ident.unique_name. *)
+  locals : (string, arg_class) Hashtbl.t;
+  (* let-bound lambdas, for resolving helper calls inside closures. *)
+  lambdas : (string, Typedtree.expression) Hashtbl.t;
+}
+
+type pool_site = {
+  p_comb : string; (* canonical combinator name *)
+  p_tasks : Typedtree.expression list;
+  p_loc : Location.t;
+  p_ctx : unit_ctx;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Names *)
+
+let dunder_split name =
+  (* "Qsens_core__Sweep" -> ["Qsens_core"; "Sweep"]; the trailing "__"
+     of alias modules just disappears. *)
+  let n = String.length name in
+  let rec split acc start i =
+    if i + 1 >= n then List.rev (String.sub name start (n - start) :: acc)
+    else if name.[i] = '_' && name.[i + 1] = '_' then
+      split (String.sub name start (i - start) :: acc) (i + 2) (i + 2)
+    else split acc start (i + 1)
+  in
+  split [] 0 0 |> List.filter (fun s -> s <> "")
+
+let rec path_head p =
+  match p with
+  | Path.Pident id -> (id, [])
+  | Path.Pdot (b, s) ->
+      let h, parts = path_head b in
+      (h, parts @ [ s ])
+  | Path.Papply (a, _) -> path_head a
+  | Path.Pextra_ty (b, _) -> path_head b
+
+type resolved = Global of string | Local of Ident.t
+
+let canon_of_path ctx p =
+  let head, parts = path_head p in
+  let uniq = Ident.unique_name head in
+  let tail = List.concat_map dunder_split parts in
+  match Hashtbl.find_opt ctx.aliases uniq with
+  | Some target -> Global (String.concat "." (target @ tail))
+  | None -> (
+      match Hashtbl.find_opt ctx.toplevel uniq with
+      | Some canon -> if tail = [] then Global canon else Local head
+      | None ->
+          if tail = [] then Local head
+          else
+            Global
+              (String.concat "." (dunder_split (Ident.name head) @ tail)))
+
+let ends_with_path p suffix =
+  p = suffix
+  || String.length p > String.length suffix + 1
+     && String.ends_with ~suffix:("." ^ suffix) p
+
+let last_component s =
+  match String.rindex_opt s '.' with
+  | None -> s
+  | Some i -> String.sub s (i + 1) (String.length s - i - 1)
+
+(* ------------------------------------------------------------------ *)
+(* Builtin tables (matched by canonical-name suffix, like the linter) *)
+
+(* (function, index of the argument whose referent is mutated) *)
+let mutator_fns =
+  [
+    (":=", 0);
+    ("incr", 0);
+    ("decr", 0);
+    ("Array.set", 0);
+    ("Array.unsafe_set", 0);
+    ("Array.fill", 0);
+    ("Array.blit", 2);
+    ("Array.sort", 1);
+    ("Array.stable_sort", 1);
+    ("Array.fast_sort", 1);
+    ("Bytes.set", 0);
+    ("Bytes.unsafe_set", 0);
+    ("Bytes.fill", 0);
+    ("Bytes.blit", 2);
+    ("Hashtbl.add", 0);
+    ("Hashtbl.replace", 0);
+    ("Hashtbl.remove", 0);
+    ("Hashtbl.reset", 0);
+    ("Hashtbl.clear", 0);
+    ("Hashtbl.filter_map_inplace", 0);
+    ("Buffer.add_char", 0);
+    ("Buffer.add_string", 0);
+    ("Buffer.add_bytes", 0);
+    ("Buffer.add_buffer", 0);
+    ("Buffer.add_substring", 0);
+    ("Buffer.clear", 0);
+    ("Buffer.reset", 0);
+    ("Buffer.truncate", 0);
+    ("Atomic.set", 0);
+    ("Atomic.exchange", 0);
+    ("Atomic.compare_and_set", 0);
+    ("Atomic.fetch_and_add", 0);
+    ("Atomic.incr", 0);
+    ("Atomic.decr", 0);
+    ("Queue.add", 1);
+    ("Queue.push", 1);
+    ("Queue.pop", 0);
+    ("Queue.take", 0);
+    ("Queue.clear", 0);
+    ("Stack.push", 1);
+    ("Stack.pop", 0);
+    ("Stack.clear", 0);
+    ("Random.State.int", 0);
+    ("Random.State.full_int", 0);
+    ("Random.State.float", 0);
+    ("Random.State.bool", 0);
+    ("Random.State.bits", 0);
+  ]
+
+(* Heads whose application yields a freshly allocated value. *)
+let alloc_fns =
+  [
+    "ref";
+    "Array.make";
+    "Array.create_float";
+    "Array.init";
+    "Array.make_matrix";
+    "Array.copy";
+    "Array.map";
+    "Array.mapi";
+    "Array.map2";
+    "Array.sub";
+    "Array.append";
+    "Array.concat";
+    "Array.of_list";
+    "Array.of_seq";
+    "Hashtbl.create";
+    "Hashtbl.copy";
+    "Buffer.create";
+    "Bytes.create";
+    "Bytes.make";
+    "Bytes.copy";
+    "Bytes.of_string";
+    "Atomic.make";
+    "Queue.create";
+    "Stack.create";
+    "Random.State.make";
+    "Random.State.copy";
+    "Random.State.make_self_init";
+  ]
+
+(* Heads that read *through* their first argument: the result aliases
+   (part of) that argument, so its class propagates. *)
+let reader_through_fns =
+  [
+    "!";
+    "Array.get";
+    "Array.unsafe_get";
+    "Bytes.get";
+    "Hashtbl.find";
+    "Hashtbl.find_opt";
+    "Atomic.get";
+    "Queue.peek";
+    "Stack.top";
+    "Option.get";
+    "fst";
+    "snd";
+    "List.hd";
+    "List.nth";
+  ]
+
+let io_fns =
+  [
+    "Printf.printf";
+    "Printf.eprintf";
+    "Printf.fprintf";
+    "Format.printf";
+    "Format.eprintf";
+    "print_string";
+    "print_endline";
+    "print_newline";
+    "print_char";
+    "print_int";
+    "print_float";
+    "prerr_string";
+    "prerr_endline";
+    "prerr_newline";
+    "output_string";
+    "output_char";
+    "output_bytes";
+    "open_in";
+    "open_in_bin";
+    "open_out";
+    "open_out_bin";
+    "close_in";
+    "close_out";
+    "input_line";
+    "read_line";
+    "Sys.command";
+    "Sys.getenv";
+    "Sys.getenv_opt";
+    "Sys.file_exists";
+    "Sys.readdir";
+    "Sys.remove";
+    "exit";
+    "at_exit";
+  ]
+
+let clock_fns =
+  [
+    "Unix.gettimeofday";
+    "Unix.clock_gettime";
+    "Unix.time";
+    "Sys.time";
+    "Monotonic_clock.now";
+  ]
+
+(* Identifiers that are nondeterministic wherever they appear. *)
+let nondet_fns =
+  [
+    "Domain.self";
+    "Random.self_init";
+    "Random.State.make_self_init";
+    "Random.bool";
+    "Random.int";
+    "Random.full_int";
+    "Random.float";
+    "Random.bits";
+    "Random.int32";
+    "Random.int64";
+    "Random.nativeint";
+  ]
+
+(* Order-leaking iteration: nondeterministic unless the result goes
+   through an explicit sort (same heuristic as the linter's D001). *)
+let nondet_iter_fns =
+  [
+    "Hashtbl.fold";
+    "Hashtbl.iter";
+    "Hashtbl.to_seq";
+    "Hashtbl.to_seq_keys";
+    "Hashtbl.to_seq_values";
+  ]
+
+let sort_fns =
+  [
+    "List.sort";
+    "List.stable_sort";
+    "List.fast_sort";
+    "List.sort_uniq";
+    "Array.sort";
+    "Array.stable_sort";
+    "Array.fast_sort";
+  ]
+
+let raiser_fns = [ "raise"; "raise_notrace"; "Printexc.raise_with_backtrace" ]
+let pool_combinators = [ "Pool.run"; "Pool.parallel_for_chunked"; "Pool.map_reduce" ]
+
+(* Exceptions a task may legitimately let escape: they signal
+   programming errors, not data-dependent failures, and the pool
+   re-raises them deterministically. *)
+let allowed_escapes = [ "Invalid_argument"; "Assert_failure" ]
+
+let default_trusted = [ "Qsens_obs." ]
+let default_entries = [ "Worst_case"; "Sweep"; "Candidates"; "Monte_carlo" ]
+
+let assoc_suffix tbl p =
+  List.find_map (fun (s, v) -> if ends_with_path p s then Some v else None) tbl
+
+let mem_suffix l p = List.exists (ends_with_path p) l
+
+(* ------------------------------------------------------------------ *)
+(* Rules and reporting *)
+
+let rules =
+  [
+    ( "C001",
+      "domain-race: a Pool task transitively writes state shared across \
+       tasks" );
+    ( "C002",
+      "determinism-taint: an entry-module path depends on iteration order, \
+       domain identity, or a clock" );
+    ( "C003",
+      "escaping-exception: a Pool task may raise outside the typed fault \
+       channel" );
+  ]
+
+let diag ~file ~loc rule message =
+  let p = loc.Location.loc_start in
+  {
+    Qsens_lint.file;
+    line = p.Lexing.pos_lnum;
+    col = p.Lexing.pos_cnum - p.Lexing.pos_bol;
+    rule;
+    message;
+  }
+
+let via_suffix = function
+  | [] -> ""
+  | via -> Printf.sprintf " (via %s)" (String.concat " -> " via)
+
+let loc_string (loc : Location.t) =
+  Printf.sprintf "%s:%d" loc.loc_start.Lexing.pos_fname
+    loc.loc_start.Lexing.pos_lnum
+
+(* ------------------------------------------------------------------ *)
+(* Global analysis state *)
+
+type state = {
+  fns : (string, fn_info) Hashtbl.t;
+  globals_mut : (string, unit) Hashtbl.t;
+  mutable unit_list : unit_ctx list;
+  mutable pool_sites : pool_site list;
+  mutable diags : Qsens_lint.diagnostic list;
+  trusted : string list;
+}
+
+let is_trusted st c =
+  List.exists (fun p -> String.starts_with ~prefix:p c) st.trusted
+
+let find_fn st c = Hashtbl.find_opt st.fns c
+let emit st ~file ~loc rule message = st.diags <- diag ~file ~loc rule message :: st.diags
+
+(* ------------------------------------------------------------------ *)
+(* Pattern helpers *)
+
+let bind_pat : type k. unit_ctx -> arg_class -> k Typedtree.general_pattern -> unit
+    =
+ fun ctx cls pat ->
+  List.iter
+    (fun id -> Hashtbl.replace ctx.locals (Ident.unique_name id) cls)
+    (Typedtree.pat_bound_idents pat)
+
+(* Exception names matched by a handler pattern; a wildcard or variable
+   handler catches everything. *)
+let rec handler_names (pat : Typedtree.pattern) g =
+  match pat.pat_desc with
+  | Typedtree.Tpat_any | Typedtree.Tpat_var _ -> { g with g_all = true }
+  | Typedtree.Tpat_alias (p, _, _) -> handler_names p g
+  | Typedtree.Tpat_or (a, b, _) -> handler_names b (handler_names a g)
+  | Typedtree.Tpat_construct (_, cd, _, _) ->
+      { g with g_names = cd.Types.cstr_name :: g.g_names }
+  | _ -> { g with g_all = true }
+
+let no_guard = { g_all = false; g_names = [] }
+
+let guard_of_value_cases cases =
+  List.fold_left
+    (fun g (c : Typedtree.value Typedtree.case) -> handler_names c.c_lhs g)
+    no_guard cases
+
+(* The exception half of the cases of a [match] (via Tpat_exception). *)
+let guard_of_match_cases cases =
+  List.fold_left
+    (fun g (c : Typedtree.computation Typedtree.case) ->
+      match Typedtree.split_pattern c.c_lhs with
+      | _, Some exn_pat -> handler_names exn_pat g
+      | _, None -> g)
+    no_guard cases
+
+let guarded guards name =
+  List.exists (fun g -> g.g_all || List.mem name g.g_names) guards
+
+(* ------------------------------------------------------------------ *)
+(* Expression classification *)
+
+let positional args =
+  List.filter_map
+    (fun (l, a) ->
+      match (l, a) with Asttypes.Nolabel, Some e -> Some e | _ -> None)
+    args
+
+let labelled name args =
+  List.find_map
+    (fun (l, a) ->
+      match (l, a) with
+      | (Asttypes.Labelled s | Asttypes.Optional s), Some e when s = name ->
+          Some e
+      | _ -> None)
+    args
+
+let canon_head ctx (e : Typedtree.expression) =
+  match e.exp_desc with
+  | Typedtree.Texp_ident (p, _, _) -> (
+      match canon_of_path ctx p with Global c -> Some c | Local _ -> None)
+  | _ -> None
+
+(* [classify ~lookup st ctx e]: how does mutating (the referent of)
+   [e] relate to the enclosing scope?  [lookup] resolves a bare local
+   ident; the unit-mode walker consults [ctx.locals] defaulting to
+   [Aother], the closure scanner consults its bound-inside table
+   defaulting to [Acaptured]. *)
+let rec classify ~lookup st ctx (e : Typedtree.expression) =
+  match e.exp_desc with
+  | Typedtree.Texp_ident (p, _, _) -> (
+      match canon_of_path ctx p with
+      | Local id -> lookup id
+      | Global c -> if Hashtbl.mem st.globals_mut c then Aglobal_mut c else Aother
+      )
+  | Typedtree.Texp_apply (f, args) -> (
+      match canon_head ctx f with
+      | Some c when mem_suffix alloc_fns c -> Alocal
+      | Some c when mem_suffix reader_through_fns c -> (
+          match positional args with
+          | tgt :: _ -> classify ~lookup st ctx tgt
+          | [] -> Aother)
+      | _ -> Aother)
+  | Typedtree.Texp_array _ -> Alocal
+  | Typedtree.Texp_record _ -> Alocal
+  | Typedtree.Texp_field (b, _, _) -> classify ~lookup st ctx b
+  | Typedtree.Texp_constant _ -> Alocal
+  | Typedtree.Texp_sequence (_, e2) -> classify ~lookup st ctx e2
+  | Typedtree.Texp_let (_, _, body) -> classify ~lookup st ctx body
+  | Typedtree.Texp_ifthenelse (_, t, Some f) ->
+      let a = classify ~lookup st ctx t and b = classify ~lookup st ctx f in
+      if a = b then a else Aother
+  | _ -> Aother
+
+let class_desc = function
+  | Alocal -> "task-local state"
+  | Aparam i -> Printf.sprintf "parameter %d" i
+  | Acaptured -> "state captured from the enclosing scope"
+  | Aglobal_mut g -> "toplevel mutable state " ^ g
+  | Aother -> "unattributed state"
+
+(* Map call-site arguments onto the callee's formals, matching labels
+   and assigning positional arguments to unused Nolabel formals in
+   order. *)
+let map_args ~cls (callee : fn_info) args =
+  let formals = Array.of_list callee.formals in
+  let used = Array.make (Array.length formals) false in
+  let claim pred =
+    let rec go i =
+      if i >= Array.length formals then None
+      else if (not used.(i)) && pred formals.(i) then begin
+        used.(i) <- true;
+        Some i
+      end
+      else go (i + 1)
+    in
+    go 0
+  in
+  List.filter_map
+    (fun (l, a) ->
+      match a with
+      | None -> None
+      | Some e ->
+          let idx =
+            match l with
+            | Asttypes.Nolabel -> claim (fun f -> f = Asttypes.Nolabel)
+            | Asttypes.Labelled s | Asttypes.Optional s ->
+                claim (function
+                  | Asttypes.Labelled s' | Asttypes.Optional s' -> s = s'
+                  | Asttypes.Nolabel -> false)
+          in
+          Some (idx, cls e))
+    args
+
+(* ------------------------------------------------------------------ *)
+(* Pass A: register toplevel bindings, mutable globals, nested-module
+   idents and module aliases for every unit. *)
+
+let rhs_is_mutable ctx (e : Typedtree.expression) =
+  match e.exp_desc with
+  | Typedtree.Texp_array _ -> true
+  | Typedtree.Texp_record { fields; _ } ->
+      Array.exists
+        (fun ((ld : Types.label_description), _) -> ld.lbl_mut = Asttypes.Mutable)
+        fields
+  | Typedtree.Texp_apply (f, _) -> (
+      match canon_head ctx f with
+      | Some c -> mem_suffix alloc_fns c
+      | None -> false)
+  | _ -> false
+
+let register_unit st ~canon ~file str =
+  let ctx =
+    {
+      u_canon = canon;
+      u_file = file;
+      u_str = str;
+      toplevel = Hashtbl.create 64;
+      aliases = Hashtbl.create 8;
+      locals = Hashtbl.create 256;
+      lambdas = Hashtbl.create 32;
+    }
+  in
+  let rec items prefix (s : Typedtree.structure) =
+    List.iter
+      (fun (item : Typedtree.structure_item) ->
+        match item.str_desc with
+        | Tstr_value (_, vbs) ->
+            List.iter
+              (fun (vb : Typedtree.value_binding) ->
+                let mut = rhs_is_mutable ctx vb.vb_expr in
+                List.iter
+                  (fun id ->
+                    let c = prefix ^ "." ^ Ident.name id in
+                    Hashtbl.replace ctx.toplevel (Ident.unique_name id) c;
+                    if not (Hashtbl.mem st.fns c) then
+                      Hashtbl.replace st.fns c
+                        {
+                          canon = c;
+                          formals = [];
+                          sig_ = fresh_effects ();
+                          calls = [];
+                        };
+                    if mut then Hashtbl.replace st.globals_mut c ())
+                  (Typedtree.pat_bound_idents vb.vb_pat))
+              vbs
+        | Tstr_module mb -> mod_binding prefix mb
+        | Tstr_recmodule mbs -> List.iter (mod_binding prefix) mbs
+        | _ -> ())
+      s.str_items
+  and mod_binding prefix (mb : Typedtree.module_binding) =
+    match mb.mb_id with
+    | None -> ()
+    | Some id ->
+        let sub = prefix ^ "." ^ Ident.name id in
+        let rec me (m : Typedtree.module_expr) =
+          match m.mod_desc with
+          | Tmod_ident (p, _) ->
+              let head, parts = path_head p in
+              let target =
+                match Hashtbl.find_opt ctx.aliases (Ident.unique_name head) with
+                | Some t -> t @ List.concat_map dunder_split parts
+                | None ->
+                    dunder_split (Ident.name head)
+                    @ List.concat_map dunder_split parts
+              in
+              Hashtbl.replace ctx.aliases (Ident.unique_name id) target
+          | Tmod_structure s ->
+              Hashtbl.replace ctx.aliases (Ident.unique_name id)
+                (String.split_on_char '.' sub);
+              items sub s
+          | Tmod_constraint (m, _, _, _) -> me m
+          | _ -> ()
+        in
+        me mb.mb_expr
+  in
+  items canon str;
+  st.unit_list <- st.unit_list @ [ ctx ]
+
+(* ------------------------------------------------------------------ *)
+(* Pass B: per-function direct effects, call edges and pool sites. *)
+
+let exn_of_construct (e : Typedtree.expression) =
+  match e.exp_desc with
+  | Typedtree.Texp_construct (_, cd, _) -> Some cd.Types.cstr_name
+  | _ -> None
+
+let walk_fn st ctx (info : fn_info) rhs =
+  let guards = ref [] in
+  let sort_depth = ref 0 in
+  let lookup id =
+    match Hashtbl.find_opt ctx.locals (Ident.unique_name id) with
+    | Some c -> c
+    | None -> Aother
+  in
+  let cls_of e = classify ~lookup st ctx e in
+  let mk loc desc = { w_loc = loc; w_desc = desc; w_via = [] } in
+  let s = info.sig_ in
+  let note_io loc d = if s.io = None then s.io <- Some (mk loc d) in
+  let note_clock loc d = if s.clock = None then s.clock <- Some (mk loc d) in
+  let note_nondet loc d = if s.nondet = None then s.nondet <- Some (mk loc d) in
+  let note_reads loc d = if s.reads_mut = None then s.reads_mut <- Some (mk loc d) in
+  let note_write cls loc desc =
+    match cls with
+    | Alocal -> ()
+    | Aparam i ->
+        if not (List.mem_assoc i s.writes_params) then
+          s.writes_params <- (i, mk loc desc) :: s.writes_params
+    | Aglobal_mut g ->
+        if s.writes_global = None then
+          s.writes_global <- Some (mk loc (desc ^ " on " ^ g))
+    | Acaptured | Aother ->
+        if s.writes_unknown = None then s.writes_unknown <- Some (mk loc desc)
+  in
+  let note_raise name loc =
+    if
+      (not (guarded !guards name))
+      && not (List.mem_assoc name s.raises)
+    then s.raises <- (name, mk loc ("raise " ^ name)) :: s.raises
+  in
+  let on_global c loc ~head =
+    if is_trusted st c then ()
+    else begin
+      if Hashtbl.mem st.globals_mut c then note_reads loc ("reads " ^ c);
+      if mem_suffix io_fns c then note_io loc c;
+      if mem_suffix clock_fns c then note_clock loc ("clock read " ^ c);
+      if mem_suffix nondet_fns c then note_nondet loc c;
+      (* A bare (non-head) reference to a known function is a
+         higher-order use: its effects may run with unknown args. *)
+      if not head then
+        match find_fn st c with
+        | Some callee when callee.canon <> info.canon ->
+            info.calls <-
+              { callee = c; c_args = []; c_guards = !guards; c_ho = true }
+              :: info.calls
+        | _ -> ()
+    end
+  in
+  let rec expr it (e : Typedtree.expression) =
+    match e.exp_desc with
+    | Typedtree.Texp_ident (p, _, _) -> (
+        match canon_of_path ctx p with
+        | Global c -> on_global c e.exp_loc ~head:false
+        | Local _ -> ())
+    | Texp_apply (f, args) -> on_apply it e f args
+    | Texp_let (_, vbs, body) ->
+        List.iter (reg_vb it) vbs;
+        expr it body
+    | Texp_function { cases; _ } ->
+        List.iter
+          (fun (c : Typedtree.value Typedtree.case) ->
+            bind_pat ctx Aother c.c_lhs;
+            Option.iter (expr it) c.c_guard;
+            expr it c.c_rhs)
+          cases
+    | Texp_match (scrut, cases, _) ->
+        let g = guard_of_match_cases cases in
+        let scls = cls_of scrut in
+        if g.g_all || g.g_names <> [] then begin
+          guards := g :: !guards;
+          expr it scrut;
+          guards := List.tl !guards
+        end
+        else expr it scrut;
+        List.iter
+          (fun (c : Typedtree.computation Typedtree.case) ->
+            bind_pat ctx scls c.c_lhs;
+            Option.iter (expr it) c.c_guard;
+            expr it c.c_rhs)
+          cases
+    | Texp_try (body, cases) ->
+        guards := guard_of_value_cases cases :: !guards;
+        expr it body;
+        guards := List.tl !guards;
+        List.iter
+          (fun (c : Typedtree.value Typedtree.case) ->
+            bind_pat ctx Aother c.c_lhs;
+            Option.iter (expr it) c.c_guard;
+            expr it c.c_rhs)
+          cases
+    | Texp_setfield (tgt, _, lbl, v) ->
+        expr it tgt;
+        expr it v;
+        note_write (cls_of tgt) e.exp_loc
+          ("assignment to mutable field " ^ lbl.Types.lbl_name)
+    | Texp_setinstvar (_, _, _, v) ->
+        expr it v;
+        note_write Aother e.exp_loc "instance-variable assignment"
+    | Texp_assert (cond, _) ->
+        expr it cond;
+        note_raise "Assert_failure" e.exp_loc
+    | Texp_for (id, _, lo, hi, _, body) ->
+        Hashtbl.replace ctx.locals (Ident.unique_name id) Alocal;
+        expr it lo;
+        expr it hi;
+        expr it body
+    | _ -> Tast_iterator.default_iterator.expr it e
+  and reg_vb it (vb : Typedtree.value_binding) =
+    let cls = cls_of vb.vb_expr in
+    bind_pat ctx cls vb.vb_pat;
+    (match (vb.vb_pat.pat_desc, vb.vb_expr.exp_desc) with
+    | Tpat_var (id, _), Texp_function _ ->
+        Hashtbl.replace ctx.lambdas (Ident.unique_name id) vb.vb_expr
+    | _ -> ());
+    expr it vb.vb_expr
+  and on_apply it e f args =
+    (* Rewrite [x |> f] and [f @@ x] into direct applications so the
+       head and the sort-protection heuristic see through them. *)
+    match (canon_head ctx f, args) with
+    | Some c, [ (Asttypes.Nolabel, Some a); (Asttypes.Nolabel, Some g) ]
+      when ends_with_path c "|>" ->
+        reapply it e g a
+    | Some c, [ (Asttypes.Nolabel, Some g); (Asttypes.Nolabel, Some a) ]
+      when ends_with_path c "@@" ->
+        reapply it e g a
+    | _ -> apply it e f args
+  and reapply it e g a =
+    match g.Typedtree.exp_desc with
+    | Typedtree.Texp_apply (g0, gargs) ->
+        apply it e g0 (gargs @ [ (Asttypes.Nolabel, Some a) ])
+    | _ -> apply it e g [ (Asttypes.Nolabel, Some a) ]
+  and apply it e f args =
+    match f.Typedtree.exp_desc with
+    (* The typer turns [x |> f a] into a nested application with an
+       application head; flatten so the sort heuristic sees one call. *)
+    | Typedtree.Texp_apply (f0, fargs) -> apply it e f0 (fargs @ args)
+    | _ ->
+    let canon =
+      match f.Typedtree.exp_desc with
+      | Typedtree.Texp_ident (p, _, _) -> (
+          match canon_of_path ctx p with
+          | Global c ->
+              on_global c f.exp_loc ~head:true;
+              Some c
+          | Local _ -> None)
+      | _ ->
+          expr it f;
+          None
+    in
+    let prot =
+      match canon with Some c -> mem_suffix sort_fns c | None -> false
+    in
+    if prot then incr sort_depth;
+    List.iter (fun (_, a) -> Option.iter (expr it) a) args;
+    if prot then decr sort_depth;
+    match canon with
+    | None -> ()
+    | Some c when is_trusted st c -> ()
+    | Some c ->
+        (match assoc_suffix mutator_fns c with
+        | Some idx -> (
+            match List.nth_opt (positional args) idx with
+            | Some tgt -> note_write (cls_of tgt) e.Typedtree.exp_loc c
+            | None -> note_write Aother e.exp_loc c)
+        | None -> ());
+        if mem_suffix raiser_fns c then begin
+          match positional args with
+          | arg :: _ -> (
+              match exn_of_construct arg with
+              | Some name -> note_raise name e.exp_loc
+              | None -> () (* dynamic re-raise: untracked, see caveats *))
+          | [] -> ()
+        end;
+        if ends_with_path c "failwith" then note_raise "Failure" e.exp_loc;
+        if ends_with_path c "invalid_arg" then
+          note_raise "Invalid_argument" e.exp_loc;
+        if mem_suffix nondet_iter_fns c && !sort_depth = 0 then
+          note_nondet e.exp_loc (c ^ " (unsorted iteration)");
+        (match assoc_suffix (List.map (fun x -> (x, ())) pool_combinators) c with
+        | Some () ->
+            let tasks =
+              if ends_with_path c "Pool.map_reduce" then
+                match labelled "map" args with Some m -> [ m ] | None -> []
+              else
+                match positional args with _pool :: rest -> rest | [] -> []
+            in
+            if tasks <> [] then
+              st.pool_sites <-
+                { p_comb = c; p_tasks = tasks; p_loc = e.exp_loc; p_ctx = ctx }
+                :: st.pool_sites
+        | None -> ());
+        (match find_fn st c with
+        | Some callee when callee.canon <> info.canon ->
+            info.calls <-
+              {
+                callee = c;
+                c_args = map_args ~cls:cls_of callee args;
+                c_guards = !guards;
+                c_ho = false;
+              }
+              :: info.calls
+        | _ -> ())
+  in
+  let it = { Tast_iterator.default_iterator with expr } in
+  (* Peel the formal parameters, threading optional-default unpacking
+     lets, then walk the body. *)
+  let rec peel idx (e : Typedtree.expression) =
+    match e.exp_desc with
+    | Texp_function { arg_label; cases = [ c ]; _ } ->
+        info.formals <- info.formals @ [ arg_label ];
+        bind_pat ctx (Aparam idx) c.c_lhs;
+        Option.iter (expr it) c.c_guard;
+        peel (idx + 1) c.c_rhs
+    | Texp_function { arg_label; cases; _ } ->
+        info.formals <- info.formals @ [ arg_label ];
+        List.iter
+          (fun (c : Typedtree.value Typedtree.case) ->
+            bind_pat ctx (Aparam idx) c.c_lhs)
+          cases;
+        List.iter
+          (fun (c : Typedtree.value Typedtree.case) ->
+            Option.iter (expr it) c.c_guard;
+            expr it c.c_rhs)
+          cases
+    | Texp_let (_, vbs, body) when info.formals <> [] ->
+        List.iter (reg_vb it) vbs;
+        peel idx body
+    | _ -> expr it e
+  in
+  peel 0 rhs
+
+let analyze_unit st ctx =
+  let rec items (l : Typedtree.structure_item list) =
+    List.iter
+      (fun (item : Typedtree.structure_item) ->
+        match item.str_desc with
+        | Tstr_value (_, vbs) ->
+            List.iter
+              (fun (vb : Typedtree.value_binding) ->
+                match Typedtree.pat_bound_idents vb.vb_pat with
+                | id :: _ -> (
+                    match
+                      Hashtbl.find_opt ctx.toplevel (Ident.unique_name id)
+                    with
+                    | Some canon -> (
+                        match find_fn st canon with
+                        | Some info -> walk_fn st ctx info vb.vb_expr
+                        | None -> ())
+                    | None -> ())
+                | [] -> ())
+              vbs
+        | Tstr_module mb -> mod_binding mb
+        | Tstr_recmodule mbs -> List.iter mod_binding mbs
+        | _ -> ())
+      l
+  and mod_binding (mb : Typedtree.module_binding) =
+    let rec me (m : Typedtree.module_expr) =
+      match m.mod_desc with
+      | Tmod_structure s -> items s.str_items
+      | Tmod_constraint (m, _, _, _) -> me m
+      | _ -> ()
+    in
+    me mb.mb_expr
+  in
+  items ctx.u_str.str_items
+
+(* ------------------------------------------------------------------ *)
+(* Pass C: fixpoint propagation over the call graph. *)
+
+let fixpoint st =
+  let fns =
+    Hashtbl.fold (fun _ f acc -> f :: acc) st.fns []
+    |> List.sort (fun a b -> String.compare a.canon b.canon)
+  in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun f ->
+        let s = f.sig_ in
+        List.iter
+          (fun c ->
+            match find_fn st c.callee with
+            | None -> ()
+            | Some g ->
+                let cs = g.sig_ in
+                let lift w = { w with w_via = c.callee :: w.w_via } in
+                let merge_opt get set =
+                  match (get cs, get s) with
+                  | Some w, None ->
+                      set (lift w);
+                      changed := true
+                  | _ -> ()
+                in
+                merge_opt (fun x -> x.reads_mut) (fun w -> s.reads_mut <- Some w);
+                merge_opt (fun x -> x.io) (fun w -> s.io <- Some w);
+                merge_opt (fun x -> x.clock) (fun w -> s.clock <- Some w);
+                merge_opt (fun x -> x.nondet) (fun w -> s.nondet <- Some w);
+                merge_opt
+                  (fun x -> x.writes_global)
+                  (fun w -> s.writes_global <- Some w);
+                merge_opt
+                  (fun x -> x.writes_unknown)
+                  (fun w -> s.writes_unknown <- Some w);
+                List.iter
+                  (fun (name, w) ->
+                    if
+                      (not (guarded c.c_guards name))
+                      && not (List.mem_assoc name s.raises)
+                    then begin
+                      s.raises <- (name, lift w) :: s.raises;
+                      changed := true
+                    end)
+                  cs.raises;
+                let write_through w cls =
+                  match cls with
+                  | Alocal -> ()
+                  | Aparam i ->
+                      if not (List.mem_assoc i s.writes_params) then begin
+                        s.writes_params <- (i, lift w) :: s.writes_params;
+                        changed := true
+                      end
+                  | Aglobal_mut g2 ->
+                      if s.writes_global = None then begin
+                        s.writes_global <-
+                          Some (lift { w with w_desc = w.w_desc ^ " on " ^ g2 });
+                        changed := true
+                      end
+                  | Acaptured | Aother ->
+                      if s.writes_unknown = None then begin
+                        s.writes_unknown <- Some (lift w);
+                        changed := true
+                      end
+                in
+                if c.c_ho then begin
+                  match cs.writes_params with
+                  | (_, w) :: _ ->
+                      if s.writes_unknown = None then begin
+                        s.writes_unknown <- Some (lift w);
+                        changed := true
+                      end
+                  | [] -> ()
+                end
+                else
+                  List.iter
+                    (fun (i, w) ->
+                      match
+                        List.find_opt (fun (fi, _) -> fi = Some i) c.c_args
+                      with
+                      | Some (_, cls) -> write_through w cls
+                      | None -> () (* partial application: optimistic *))
+                    cs.writes_params)
+          f.calls)
+      fns
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Pass D: C001 / C003 closure scanning at pool submission sites. *)
+
+let scan_pool_site st site =
+  let ctx = site.p_ctx in
+  let file = ctx.u_file in
+  let bound : (string, arg_class) Hashtbl.t = Hashtbl.create 64 in
+  let visited : (string, unit) Hashtbl.t = Hashtbl.create 16 in
+  let guards = ref [] in
+  let lookup id =
+    match Hashtbl.find_opt bound (Ident.unique_name id) with
+    | Some c -> c
+    | None -> Acaptured
+  in
+  let cls_of e = classify ~lookup st ctx e in
+  let bind : type k. arg_class -> k Typedtree.general_pattern -> unit =
+   fun cls pat ->
+    List.iter
+      (fun id -> Hashtbl.replace bound (Ident.unique_name id) cls)
+      (Typedtree.pat_bound_idents pat)
+  in
+  let fire_c001 loc msg =
+    emit st ~file ~loc "C001"
+      (Printf.sprintf "%s inside a task passed to %s" msg site.p_comb)
+  in
+  let check_raise name loc detail =
+    if (not (List.mem name allowed_escapes)) && not (guarded !guards name) then
+      emit st ~file ~loc "C003"
+        (Printf.sprintf
+           "task passed to %s may raise %s%s; catch it in the task or surface \
+            a typed Fault.error"
+           site.p_comb name detail)
+  in
+  let check_write cls loc desc =
+    match cls with
+    | Acaptured -> fire_c001 loc (Printf.sprintf "%s mutates %s" desc (class_desc cls))
+    | Aglobal_mut _ ->
+        fire_c001 loc (Printf.sprintf "%s mutates %s" desc (class_desc cls))
+    | Alocal | Aparam _ | Aother -> ()
+  in
+  (* A known global function called (transitively) from the task, with
+     already-classified arguments. *)
+  let eval_known_call (g : fn_info) loc arg_classes =
+    let cs = g.sig_ in
+    (match cs.writes_global with
+    | Some w ->
+        fire_c001 loc
+          (Printf.sprintf "call to %s, which writes %s at %s%s" g.canon
+             w.w_desc (loc_string w.w_loc) (via_suffix w.w_via))
+    | None -> ());
+    List.iter
+      (fun (i, w) ->
+        match List.find_opt (fun (fi, _) -> fi = Some i) arg_classes with
+        | Some (_, ((Acaptured | Aglobal_mut _) as cls)) ->
+            fire_c001 loc
+              (Printf.sprintf "call to %s, which writes its argument %d (%s; %s at %s%s)"
+                 g.canon i (class_desc cls) w.w_desc (loc_string w.w_loc)
+                 (via_suffix w.w_via))
+        | _ -> ())
+      cs.writes_params;
+    List.iter
+      (fun (name, w) ->
+        check_raise name loc
+          (Printf.sprintf " (%s at %s%s)" w.w_desc (loc_string w.w_loc)
+             (via_suffix (g.canon :: w.w_via))))
+      cs.raises
+  in
+  let rec expr it (e : Typedtree.expression) =
+    match e.exp_desc with
+    | Typedtree.Texp_ident (p, _, _) -> (
+        match canon_of_path ctx p with
+        | Global c when not (is_trusted st c) -> (
+            match find_fn st c with
+            | Some g -> (
+                match g.sig_.writes_global with
+                | Some w ->
+                    fire_c001 e.exp_loc
+                      (Printf.sprintf
+                         "use of %s, which writes %s at %s%s, as a function \
+                          value"
+                         c w.w_desc (loc_string w.w_loc) (via_suffix w.w_via))
+                | None -> ())
+            | None -> ())
+        | _ -> ())
+    | Texp_apply (f, args) -> on_apply it e f args
+    | Texp_let (_, vbs, body) ->
+        List.iter (reg_vb it) vbs;
+        expr it body
+    | Texp_function { cases; _ } ->
+        (* an inline lambda handed to some combinator inside the task:
+           assume it runs on this domain with unknown arguments. *)
+        List.iter
+          (fun (c : Typedtree.value Typedtree.case) ->
+            bind Aother c.c_lhs;
+            Option.iter (expr it) c.c_guard;
+            expr it c.c_rhs)
+          cases
+    | Texp_match (scrut, cases, _) ->
+        let g = guard_of_match_cases cases in
+        let scls = cls_of scrut in
+        if g.g_all || g.g_names <> [] then begin
+          guards := g :: !guards;
+          expr it scrut;
+          guards := List.tl !guards
+        end
+        else expr it scrut;
+        List.iter
+          (fun (c : Typedtree.computation Typedtree.case) ->
+            bind scls c.c_lhs;
+            Option.iter (expr it) c.c_guard;
+            expr it c.c_rhs)
+          cases
+    | Texp_try (body, cases) ->
+        guards := guard_of_value_cases cases :: !guards;
+        expr it body;
+        guards := List.tl !guards;
+        List.iter
+          (fun (c : Typedtree.value Typedtree.case) ->
+            bind Aother c.c_lhs;
+            Option.iter (expr it) c.c_guard;
+            expr it c.c_rhs)
+          cases
+    | Texp_setfield (tgt, _, lbl, v) ->
+        expr it tgt;
+        expr it v;
+        check_write (cls_of tgt) e.exp_loc
+          ("assignment to mutable field " ^ lbl.Types.lbl_name)
+    | Texp_setinstvar _ ->
+        check_write Acaptured e.exp_loc "instance-variable assignment"
+    | Texp_assert (cond, _) -> expr it cond (* Assert_failure is allowed *)
+    | Texp_for (id, _, lo, hi, _, body) ->
+        Hashtbl.replace bound (Ident.unique_name id) Alocal;
+        expr it lo;
+        expr it hi;
+        expr it body
+    | _ -> Tast_iterator.default_iterator.expr it e
+  and reg_vb it (vb : Typedtree.value_binding) =
+    bind (cls_of vb.vb_expr) vb.vb_pat;
+    expr it vb.vb_expr
+  and on_apply it e f args =
+    match (canon_head ctx f, args) with
+    | Some c, [ (Asttypes.Nolabel, Some a); (Asttypes.Nolabel, Some g) ]
+      when ends_with_path c "|>" ->
+        reapply it e g a
+    | Some c, [ (Asttypes.Nolabel, Some g); (Asttypes.Nolabel, Some a) ]
+      when ends_with_path c "@@" ->
+        reapply it e g a
+    | _ -> apply it e f args
+  and reapply it e g a =
+    match g.Typedtree.exp_desc with
+    | Typedtree.Texp_apply (g0, gargs) ->
+        apply it e g0 (gargs @ [ (Asttypes.Nolabel, Some a) ])
+    | _ -> apply it e g [ (Asttypes.Nolabel, Some a) ]
+  and apply it e f args =
+    match f.Typedtree.exp_desc with
+    | Typedtree.Texp_apply (f0, fargs) -> apply it e f0 (fargs @ args)
+    | _ ->
+    let head =
+      match f.Typedtree.exp_desc with
+      | Typedtree.Texp_ident (p, _, _) -> Some (canon_of_path ctx p)
+      | _ ->
+          expr it f;
+          None
+    in
+    List.iter (fun (_, a) -> Option.iter (expr it) a) args;
+    match head with
+    | None -> ()
+    | Some (Local id) -> call_local it id args e.Typedtree.exp_loc
+    | Some (Global c) ->
+        if is_trusted st c then ()
+        else begin
+          (match assoc_suffix mutator_fns c with
+          | Some idx -> (
+              match List.nth_opt (positional args) idx with
+              | Some tgt -> check_write (cls_of tgt) e.exp_loc c
+              | None -> ())
+          | None -> ());
+          (if mem_suffix raiser_fns c then
+             match positional args with
+             | arg :: _ -> (
+                 match exn_of_construct arg with
+                 | Some name -> check_raise name e.exp_loc ""
+                 | None -> ())
+             | [] -> ());
+          if ends_with_path c "failwith" then check_raise "Failure" e.exp_loc "";
+          match find_fn st c with
+          | Some g -> eval_known_call g e.exp_loc (map_args ~cls:cls_of g args)
+          | None -> ()
+        end
+  and call_local it id args loc =
+    let uniq = Ident.unique_name id in
+    match Hashtbl.find_opt ctx.lambdas uniq with
+    | Some lam ->
+        if not (Hashtbl.mem visited uniq) then begin
+          Hashtbl.add visited uniq ();
+          let spec =
+            List.filter_map
+              (fun (l, a) ->
+                match a with Some e -> Some (l, cls_of e) | None -> None)
+              args
+          in
+          scan_lambda it lam (Some spec)
+        end
+    | None -> (
+        match lookup id with
+        | Acaptured ->
+            fire_c001 loc
+              (Printf.sprintf
+                 "call to captured function %s, whose effects cannot be \
+                  verified here"
+                 (Ident.name id))
+        | _ -> ())
+  and scan_lambda it lam argspec =
+    (* argspec = None: invoked by the pool itself, so the parameters
+       are chunk indices or unit.  Some classes: a helper called from
+       inside the task with those argument classes. *)
+    let remaining = ref (match argspec with None -> [] | Some l -> l) in
+    let take label =
+      match argspec with
+      | None -> Alocal
+      | Some _ ->
+          let rec go acc = function
+            | [] -> (Aother, List.rev acc)
+            | (l, cls) :: rest -> (
+                match (label, l) with
+                | Asttypes.Nolabel, Asttypes.Nolabel ->
+                    (cls, List.rev_append acc rest)
+                | ( (Asttypes.Labelled s | Asttypes.Optional s),
+                    (Asttypes.Labelled s' | Asttypes.Optional s') )
+                  when s = s' ->
+                    (cls, List.rev_append acc rest)
+                | _ -> go ((l, cls) :: acc) rest)
+          in
+          let cls, rest = go [] !remaining in
+          remaining := rest;
+          cls
+    in
+    let rec peel (e : Typedtree.expression) =
+      match e.exp_desc with
+      | Texp_function { arg_label; cases = [ c ]; _ } ->
+          bind (take arg_label) c.c_lhs;
+          peel c.c_rhs
+      | Texp_function { arg_label; cases; _ } ->
+          let cls = take arg_label in
+          List.iter
+            (fun (c : Typedtree.value Typedtree.case) -> bind cls c.c_lhs)
+            cases;
+          List.iter
+            (fun (c : Typedtree.value Typedtree.case) ->
+              Option.iter (expr it) c.c_guard;
+              expr it c.c_rhs)
+            cases
+      | Texp_let (_, vbs, body) ->
+          List.iter (reg_vb it) vbs;
+          peel body
+      | _ -> expr it e
+    in
+    peel lam
+  in
+  let it = { Tast_iterator.default_iterator with expr } in
+  let scan_task (t : Typedtree.expression) =
+    match t.exp_desc with
+    | Typedtree.Texp_function _ -> scan_lambda it t None
+    | Typedtree.Texp_ident (p, _, _) -> (
+        match canon_of_path ctx p with
+        | Local id -> (
+            let uniq = Ident.unique_name id in
+            match Hashtbl.find_opt ctx.lambdas uniq with
+            | Some lam ->
+                if not (Hashtbl.mem visited uniq) then begin
+                  Hashtbl.add visited uniq ();
+                  scan_lambda it lam None
+                end
+            | None ->
+                fire_c001 t.exp_loc
+                  (Printf.sprintf
+                     "task %s is a captured value, so its effects cannot be \
+                      verified here"
+                     (Ident.name id)))
+        | Global c ->
+            if not (is_trusted st c) then (
+              match find_fn st c with
+              | Some g ->
+                  (* the pool supplies the arguments (chunk indices /
+                     unit), so only global writes and raises matter. *)
+                  (match g.sig_.writes_global with
+                  | Some w ->
+                      fire_c001 t.exp_loc
+                        (Printf.sprintf "task %s writes %s at %s%s" c w.w_desc
+                           (loc_string w.w_loc) (via_suffix w.w_via))
+                  | None -> ());
+                  List.iter
+                    (fun (name, w) ->
+                      check_raise name t.exp_loc
+                        (Printf.sprintf " (%s at %s%s)" w.w_desc
+                           (loc_string w.w_loc)
+                           (via_suffix (c :: w.w_via))))
+                    g.sig_.raises
+              | None -> ()))
+    | _ -> expr it t
+  in
+  List.iter scan_task site.p_tasks
+
+(* ------------------------------------------------------------------ *)
+(* Pass E: C002 determinism taint on entry modules. *)
+
+let check_entries st entries =
+  let prefixes =
+    List.filter_map
+      (fun u ->
+        if List.mem (last_component u.u_canon) entries then
+          Some (u.u_canon ^ ".")
+        else None)
+      st.unit_list
+  in
+  let fns =
+    Hashtbl.fold (fun _ f acc -> f :: acc) st.fns []
+    |> List.sort (fun a b -> String.compare a.canon b.canon)
+  in
+  let seen : (string, string list ref * witness * string) Hashtbl.t =
+    Hashtbl.create 16
+  in
+  let order = ref [] in
+  List.iter
+    (fun f ->
+      if List.exists (fun p -> String.starts_with ~prefix:p f.canon) prefixes
+      then begin
+        let add kind w =
+          let key =
+            Printf.sprintf "%s:%d:%s:%s"
+              w.w_loc.Location.loc_start.Lexing.pos_fname
+              w.w_loc.loc_start.pos_lnum kind w.w_desc
+          in
+          match Hashtbl.find_opt seen key with
+          | Some (entries_ref, _, _) -> entries_ref := f.canon :: !entries_ref
+          | None ->
+              Hashtbl.add seen key (ref [ f.canon ], w, kind);
+              order := key :: !order
+        in
+        (match f.sig_.nondet with
+        | Some w -> add "nondeterministic" w
+        | None -> ());
+        match f.sig_.clock with
+        | Some w -> add "clock-dependent" w
+        | None -> ()
+      end)
+    fns;
+  List.iter
+    (fun key ->
+      let entries_ref, w, kind = Hashtbl.find seen key in
+      let all = List.rev !entries_ref in
+      let extra =
+        match List.length all - 1 with
+        | 0 -> ""
+        | n -> Printf.sprintf " (+%d more entry points)" n
+      in
+      emit st
+        ~file:w.w_loc.Location.loc_start.Lexing.pos_fname ~loc:w.w_loc "C002"
+        (Printf.sprintf "%s: %s reached from entry point %s%s%s" kind w.w_desc
+           (List.hd all) (via_suffix w.w_via) extra))
+    (List.rev !order)
+
+(* ------------------------------------------------------------------ *)
+(* Effect table *)
+
+let effect_flags s =
+  let flags = ref [] in
+  let add f = flags := f :: !flags in
+  (match s.raises with
+  | [] -> ()
+  | l ->
+      add
+        (Printf.sprintf "raises(%s)"
+           (String.concat "," (List.sort String.compare (List.map fst l)))));
+  if s.nondet <> None then add "nondet";
+  if s.clock <> None then add "clock";
+  if s.io <> None then add "io";
+  if s.reads_mut <> None then add "reads-mut";
+  if s.writes_unknown <> None then add "writes-unknown";
+  List.iter
+    (fun i -> add (Printf.sprintf "writes-param(%d)" i))
+    (List.sort (fun a b -> Int.compare b a) (List.map fst s.writes_params));
+  if s.writes_global <> None then add "writes-global";
+  match !flags with [] -> "pure" | l -> String.concat " " l
+
+let effect_table st =
+  Hashtbl.fold (fun _ f acc -> f :: acc) st.fns []
+  |> List.sort (fun a b -> String.compare a.canon b.canon)
+  |> List.map (fun f -> (f.canon, effect_flags f.sig_))
+
+(* ------------------------------------------------------------------ *)
+(* Loading, analysis entry point, CLI *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let find_cmts dirs =
+  let rec walk path acc =
+    if Sys.is_directory path then
+      Array.fold_left
+        (fun acc entry -> walk (Filename.concat path entry) acc)
+        acc
+        (let e = Sys.readdir path in
+         Array.sort String.compare e;
+         e)
+    else if Filename.check_suffix path ".cmt" then path :: acc
+    else acc
+  in
+  List.concat_map
+    (fun d -> if Sys.file_exists d then List.rev (walk d []) else [])
+    dirs
+
+type result = {
+  findings : Qsens_lint.diagnostic list;
+  suppressed : int;
+  allowlisted : int;
+  units : int;
+  functions : int;
+  table : (string * string) list;
+}
+
+let dedup_diags diags =
+  let cmp (a : Qsens_lint.diagnostic) (b : Qsens_lint.diagnostic) =
+    let c = String.compare a.file b.file in
+    if c <> 0 then c
+    else
+      let c = Int.compare a.line b.line in
+      if c <> 0 then c
+      else
+        let c = Int.compare a.col b.col in
+        if c <> 0 then c
+        else
+          let c = String.compare a.rule b.rule in
+          if c <> 0 then c else String.compare a.message b.message
+  in
+  List.sort_uniq cmp diags
+
+let analyze ?(entries = default_entries) ?(trusted = default_trusted)
+    ?(root = ".") cmt_paths =
+  let st =
+    {
+      fns = Hashtbl.create 512;
+      globals_mut = Hashtbl.create 64;
+      unit_list = [];
+      pool_sites = [];
+      diags = [];
+      trusted;
+    }
+  in
+  let loaded =
+    List.filter_map
+      (fun p ->
+        match Cmt_format.read_cmt p with
+        | {
+            Cmt_format.cmt_annots = Cmt_format.Implementation str;
+            cmt_modname;
+            cmt_sourcefile;
+            _;
+          } ->
+            Some
+              ( String.concat "." (dunder_split cmt_modname),
+                Option.value cmt_sourcefile ~default:(cmt_modname ^ ".ml"),
+                str )
+        | _ -> None
+        | exception _ -> None)
+      (List.sort_uniq String.compare cmt_paths)
+  in
+  List.iter (fun (canon, file, str) -> register_unit st ~canon ~file str) loaded;
+  List.iter (analyze_unit st) st.unit_list;
+  fixpoint st;
+  List.iter (scan_pool_site st) (List.rev st.pool_sites);
+  check_entries st entries;
+  let diags = dedup_diags st.diags in
+  let sup_cache = Hashtbl.create 16 in
+  let sup_for file =
+    match Hashtbl.find_opt sup_cache file with
+    | Some s -> s
+    | None ->
+        let src = try read_file (Filename.concat root file) with _ -> "" in
+        let s = Qsens_lint.suppressions_of_source ~key:"qsens-check:" src in
+        Hashtbl.add sup_cache file s;
+        s
+  in
+  let visible, supd =
+    List.partition
+      (fun (d : Qsens_lint.diagnostic) ->
+        not (Qsens_lint.suppressed (sup_for d.file) d))
+      diags
+  in
+  let base_load = Qsens_lint.allow_loader () in
+  let load path = base_load (Filename.concat root path) in
+  let findings, allowed =
+    List.partition
+      (fun (d : Qsens_lint.diagnostic) ->
+        not (Qsens_lint.allowlisted ~allow_file:"check.allow" ~load ~file:d.file d))
+      visible
+  in
+  {
+    findings;
+    suppressed = List.length supd;
+    allowlisted = List.length allowed;
+    units = List.length st.unit_list;
+    functions = Hashtbl.length st.fns;
+    table = effect_table st;
+  }
+
+let main ?(format = Qsens_lint.Human) ?(summary = false) ?(root = ".") ?entries
+    ?trusted dirs =
+  let cmts = find_cmts dirs in
+  let r = analyze ?entries ?trusted ~root cmts in
+  if summary then begin
+    List.iter (fun (c, f) -> Printf.printf "%s: %s\n" c f) r.table;
+    0
+  end
+  else begin
+    Qsens_lint.print_findings ~format ~tool:"qsens-check" ~rules r.findings;
+    if format = Qsens_lint.Human then
+      Printf.printf
+        "qsens-check: %d unit(s), %d function(s), %d finding(s), %d \
+         suppressed, %d allowlisted\n"
+        r.units r.functions
+        (List.length r.findings)
+        r.suppressed r.allowlisted;
+    if r.findings <> [] then 1 else 0
+  end

@@ -1,0 +1,62 @@
+(** qsens_check: interprocedural effect analysis over [.cmt] typed ASTs.
+
+    Three rules:
+
+    - C001 (domain race): a closure passed to a [Qsens_parallel.Pool]
+      combinator transitively writes captured or toplevel mutable state.
+    - C002 (determinism taint): a function reachable from a determinism
+      -sensitive entry module depends on unsorted hash-table iteration,
+      domain identity, or clock reads.
+    - C003 (escaping exception): a pool task may raise an exception that
+      is neither caught in the task nor part of the allowed set.
+
+    Suppression: [(* qsens-check: disable=C001 — rationale *)] on the
+    finding's line or the line above, or a per-directory [check.allow]
+    file with lines [RULE basename.ml]. *)
+
+val rules : (string * string) list
+(** Rule id, one-line description — for SARIF output and [--help]. *)
+
+val default_entries : string list
+(** Module basenames treated as determinism-sensitive entry points. *)
+
+val default_trusted : string list
+(** Canonical-name prefixes whose callees are not analyzed (lib/obs). *)
+
+val find_cmts : string list -> string list
+(** Recursively collect [.cmt] files under the given directories, in
+    deterministic (sorted) order. *)
+
+type result = {
+  findings : Qsens_lint.diagnostic list;
+  suppressed : int;
+  allowlisted : int;
+  units : int;
+  functions : int;
+  table : (string * string) list;
+      (** canonical function name -> effect flags (or ["pure"]) *)
+}
+
+val analyze :
+  ?entries:string list ->
+  ?trusted:string list ->
+  ?root:string ->
+  string list ->
+  result
+(** [analyze cmt_paths] loads the given [.cmt] files, runs the three
+    checks, and filters findings through inline suppressions and
+    [check.allow] files. [root] prefixes the _build-relative source
+    paths recorded in the cmts when reading sources for suppression
+    comments. *)
+
+val main :
+  ?format:Qsens_lint.format ->
+  ?summary:bool ->
+  ?root:string ->
+  ?entries:string list ->
+  ?trusted:string list ->
+  string list ->
+  int
+(** CLI driver over directories containing [.cmt] files. Returns the
+    process exit code: 1 when unsuppressed findings remain, else 0.
+    [~summary:true] prints the effect table instead of running checks. *)

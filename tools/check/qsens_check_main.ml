@@ -1,0 +1,67 @@
+let usage () =
+  print_string
+    "usage: qsens_check [--summary] [--format human|json|sarif]\n\
+    \                   [--root DIR] [--entry MOD]... [DIR]...\n\n\
+     Interprocedural effect checks over .cmt files found under DIR\n\
+     (default: _build/default/lib if present, else lib).\n\n\
+     Rules:\n";
+  List.iter
+    (fun (id, desc) -> Printf.printf "  %s  %s\n" id desc)
+    Qsens_check.rules
+
+let () =
+  let dirs = ref [] in
+  let format = ref Qsens_lint.Human in
+  let summary = ref false in
+  let root = ref "." in
+  let entries = ref [] in
+  let bad msg =
+    prerr_endline msg;
+    exit 2
+  in
+  let set_format v =
+    match Qsens_lint.format_of_string v with
+    | Some f -> format := f
+    | None -> bad (Printf.sprintf "qsens_check: unknown format %S" v)
+  in
+  let rec parse = function
+    | [] -> ()
+    | "--help" :: _ | "-h" :: _ ->
+        usage ();
+        exit 0
+    | "--summary" :: rest ->
+        summary := true;
+        parse rest
+    | "--format" :: v :: rest ->
+        set_format v;
+        parse rest
+    | "--root" :: v :: rest ->
+        root := v;
+        parse rest
+    | "--entry" :: v :: rest ->
+        entries := v :: !entries;
+        parse rest
+    | arg :: rest when String.length arg >= 9 && String.sub arg 0 9 = "--format="
+      ->
+        set_format (String.sub arg 9 (String.length arg - 9));
+        parse rest
+    | arg :: _ when String.length arg >= 1 && arg.[0] = '-' ->
+        bad (Printf.sprintf "qsens_check: unknown option %s" arg)
+    | arg :: rest ->
+        dirs := arg :: !dirs;
+        parse rest
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  let dirs =
+    match List.rev !dirs with
+    | [] ->
+        if Sys.file_exists "_build/default/lib" then [ "_build/default/lib" ]
+        else [ "lib" ]
+    | l -> l
+  in
+  let entries =
+    match List.rev !entries with [] -> None | l -> Some l
+  in
+  exit
+    (Qsens_check.main ~format:!format ~summary:!summary ~root:!root ?entries
+       dirs)

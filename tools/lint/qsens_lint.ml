@@ -54,6 +54,85 @@ let render d =
   Printf.sprintf "%s:%d:%d: [%s] %s" d.file d.line d.col d.rule d.message
 
 (* ------------------------------------------------------------------ *)
+(* Machine-readable output.  Shared by qsens_lint and qsens_check so CI
+   can annotate findings from either tool; the human format stays the
+   default. *)
+
+type format = Human | Json | Sarif
+
+let format_of_string = function
+  | "human" -> Some Human
+  | "json" -> Some Json
+  | "sarif" -> Some Sarif
+  | _ -> None
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let render_json ~tool diags =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    (Printf.sprintf "{\"tool\":\"%s\",\"findings\":[" (json_escape tool));
+  List.iteri
+    (fun i d ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf
+        (Printf.sprintf
+           "{\"file\":\"%s\",\"line\":%d,\"col\":%d,\"rule\":\"%s\",\"message\":\"%s\"}"
+           (json_escape d.file) d.line d.col (json_escape d.rule)
+           (json_escape d.message)))
+    diags;
+  Buffer.add_string buf "]}";
+  Buffer.contents buf
+
+(* Minimal SARIF 2.1.0: one run, one driver, one result per finding.
+   Columns are 0-based internally and 1-based in SARIF. *)
+let render_sarif ~tool ~rules diags =
+  let buf = Buffer.create 2048 in
+  Buffer.add_string buf
+    "{\"$schema\":\"https://json.schemastore.org/sarif-2.1.0.json\",\"version\":\"2.1.0\",\"runs\":[{\"tool\":{\"driver\":{\"name\":\"";
+  Buffer.add_string buf (json_escape tool);
+  Buffer.add_string buf "\",\"rules\":[";
+  List.iteri
+    (fun i (id, desc) ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf
+        (Printf.sprintf "{\"id\":\"%s\",\"shortDescription\":{\"text\":\"%s\"}}"
+           (json_escape id) (json_escape desc)))
+    rules;
+  Buffer.add_string buf "]}},\"results\":[";
+  List.iteri
+    (fun i d ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf
+        (Printf.sprintf
+           "{\"ruleId\":\"%s\",\"level\":\"error\",\"message\":{\"text\":\"%s\"},\"locations\":[{\"physicalLocation\":{\"artifactLocation\":{\"uri\":\"%s\"},\"region\":{\"startLine\":%d,\"startColumn\":%d}}}]}"
+           (json_escape d.rule) (json_escape d.message) (json_escape d.file)
+           (max d.line 1) (d.col + 1)))
+    diags;
+  Buffer.add_string buf "]}]}";
+  Buffer.contents buf
+
+let print_findings ~format ~tool ~rules diags =
+  match format with
+  | Human -> List.iter (fun d -> print_endline (render d)) diags
+  | Json -> print_endline (render_json ~tool diags)
+  | Sarif -> print_endline (render_sarif ~tool ~rules diags)
+
+(* ------------------------------------------------------------------ *)
 (* Scope: which rules apply to which files *)
 
 let normalize path =
@@ -71,9 +150,12 @@ let in_dir dir file =
 
 (* F001 is restricted to the numeric heart of the framework, where a
    NaN-oblivious or eps-oblivious comparison corrupts sensitivity
-   results. *)
+   results.  lib/cost and lib/plan qualify: cost-model parameters and
+   cardinality estimates are floats that flow straight into the same
+   ratios. *)
 let f001_scope file =
   in_dir "lib/core" file || in_dir "lib/geom" file || in_dir "lib/linalg" file
+  || in_dir "lib/cost" file || in_dir "lib/plan" file
 
 (* E001 applies to library code only; the report layer and the CLI /
    bench executables are allowed to print and exit. *)
@@ -489,8 +571,12 @@ let parse_rule_list s pos =
   |> String.split_on_char ','
   |> List.filter (fun r -> r <> "")
 
-let find_directives line =
-  let key = "qsens-lint:" in
+(* The directive key is a parameter so qsens_check can reuse the same
+   comment grammar under its own namespace ("qsens-check:").  Rule
+   lists stop at the first non-[A-Z0-9,] character, so one comment can
+   carry directives for both tools:
+   [(* qsens-lint: disable=P001; qsens-check: disable=C001 — why *)]. *)
+let find_directives ?(key = "qsens-lint:") line =
   match
     let n = String.length line and k = String.length key in
     let rec search i =
@@ -517,12 +603,12 @@ let find_directives line =
           | Some rules -> Some (`Line rules)
           | None -> None))
 
-let suppressions_of_source src =
+let suppressions_of_source ?key src =
   let lines = String.split_on_char '\n' src in
   let per_line = ref [] and file_wide = ref [] in
   List.iteri
     (fun i line ->
-      match find_directives line with
+      match find_directives ?key line with
       | Some (`Line rules) -> per_line := (i + 1, rules) :: !per_line
       | Some (`File rules) -> file_wide := rules @ !file_wide
       | None -> ())
@@ -566,8 +652,10 @@ let allow_matches ~rule ~relpath entries =
     entries
 
 (* The chain of directories from the scan roots down to the file's own
-   directory; an allow file in any of them can grant the finding. *)
-let allowlisted ~load ~file d =
+   directory; an allow file in any of them can grant the finding.  The
+   allow-file basename is a parameter so qsens_check can reuse the
+   same chain walk for [check.allow]. *)
+let allowlisted ?(allow_file = "lint.allow") ~load ~file d =
   let file = normalize file in
   let rec chain dir acc =
     let parent = Filename.dirname dir in
@@ -576,7 +664,7 @@ let allowlisted ~load ~file d =
   let dirs = chain (Filename.dirname file) [] in
   List.exists
     (fun dir ->
-      match load (Filename.concat dir "lint.allow") with
+      match load (Filename.concat dir allow_file) with
       | None -> false
       | Some entries ->
           let prefix = if dir = "." then "" else dir ^ "/" in
@@ -657,16 +745,12 @@ let rec walk path acc =
   then path :: acc
   else acc
 
-let main dirs =
-  let files =
-    List.concat_map
-      (fun dir -> if Sys.file_exists dir then List.rev (walk dir []) else [])
-      dirs
-  in
+(* A memoizing loader for allow files, shared with qsens_check. *)
+let allow_loader () =
   let allow_cache : (string, (string * string) list option) Hashtbl.t =
     Hashtbl.create 16
   in
-  let load path =
+  fun path ->
     match Hashtbl.find_opt allow_cache path with
     | Some v -> v
     | None ->
@@ -677,19 +761,30 @@ let main dirs =
         in
         Hashtbl.add allow_cache path v;
         v
+
+let main ?(format = Human) dirs =
+  let files =
+    List.concat_map
+      (fun dir -> if Sys.file_exists dir then List.rev (walk dir []) else [])
+      dirs
   in
-  let errors = ref 0 and allowed = ref 0 in
-  List.iter
-    (fun file ->
-      List.iter
-        (fun d ->
-          if allowlisted ~load ~file d then incr allowed
-          else begin
-            incr errors;
-            print_endline (render d)
-          end)
-        (lint_file file))
-    files;
-  Printf.printf "qsens-lint: %d file(s), %d error(s), %d allowlisted\n"
-    (List.length files) !errors !allowed;
-  if !errors > 0 then 1 else 0
+  let load = allow_loader () in
+  let allowed = ref 0 in
+  let findings =
+    List.concat_map
+      (fun file ->
+        List.filter
+          (fun d ->
+            if allowlisted ~load ~file d then begin
+              incr allowed;
+              false
+            end
+            else true)
+          (lint_file file))
+      files
+  in
+  print_findings ~format ~tool:"qsens-lint" ~rules findings;
+  if format = Human then
+    Printf.printf "qsens-lint: %d file(s), %d error(s), %d allowlisted\n"
+      (List.length files) (List.length findings) !allowed;
+  if findings <> [] then 1 else 0

@@ -18,6 +18,30 @@ val rules : (string * string) list
 val render : diagnostic -> string
 (** ["file:line:col: [RULE] message"]. *)
 
+type format = Human | Json | Sarif
+(** Output formats shared by qsens_lint and qsens_check.  [Human] is
+    the default [render] line per finding; [Json] is a single-object
+    document; [Sarif] is minimal SARIF 2.1.0 for CI annotation. *)
+
+val format_of_string : string -> format option
+(** Recognizes ["human"], ["json"], ["sarif"]. *)
+
+val render_json : tool:string -> diagnostic list -> string
+(** One JSON document: [{"tool":...,"findings":[...]}]. *)
+
+val render_sarif :
+  tool:string -> rules:(string * string) list -> diagnostic list -> string
+(** One SARIF 2.1.0 document with the rule catalogue embedded. *)
+
+val print_findings :
+  format:format ->
+  tool:string ->
+  rules:(string * string) list ->
+  diagnostic list ->
+  unit
+(** Print findings to stdout in the chosen format ([Human] prints one
+    {!render} line per finding). *)
+
 val lint_string : file:string -> string -> diagnostic list
 (** Parse and lint one compilation unit given as a string.  [file]
     decides which path-scoped rules apply (e.g. F001 only fires under
@@ -40,7 +64,35 @@ val allow_matches :
     the allow file's directory)?  Patterns match the basename, the
     relative path, or everything ([*]). *)
 
-val main : string list -> int
+type suppressions
+(** Inline-comment suppressions parsed from one source file. *)
+
+val suppressions_of_source : ?key:string -> string -> suppressions
+(** Parse [(* KEY disable=RULES *)] / [disable-file=RULES] directives.
+    [key] defaults to ["qsens-lint:"]; qsens_check passes
+    ["qsens-check:"].  Rule lists stop at the first character outside
+    [A-Z0-9,], so a single comment can carry a directive for each tool
+    separated by [;]. *)
+
+val suppressed : suppressions -> diagnostic -> bool
+(** Is the diagnostic silenced by a file-wide directive, or by a line
+    directive on its own line or the line above? *)
+
+val allow_loader : unit -> string -> (string * string) list option
+(** A memoizing loader: given a path, returns its parsed allow entries
+    or [None] when the file does not exist. *)
+
+val allowlisted :
+  ?allow_file:string ->
+  load:(string -> (string * string) list option) ->
+  file:string ->
+  diagnostic ->
+  bool
+(** Walk the directory chain from the root down to [file]'s directory
+    and check whether any [allow_file] (default ["lint.allow"]) grants
+    the finding. *)
+
+val main : ?format:format -> string list -> int
 (** Walk the given directories, lint every [.ml]/[.mli], print
     non-allowlisted findings, and return the process exit code: [0]
     when clean, [1] otherwise. *)

@@ -1,5 +1,5 @@
 let usage () =
-  print_endline "usage: qsens_lint [DIR ...]";
+  print_endline "usage: qsens_lint [--format human|json|sarif] [DIR ...]";
   print_endline "Lint OCaml sources for determinism and parallel-safety";
   print_endline "hazards (default dirs: lib bin bench test).  Rules:";
   List.iter
@@ -7,7 +7,32 @@ let usage () =
     Qsens_lint.rules
 
 let () =
-  match List.tl (Array.to_list Sys.argv) with
-  | "--help" :: _ | "-h" :: _ -> usage ()
-  | [] -> exit (Qsens_lint.main [ "lib"; "bin"; "bench"; "test" ])
-  | dirs -> exit (Qsens_lint.main dirs)
+  let format = ref Qsens_lint.Human in
+  let rec parse acc = function
+    | [] -> Some (List.rev acc)
+    | ("--help" | "-h") :: _ -> None
+    | "--format" :: v :: rest -> (
+        match Qsens_lint.format_of_string v with
+        | Some f ->
+            format := f;
+            parse acc rest
+        | None ->
+            prerr_endline ("qsens_lint: unknown format " ^ v);
+            exit 2)
+    | arg :: rest when String.length arg > 9 && String.sub arg 0 9 = "--format="
+      -> (
+        let v = String.sub arg 9 (String.length arg - 9) in
+        match Qsens_lint.format_of_string v with
+        | Some f ->
+            format := f;
+            parse acc rest
+        | None ->
+            prerr_endline ("qsens_lint: unknown format " ^ v);
+            exit 2)
+    | dir :: rest -> parse (dir :: acc) rest
+  in
+  match parse [] (List.tl (Array.to_list Sys.argv)) with
+  | None -> usage ()
+  | Some [] ->
+      exit (Qsens_lint.main ~format:!format [ "lib"; "bin"; "bench"; "test" ])
+  | Some dirs -> exit (Qsens_lint.main ~format:!format dirs)
