@@ -201,8 +201,7 @@ let worst_case_cmd =
       (List.length r.candidates.plans)
       (if r.candidates.verified_complete then " (verified complete)"
        else " (not verified complete)");
-    Printf.printf "evaluation path: %s\n"
-      (Worst_case.path_name ~dim:r.active_dim);
+    Printf.printf "evaluation path: %s\n" r.path;
     let table = Qsens_report.Figure.series_table [ (name, r.curve) ] in
     Qsens_report.Table.print table;
     (match Worst_case.asymptote r.curve with
@@ -610,6 +609,244 @@ let params_cmd =
   let doc = "Print the optimizer configuration table (Section 7.3)." in
   Cmd.v (Cmd.info "params" ~doc) Term.(const run $ const ())
 
+(* ------------------------------------------------------------------ *)
+(* The sensitivity service (DESIGN.md section 14). *)
+
+module Server = Qsens_server.Server
+module Sjson = Qsens_server.Json
+
+let socket_doc = "Unix-domain socket path for the analysis service."
+
+let serve_cmd =
+  let run socket budget mc_samples queue_limit cache_mb snapshot seed
+      faults_spec domains =
+    let faults = injector_of_spec faults_spec in
+    let config =
+      {
+        Server.default_budget = budget;
+        mc_samples;
+        queue_limit;
+        cache_bytes = cache_mb * 1024 * 1024;
+        snapshot_path = snapshot;
+        seed;
+      }
+    in
+    with_domains domains (fun pool ->
+        let t = Server.create ~config ?pool ?faults () in
+        match socket with
+        | Some path -> Server.run_socket t ~path
+        | None -> Server.run_stdio t stdin stdout)
+  in
+  let socket_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "socket" ] ~docv:"PATH" ~doc:socket_doc)
+  in
+  let budget_arg =
+    let doc =
+      "Default logical node budget per analysis request (requests may \
+       carry their own)."
+    in
+    Arg.(
+      value
+      & opt int Limits.default_bnb_node_budget
+      & info [ "budget" ] ~docv:"NODES" ~doc)
+  in
+  let mc_arg =
+    let doc = "Monte-Carlo samples per curve point on the estimate tier." in
+    Arg.(value & opt int 4096 & info [ "mc-samples" ] ~docv:"N" ~doc)
+  in
+  let queue_arg =
+    let doc = "Batch queue bound; requests beyond it are shed." in
+    Arg.(value & opt int 64 & info [ "queue-limit" ] ~docv:"N" ~doc)
+  in
+  let cache_arg =
+    let doc = "Byte budget per memoization cache, in MiB." in
+    Arg.(value & opt int 64 & info [ "cache-mb" ] ~docv:"MB" ~doc)
+  in
+  let snapshot_arg =
+    let doc =
+      "Cache snapshot file: loaded on start, written on shutdown and by \
+       the snapshot op."
+    in
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "snapshot" ] ~docv:"FILE" ~doc)
+  in
+  let doc =
+    "Serve sensitivity analyses over line-delimited JSON (stdio, or a \
+     Unix socket with --socket)."
+  in
+  Cmd.v (Cmd.info "serve" ~doc)
+    Term.(
+      const run $ socket_arg $ budget_arg $ mc_arg $ queue_arg $ cache_arg
+      $ snapshot_arg $ seed_arg $ faults_arg $ domains_arg)
+
+let client_cmd =
+  let connect path =
+    let rec attempt n =
+      let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      match Unix.connect fd (Unix.ADDR_UNIX path) with
+      | () -> fd
+      | exception
+          Unix.Unix_error ((Unix.ECONNREFUSED | Unix.ENOENT), _, _)
+        when n > 0 ->
+          (match Unix.close fd with
+          | () -> ()
+          | exception Unix.Unix_error (_, _, _) -> ());
+          Unix.sleepf 0.05;
+          attempt (n - 1)
+    in
+    attempt 200
+  in
+  (* Mirrors the server's delta defaulting so --check recomputes exactly
+     the grid the request asked for. *)
+  let deltas_of_req req =
+    match Option.bind (Sjson.member "deltas" req) Sjson.to_list with
+    | Some items -> List.filter_map Sjson.to_float items
+    | None -> (
+        match Option.bind (Sjson.member "delta" req) Sjson.to_float with
+        | Some d -> deltas_upto d
+        | None -> Worst_case.default_deltas)
+  in
+  let check_response ~pool ~failures req_line resp_line =
+    match (Sjson.of_string req_line, Sjson.of_string resp_line) with
+    | Error _, _ | _, Error _ -> ()
+    | Ok req, Ok resp ->
+        let ok =
+          Option.value ~default:false
+            (Option.bind (Sjson.member "ok" resp) Sjson.to_bool)
+        in
+        let op =
+          Option.value ~default:""
+            (Option.bind (Sjson.member "op" resp) Sjson.to_str)
+        in
+        if ok && String.equal op "worst_case" then begin
+          let degraded =
+            Option.value ~default:false
+              (Option.bind (Sjson.member "degraded" resp) Sjson.to_bool)
+          in
+          let path =
+            Option.value ~default:""
+              (Option.bind (Sjson.member "path" resp) Sjson.to_str)
+          in
+          if degraded then begin
+            if String.length path = 0 then begin
+              incr failures;
+              Printf.eprintf "check: degraded response without a path\n"
+            end
+            else Printf.eprintf "check: degraded via %s, annotated\n" path
+          end
+          else
+            let query =
+              Option.value ~default:""
+                (Option.bind (Sjson.member "query" req) Sjson.to_str)
+            in
+            let layout =
+              Option.value ~default:"same"
+                (Option.bind (Sjson.member "layout" req) Sjson.to_str)
+            in
+            let sf =
+              Option.value ~default:100.
+                (Option.bind (Sjson.member "sf" req) Sjson.to_float)
+            in
+            let seed =
+              Option.value ~default:42
+                (Option.bind (Sjson.member "seed" req) Sjson.to_int)
+            in
+            let max_probes =
+              Option.bind (Sjson.member "max_probes" req) Sjson.to_int
+            in
+            let deltas = deltas_of_req req in
+            let got =
+              Option.map Sjson.to_string (Sjson.member "points" resp)
+            in
+            match
+              Qsens_server.Soak.reference_line ~sf ~seed ?max_probes ?pool
+                ~deltas ~query ~layout ()
+            with
+            | Error m ->
+                incr failures;
+                Printf.eprintf "check: %s/%s: reference failed: %s\n" query
+                  layout m
+            | Ok expect -> (
+                match got with
+                | Some got when String.equal got expect ->
+                    Printf.eprintf "check: %s/%s bit-identical to fresh run\n"
+                      query layout
+                | Some _ ->
+                    incr failures;
+                    Printf.eprintf
+                      "check: %s/%s DIVERGES from fresh computation\n" query
+                      layout
+                | None ->
+                    incr failures;
+                    Printf.eprintf "check: %s/%s: response has no points\n"
+                      query layout)
+        end
+  in
+  let run socket requests check domains =
+    with_domains domains (fun pool ->
+        let fd = connect socket in
+        let ic = Unix.in_channel_of_descr fd in
+        let oc = Unix.out_channel_of_descr fd in
+        let requests =
+          if requests <> [] then requests
+          else
+            let rec slurp acc =
+              match input_line stdin with
+              | line -> slurp (line :: acc)
+              | exception End_of_file -> List.rev acc
+            in
+            slurp []
+        in
+        let failures = ref 0 in
+        List.iter
+          (fun req ->
+            output_string oc req;
+            output_char oc '\n';
+            flush oc;
+            match input_line ic with
+            | resp ->
+                print_endline resp;
+                if check then check_response ~pool ~failures req resp
+            | exception End_of_file ->
+                incr failures;
+                Printf.eprintf "server closed the connection\n")
+          requests;
+        (match Unix.close fd with
+        | () -> ()
+        | exception Unix.Unix_error (_, _, _) -> ());
+        if !failures > 0 then exit 1)
+  in
+  let socket_arg =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "socket" ] ~docv:"PATH" ~doc:socket_doc)
+  in
+  let request_arg =
+    let doc =
+      "A request to send, as one JSON object (repeatable, sent in \
+       order).  With no requests, lines are read from stdin."
+    in
+    Arg.(value & opt_all string [] & info [ "r"; "request" ] ~docv:"JSON" ~doc)
+  in
+  let check_arg =
+    let doc =
+      "Verify responses: recompute every successful non-degraded \
+       worst_case answer from scratch and require bit-identity; require \
+       a path annotation on degraded answers.  Exits nonzero on any \
+       divergence."
+    in
+    Arg.(value & flag & info [ "check" ] ~doc)
+  in
+  let doc = "Send requests to a running sensitivity service." in
+  Cmd.v (Cmd.info "client" ~doc)
+    Term.(const run $ socket_arg $ request_arg $ check_arg $ domains_arg)
+
 let main =
   let doc =
     "Sensitivity of query optimization to storage access cost parameters"
@@ -617,6 +854,7 @@ let main =
   Cmd.group
     (Cmd.info "qsens" ~version:"1.0.0" ~doc)
     [ explain_cmd; worst_case_cmd; candidates_cmd; figure_cmd; lsq_cmd;
-      diagram_cmd; profile_cmd; robust_cmd; sql_cmd; params_cmd ]
+      diagram_cmd; profile_cmd; robust_cmd; sql_cmd; params_cmd; serve_cmd;
+      client_cmd ]
 
 let () = exit (Cmd.eval main)

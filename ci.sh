@@ -50,4 +50,8 @@ dune exec bin/qsens_cli.exe -- worst-case Q14 -l per-table -d 4 -j 2 \
 dune exec tools/trace_check/trace_check.exe -- "$trace_tmp/t1.json" > /dev/null
 cmp "$trace_tmp/t1.json" "$trace_tmp/t2.json"
 
+echo "== server smoke"
+dune exec test/smoke/server_smoke.exe -- \
+  "$(pwd)/_build/default/bin/qsens_cli.exe" > /dev/null
+
 echo "ci: all checks passed"

@@ -1,0 +1,52 @@
+(* Deterministic cooperative budgets for long-running kernels.
+
+   A budget is a logical node allowance — never wall-clock time, which
+   would break the repo-wide determinism contract (and lint rule O001).
+   Kernels charge units at their natural checkpoints (a branch-and-bound
+   node, a sweep plan row, a Monte-Carlo sample); when the allowance
+   runs out the kernel aborts with {!Exhausted} and the caller degrades
+   to a cheaper evaluation tier.  Whether a budget trips is therefore a
+   pure function of (budget, inputs): two runs with the same request
+   degrade identically. *)
+
+exception
+  Exhausted of {
+    who : string;
+    limit : int;
+    asked : int;  (** the charge that did not fit *)
+  }
+
+let () =
+  Printexc.register_printer (function
+    | Exhausted { who; limit; asked } ->
+        Some
+          (Printf.sprintf
+             "Budget.Exhausted { who = %S; limit = %d; asked = %d }" who limit
+             asked)
+    | _ -> None)
+
+type t = { limit : int; mutable spent : int }
+
+let create limit =
+  if limit < 0 then invalid_arg "Budget.create: negative limit";
+  { limit; spent = 0 }
+
+let limit t = t.limit
+let spent t = t.spent
+let remaining t = max 0 (t.limit - t.spent)
+let exhausted t = t.spent >= t.limit
+
+let try_spend t n =
+  if n < 0 then invalid_arg "Budget.try_spend: negative charge";
+  if t.spent + n > t.limit then false
+  else begin
+    t.spent <- t.spent + n;
+    true
+  end
+
+let spend t ~who n =
+  if not (try_spend t n) then
+    raise (Exhausted { who; limit = t.limit; asked = n })
+
+let spend_opt t ~who n =
+  match t with None -> () | Some b -> spend b ~who n

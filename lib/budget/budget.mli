@@ -1,0 +1,44 @@
+(** Deterministic cooperative budgets for long-running kernels.
+
+    A budget is a {e logical} allowance — branch-and-bound nodes, sweep
+    plan rows, Monte-Carlo samples — never wall-clock time, so whether a
+    computation trips its budget is a pure function of the budget and
+    the inputs.  Kernels accept an optional budget and charge units at
+    cooperative checkpoints; exhaustion raises {!Exhausted}, which
+    dispatchers catch to degrade tier by tier (exact tables →
+    branch-and-bound → linear-fractional → Monte-Carlo estimate) instead
+    of timing out.  See DESIGN.md section 14. *)
+
+exception
+  Exhausted of {
+    who : string;  (** the kernel that hit the wall, e.g. ["Sweep.eval"] *)
+    limit : int;
+    asked : int;  (** the charge that did not fit *)
+  }
+
+type t
+
+val create : int -> t
+(** [create limit] — a fresh budget of [limit] units.  Raises
+    [Invalid_argument] when [limit < 0]; [create 0] is legal and trips
+    on the first positive charge. *)
+
+val limit : t -> int
+
+val spent : t -> int
+(** Units successfully charged so far (never exceeds [limit]). *)
+
+val remaining : t -> int
+
+val exhausted : t -> bool
+
+val try_spend : t -> int -> bool
+(** [try_spend t n] charges [n] units if they fit and returns whether
+    they did; a refused charge leaves [t] unchanged.  Raises
+    [Invalid_argument] when [n < 0]. *)
+
+val spend : t -> who:string -> int -> unit
+(** As {!try_spend}, raising [Exhausted { who; _ }] on refusal. *)
+
+val spend_opt : t option -> who:string -> int -> unit
+(** [spend_opt None] is a no-op — the unbudgeted fast path. *)

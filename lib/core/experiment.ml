@@ -164,6 +164,7 @@ type report = {
   active_dim : int;
   candidates : Candidates.result;
   curve : Worst_case.point list;
+  path : string;
   census : census;
 }
 
@@ -183,8 +184,8 @@ let run ?(deltas = Worst_case.default_deltas) ?(seed = 42) ?(narrow = false)
   let plan_vecs =
     Array.of_list (List.map (fun p -> p.Candidates.eff) candidates.plans)
   in
-  let curve =
-    Worst_case.curve ~deltas ?pool ~plans:plan_vecs
+  let curve, path =
+    Worst_case.curve_with_path ~deltas ?pool ~plans:plan_vecs
       ~initial:candidates.initial.Candidates.eff ()
   in
   {
@@ -193,5 +194,6 @@ let run ?(deltas = Worst_case.default_deltas) ?(seed = 42) ?(narrow = false)
     active_dim = m;
     candidates;
     curve;
+    path;
     census = census_of s candidates.plans;
   }

@@ -85,6 +85,9 @@ type report = {
   active_dim : int;
   candidates : Candidates.result;
   curve : Worst_case.point list;
+  path : string;
+      (** the evaluation path the curve actually took, including any
+          per-point budget degradation ({!Worst_case.curve_with_path}) *)
   census : census;
 }
 

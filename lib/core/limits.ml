@@ -1,9 +1,21 @@
 (* One home for the dimension gates of the worst-case machinery, so the
    exhaustive and pruned paths can never drift apart again (they once
-   disagreed: Framework capped vertices at 10 while Sweep accepted 12). *)
+   disagreed: Framework capped vertices at 10 while Sweep accepted 12).
+
+   The branch-and-bound gate is no longer a quality cliff: since the
+   search state is O(dim) the only hard wall is pattern bits in an int,
+   and runaway searches are caught by a *node budget* instead — when a
+   per-delta search visits more nodes than the budget allows, the
+   dispatcher falls back to the linear-fractional path for that grid
+   point and reports it (Worst_case.curve_with_path). *)
 
 let exhaustive_max_dim = 12
-let bnb_max_dim = 30
+
+(* A box sign pattern is one int; Vertex_enum.Bnb rejects dimensions
+   above [Sys.int_size - 2], so that is the whole gate (61 on 64-bit). *)
+let bnb_max_dim = Sys.int_size - 2
+
+let default_bnb_node_budget = 5_000_000
 
 let exhaustive_gate_message ~who ~dim =
   Printf.sprintf
@@ -14,6 +26,6 @@ let exhaustive_gate_message ~who ~dim =
 
 let bnb_gate_message ~who ~dim =
   Printf.sprintf
-    "%s: dimension %d exceeds the branch-and-bound gate (%d); only the \
-     linear-fractional fallback covers this size"
+    "%s: dimension %d exceeds the branch-and-bound pattern-bit gate (%d); \
+     only the linear-fractional fallback covers this size"
     who dim bnb_max_dim

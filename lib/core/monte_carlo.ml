@@ -11,9 +11,20 @@ type summary = {
   still_optimal : float;
 }
 
-let gtc_distribution ?(seed = 97) ?(samples = 10_000) ?pool ~plans ~initial
-    ~delta () =
+let gtc_distribution ?(seed = 97) ?(samples = 10_000) ?pool ?budget ~plans
+    ~initial ~delta () =
   if samples < 1 then invalid_arg "Monte_carlo.gtc_distribution: samples < 1";
+  (* Cooperative checkpoint: a budgeted run draws [min samples remaining]
+     samples — the estimator degrades by doing less work rather than
+     aborting — and only raises when nothing at all remains. *)
+  let samples =
+    match budget with
+    | None -> samples
+    | Some b ->
+        let s = max 1 (min samples (Qsens_budget.Budget.remaining b)) in
+        Qsens_budget.Budget.spend b ~who:"Monte_carlo.gtc_distribution" s;
+        s
+  in
   let m = Vec.dim initial in
   let box = Box.around (Vec.make m 1.) ~delta in
   let values = Array.make samples 1. in

@@ -30,6 +30,7 @@ val gtc_distribution :
   ?seed:int ->
   ?samples:int ->
   ?pool:Qsens_parallel.Pool.t ->
+  ?budget:Qsens_budget.Budget.t ->
   plans:Vec.t array ->
   initial:Vec.t ->
   delta:float ->
@@ -37,6 +38,11 @@ val gtc_distribution :
   summary
 (** [samples] defaults to 10_000.  Vectors live in the active group
     subspace (estimated costs at the all-ones point).
+
+    With [?budget], each sample costs one unit and the run draws
+    [min samples remaining] — the estimator degrades by doing less work
+    (the returned [summary.samples] says how much was done) — raising
+    {!Qsens_budget.Budget.Exhausted} only when nothing remains at all.
 
     Without [?pool] (or with a 1-domain pool) sampling uses the single
     stream seeded [seed], exactly as before.  With a [D]-domain pool the

@@ -2,6 +2,7 @@ open Qsens_linalg
 module Pool = Qsens_parallel.Pool
 module Obs = Qsens_obs.Obs
 module Vertex_enum = Qsens_geom.Vertex_enum
+module Budget = Qsens_budget.Budget
 
 (* Same name as in Framework / Worst_case: registration is idempotent,
    all sites feed one counter. *)
@@ -166,7 +167,7 @@ let build ?pool ?(prune = true) ~plans ~initial ~center () =
     initial_zero;
   }
 
-let eval t ~delta =
+let eval ?budget t ~delta =
   if delta < 1. then invalid_arg "Sweep.eval: delta must be >= 1";
   Obs.add m_evals 1;
   let inv = 1. /. delta in
@@ -183,6 +184,11 @@ let eval t ~delta =
     let p = t.kept.(kp) in
     if t.degenerate.(p) && t.initial_zero then incr degen
     else begin
+      (* Cooperative checkpoint: one unit per vertex about to be
+         scanned, charged a plan row at a time.  Budget checks never
+         touch the float pipeline, so a surviving eval is bit-identical
+         to an unbudgeted one. *)
+      Budget.spend_opt budget ~who:"Sweep.eval" (pattern_hi + 1);
       let off = kp * nv in
       for k = 0 to pattern_hi do
         let den = vertex_value ~delta ~inv sums.(off + k) sums.(off + (mask lxor k)) in
@@ -377,7 +383,7 @@ module Bnb = struct
       leaf = (fun k -> leaf_ratio ~delta ~inv ~wn ~wd k);
     }
 
-  let eval_with_stats ?pool t ~delta =
+  let eval_with_stats ?pool ?budget t ~delta =
     if delta < 1. then invalid_arg "Sweep.Bnb.eval: delta must be >= 1";
     Obs.add m_bnb_evals 1;
     let inv = 1. /. delta in
@@ -391,6 +397,7 @@ module Bnb = struct
         for s = 0 to nkept - 1 do
           if t.degenerate.(t.kept.(s)) && t.initial_zero then incr degen
           else begin
+            Budget.spend_opt budget ~who:"Sweep.Bnb.eval" 1;
             incr leaves;
             let r =
               leaf_ratio ~delta ~inv ~wn:t.num_weights ~wd:t.weights.(s) 0
@@ -417,7 +424,7 @@ module Bnb = struct
         done;
         let specs = Array.of_list !specs in
         let stats = Vertex_enum.Bnb.fresh_stats () in
-        let v, pat, _ = Vertex_enum.Bnb.search ?pool ~stats specs in
+        let v, pat, _ = Vertex_enum.Bnb.search ?pool ~stats ?budget specs in
         Obs.add m_bnb_nodes stats.Vertex_enum.Bnb.nodes;
         Obs.add m_bnb_leaves stats.Vertex_enum.Bnb.leaves;
         let res =
@@ -430,5 +437,5 @@ module Bnb = struct
     Obs.add m_degenerate_ratios !degen;
     result
 
-  let eval ?pool t ~delta = fst (eval_with_stats ?pool t ~delta)
+  let eval ?pool ?budget t ~delta = fst (eval_with_stats ?pool ?budget t ~delta)
 end

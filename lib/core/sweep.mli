@@ -63,7 +63,7 @@ val build :
     componentwise positive [center], and nonnegative [plans]/[initial];
     raises [Invalid_argument] otherwise. *)
 
-val eval : t -> delta:float -> float * int
+val eval : ?budget:Qsens_budget.Budget.t -> t -> delta:float -> float * int
 (** [eval t ~delta] is [(gtc, pattern)]: the worst-case GTC over
     [Box.around center ~delta] and the sign pattern of an attaining
     vertex ([Box.vertex box pattern]).  Ties break to the lowest
@@ -76,7 +76,14 @@ val eval : t -> delta:float -> float * int
     At [delta = 1] the box collapses to its center — every pattern names
     the same vertex up to summation order — so only pattern 0, the
     ascending scan's tie-winner, is evaluated.  {!Bnb.eval} applies the
-    same shortcut, keeping the two paths bit-identical there too. *)
+    same shortcut, keeping the two paths bit-identical there too.
+
+    With [?budget], each vertex about to be scanned charges one unit
+    (a plan row at a time) and exhaustion raises
+    {!Qsens_budget.Budget.Exhausted} — the cooperative checkpoint the
+    graceful-degradation dispatchers rely on.  Budget checks never touch
+    the float pipeline: a surviving eval is bit-identical to an
+    unbudgeted one. *)
 
 val vertex_value : delta:float -> inv:float -> float -> float -> float
 (** [vertex_value ~delta ~inv a b] is [fma delta a (b *. inv)] — the
@@ -141,14 +148,24 @@ module Bnb : sig
       [Invalid_argument] under the same conditions, with the dimension
       gate at {!max_dim}. *)
 
-  val eval : ?pool:Qsens_parallel.Pool.t -> t -> delta:float -> float * int
+  val eval :
+    ?pool:Qsens_parallel.Pool.t ->
+    ?budget:Qsens_budget.Budget.t ->
+    t ->
+    delta:float ->
+    float * int
   (** Bit-identical to the exhaustive [eval] (same [(gtc, pattern)],
       same ties, same [pattern = -1] degenerate contract), for any pool
       size.  With [?pool] the top branch prefixes of each plan's search
-      shard across domains. *)
+      shard across domains.  With [?budget] every visited search node
+      charges one unit and exhaustion raises
+      {!Qsens_budget.Budget.Exhausted}; a budgeted search runs
+      sequentially (see {!Qsens_geom.Vertex_enum.Bnb.search}) so the
+      trip point is deterministic. *)
 
   val eval_with_stats :
     ?pool:Qsens_parallel.Pool.t ->
+    ?budget:Qsens_budget.Budget.t ->
     t ->
     delta:float ->
     (float * int) * (int * int)

@@ -2,6 +2,7 @@ open Qsens_linalg
 open Qsens_geom
 module Pool = Qsens_parallel.Pool
 module Obs = Qsens_obs.Obs
+module Budget = Qsens_budget.Budget
 
 (* Same name as in Framework: registration is idempotent, both sites feed
    one counter. *)
@@ -11,6 +12,13 @@ let m_degenerate_ratios =
     "wc.degenerate_ratios"
 
 let m_curve_points = Obs.counter ~help:"worst-case curve points" "wc.curve_points"
+
+let m_budget_fallbacks =
+  Obs.counter
+    ~help:
+      "grid points where the branch-and-bound node budget tripped and the \
+       linear-fractional path answered instead"
+    "wc.budget_fallbacks"
 
 type point = { delta : float; gtc : float; witness : Vec.t }
 
@@ -41,7 +49,7 @@ let curve_kernel ~deltas ?pool ~plans ~initial () =
   let fill lo hi =
     for di = lo to hi - 1 do
       let delta = darr.(di) in
-      (* qsens-check: disable=C001 — each chunk fills a disjoint [lo, hi) slice *)
+      (* qsens-check: disable=C001,C003 — disjoint [lo, hi) slices; no budget here, so Sweep.eval cannot raise Exhausted *)
       results.(di) <- point_of_eval ~center ~delta (Sweep.eval sweep ~delta)
     done
   in
@@ -65,23 +73,53 @@ let curve_naive ?(deltas = default_deltas) ?pool ~plans ~initial () =
     deltas
 
 (* ------------------------------------------------------------------ *)
+(* Legacy single-point evaluation, needed below as the budget-exhaustion
+   fallback: one linear-fractional program per plan. *)
+
+let gtc_at_full_legacy ?pool ~plans ~initial delta =
+  let box = Box.around (ones_center ~initial) ~delta in
+  Framework.worst_case_gtc_fractional ?pool ~plans ~a:initial box
+
+(* ------------------------------------------------------------------ *)
 (* Branch-and-bound path: no 2^dim tables, so it covers the dimensions
    the exhaustive kernel gates out — and doubles as a cross-checkable
    shadow of the kernel below the gate, where the two are bit-identical
-   (Sweep.Bnb's determinism contract). *)
+   (Sweep.Bnb's determinism contract).
 
-let curve_bnb ~deltas ?pool ~plans ~initial () =
+   [node_budget] is the per-grid-point allowance: each delta's search
+   runs under a fresh budget, and a point whose search trips it degrades
+   to the linear-fractional program for that point alone (recorded in
+   [fell] and the wc.budget_fallbacks counter).  Whether a point trips
+   is a pure function of (budget, plans, delta) — budgeted searches run
+   sequentially — so the fallback set is deterministic for any pool
+   size. *)
+
+let curve_bnb ?node_budget ~deltas ?pool ~plans ~initial () =
   let center = ones_center ~initial in
   let bnb = Sweep.Bnb.build ~plans ~initial ~center () in
   let darr = Array.of_list deltas in
   let nd = Array.length darr in
   let results = Array.make nd { delta = nan; gtc = nan; witness = [||] } in
+  let fell = Array.make nd false in
+  let point ?pool delta di =
+    match node_budget with
+    (* qsens-check: disable=C003 — unbudgeted branch: Bnb.eval cannot raise Exhausted without a budget *)
+    | None -> point_of_eval ~center ~delta (Sweep.Bnb.eval ?pool bnb ~delta)
+    | Some n -> (
+        let budget = Budget.create n in
+        try
+          point_of_eval ~center ~delta (Sweep.Bnb.eval ?pool ~budget bnb ~delta)
+        with Budget.Exhausted _ ->
+          (* qsens-check: disable=C001 — each chunk fills a disjoint [lo, hi) slice *)
+          fell.(di) <- true;
+          let gtc, witness = gtc_at_full_legacy ~plans ~initial delta in
+          { delta; gtc; witness })
+  in
   let fill ?pool lo hi =
     for di = lo to hi - 1 do
       let delta = darr.(di) in
       (* qsens-check: disable=C001 — each chunk fills a disjoint [lo, hi) slice *)
-      results.(di) <-
-        point_of_eval ~center ~delta (Sweep.Bnb.eval ?pool bnb ~delta)
+      results.(di) <- point ?pool delta di
     done
   in
   (match pool with
@@ -93,17 +131,15 @@ let curve_bnb ~deltas ?pool ~plans ~initial () =
       Pool.parallel_for_chunked p ~n:nd (fun lo hi -> fill lo hi)
   | Some p when Pool.domains p > 1 -> fill ~pool:p 0 nd
   | _ -> fill 0 nd);
+  let fallbacks = Array.fold_left (fun a f -> if f then a + 1 else a) 0 fell in
+  Obs.add m_budget_fallbacks fallbacks;
   Obs.add m_curve_points nd;
-  Array.to_list results
+  (Array.to_list results, fallbacks)
 
 (* ------------------------------------------------------------------ *)
 (* Legacy path: a linear-fractional program per (plan, delta) cell.
    High-dimension fallback, and the pre-kernel baseline the sweep
    benchmark reports speedups against. *)
-
-let gtc_at_full_legacy ?pool ~plans ~initial delta =
-  let box = Box.around (ones_center ~initial) ~delta in
-  Framework.worst_case_gtc_fractional ?pool ~plans ~a:initial box
 
 let curve_legacy ?(deltas = default_deltas) ?pool ~plans ~initial () =
   let np = Array.length plans in
@@ -171,7 +207,16 @@ let path_name ~dim =
   else if Sweep.Bnb.supported ~dim then "branch-and-bound"
   else "linear-fractional fallback"
 
-let gtc_at_full ?pool ~plans ~initial delta =
+let describe_path ~nd ~node_budget ~fallbacks =
+  if fallbacks = 0 then "branch-and-bound"
+  else
+    Printf.sprintf
+      "branch-and-bound (%d/%d points past the %d-node budget -> \
+       linear-fractional)"
+      fallbacks nd node_budget
+
+let gtc_at_full ?pool ?(node_budget = Limits.default_bnb_node_budget) ~plans
+    ~initial delta =
   if use_kernel ~plans ~initial then begin
     (* Through the same Sweep tables as [curve], so a single-delta query
        is bit-identical to the matching curve point. *)
@@ -181,10 +226,19 @@ let gtc_at_full ?pool ~plans ~initial delta =
     (p.gtc, p.witness)
   end
   else if use_bnb ~plans ~initial then begin
+    (* Same per-point budget and fallback as [curve], so the single-delta
+       query stays bit-identical to the matching curve point even when
+       that point degraded to the fractional program. *)
     let center = ones_center ~initial in
     let bnb = Sweep.Bnb.build ~plans ~initial ~center () in
-    let p = point_of_eval ~center ~delta (Sweep.Bnb.eval ?pool bnb ~delta) in
-    (p.gtc, p.witness)
+    let budget = Budget.create node_budget in
+    match Sweep.Bnb.eval ?pool ~budget bnb ~delta with
+    | res ->
+        let p = point_of_eval ~center ~delta res in
+        (p.gtc, p.witness)
+    | exception Budget.Exhausted _ ->
+        Obs.add m_budget_fallbacks 1;
+        gtc_at_full_legacy ~plans ~initial delta
   end
   else
     let box = Box.around (ones_center ~initial) ~delta in
@@ -193,15 +247,29 @@ let gtc_at_full ?pool ~plans ~initial delta =
 let gtc_at ?pool ~plans ~initial delta =
   fst (gtc_at_full ?pool ~plans ~initial delta)
 
-let curve ?(deltas = default_deltas) ?pool ~plans ~initial () =
-  if deltas = [] then []
+let curve_with_path ?(deltas = default_deltas) ?pool
+    ?(node_budget = Limits.default_bnb_node_budget) ~plans ~initial () =
+  let dim = Vec.dim initial in
+  if deltas = [] then ([], path_name ~dim)
   else if use_kernel ~plans ~initial then
-    curve_kernel ~deltas ?pool ~plans ~initial ()
-  else if use_bnb ~plans ~initial then curve_bnb ~deltas ?pool ~plans ~initial ()
-  else curve_legacy ~deltas ?pool ~plans ~initial ()
+    (curve_kernel ~deltas ?pool ~plans ~initial (), "exhaustive sweep")
+  else if use_bnb ~plans ~initial then begin
+    let points, fallbacks =
+      curve_bnb ~node_budget ~deltas ?pool ~plans ~initial ()
+    in
+    (points, describe_path ~nd:(List.length deltas) ~node_budget ~fallbacks)
+  end
+  else
+    ( curve_legacy ~deltas ?pool ~plans ~initial (),
+      "linear-fractional fallback" )
 
-let curve_pruned ?(deltas = default_deltas) ?pool ~plans ~initial () =
-  if deltas = [] then [] else curve_bnb ~deltas ?pool ~plans ~initial ()
+let curve ?deltas ?pool ~plans ~initial () =
+  fst (curve_with_path ?deltas ?pool ~plans ~initial ())
+
+let curve_pruned ?(deltas = default_deltas) ?pool ?node_budget ~plans ~initial
+    () =
+  if deltas = [] then []
+  else fst (curve_bnb ?node_budget ~deltas ?pool ~plans ~initial ())
 
 let asymptote points =
   match points with

@@ -32,16 +32,39 @@ val curve :
     {!curve_naive}, which rebuilds the tables at every grid point.  From
     there up to {!Sweep.Bnb.max_dim} dimensions it switches to the
     branch-and-bound vertex search ({!curve_pruned} — bit-identical to
-    the exhaustive path wherever both are defined), and only beyond that
-    to the linear-fractional fallback ({!curve_legacy}).
+    the exhaustive path wherever both are defined) under the default
+    per-grid-point node budget ({!Limits.default_bnb_node_budget}; a
+    point whose search trips it degrades to the linear-fractional
+    program for that point alone), and only beyond the pattern-bit bound
+    to the linear-fractional fallback ({!curve_legacy}) outright.
 
     With [?pool] the table build and the per-delta evaluations run across
     domains; ties break by lowest (plan index, vertex pattern), so every
-    [(delta, gtc, witness)] triple is identical to the sequential run. *)
+    [(delta, gtc, witness)] triple is identical to the sequential run.
+    Whether a point trips the budget is likewise pool-independent:
+    budgeted searches run sequentially, so the trip point is a pure
+    function of the inputs. *)
+
+val curve_with_path :
+  ?deltas:float list ->
+  ?pool:Qsens_parallel.Pool.t ->
+  ?node_budget:int ->
+  plans:Vec.t array ->
+  initial:Vec.t ->
+  unit ->
+  point list * string
+(** [curve] plus a human-readable evaluation-path report: the static
+    {!path_name} when nothing degraded, or e.g.
+    ["branch-and-bound (3/17 points past the 5000000-node budget ->
+    linear-fractional)"] when some grid points fell back.
+    [node_budget] (default {!Limits.default_bnb_node_budget}) is the
+    per-grid-point allowance on the branch-and-bound path; it never
+    affects the exhaustive-sweep or pure-fractional paths. *)
 
 val curve_pruned :
   ?deltas:float list ->
   ?pool:Qsens_parallel.Pool.t ->
+  ?node_budget:int ->
   plans:Vec.t array ->
   initial:Vec.t ->
   unit ->
@@ -50,9 +73,11 @@ val curve_pruned :
     pruned vertex search per grid point.  Below {!Sweep.max_dim} every
     [(delta, gtc, witness)] triple is bit-identical to {!curve} — the
     qcheck cross-check in the test suite — and above it this {e is} what
-    [curve] runs.  Requires at least one plan and
-    [Sweep.Bnb.supported] dimensions; raises [Invalid_argument]
-    otherwise. *)
+    [curve] runs.  Unbudgeted by default (the cross-checks want the pure
+    search); pass [node_budget] to get the same per-point
+    fractional-fallback degradation as [curve].  Requires at least one
+    plan and [Sweep.Bnb.supported] dimensions; raises
+    [Invalid_argument] otherwise. *)
 
 val curve_naive :
   ?deltas:float list ->
@@ -85,19 +110,23 @@ val gtc_at :
 
 val gtc_at_full :
   ?pool:Qsens_parallel.Pool.t ->
+  ?node_budget:int ->
   plans:Vec.t array ->
   initial:Vec.t ->
   float ->
   float * Vec.t
 (** As {!gtc_at}, also returning the attaining cost vector.  Goes through
     the same evaluation path as [curve] — exhaustive tables, then
-    branch-and-bound, then linear-fractional, by dimension — so the
-    result is bit-identical to the matching curve point. *)
+    branch-and-bound under the same default [node_budget] and per-point
+    fractional fallback, then linear-fractional, by dimension — so the
+    result is bit-identical to the matching curve point, including when
+    that point degraded past the budget. *)
 
 val path_name : dim:int -> string
-(** Which evaluation path {!curve} and {!gtc_at} take at this dimension:
-    ["exhaustive sweep"], ["branch-and-bound"] or
-    ["linear-fractional fallback"].  Surfaced by the CLI. *)
+(** Which evaluation path {!curve} and {!gtc_at} take at this dimension
+    when no budget trips: ["exhaustive sweep"], ["branch-and-bound"] or
+    ["linear-fractional fallback"].  {!curve_with_path} reports the
+    dynamic version, including any per-point budget degradation. *)
 
 val asymptote : point list -> [ `Bounded of float | `Quadratic of float ]
 (** Classify the curve's tail: [`Bounded c] when the last decade grows by

@@ -400,21 +400,36 @@ module Retry = struct
     base_backoff : float;
     multiplier : float;
     jitter : float;
+    full_jitter : bool;
     deadline : float;
   }
 
   let none =
     { max_attempts = 1; base_backoff = 0.; multiplier = 2.; jitter = 0.;
-      deadline = Float.infinity }
+      full_jitter = false; deadline = Float.infinity }
 
   let default =
     { max_attempts = 4; base_backoff = 1.; multiplier = 2.; jitter = 0.5;
-      deadline = 1000. }
+      full_jitter = false; deadline = 1000. }
 
   let with_attempts attempts = function
     | Probe_failed { site; _ } -> Probe_failed { site; attempts }
     | Probe_timeout { site; _ } -> Probe_timeout { site; attempts }
     | e -> e
+
+  (* The virtual sleep before attempt [attempt + 1].  [cap] is the
+     un-jittered exponential schedule; full jitter draws uniformly from
+     [0, cap] (the AWS "full jitter" scheme — decorrelates retry storms
+     while never exceeding the cap), the scaled mode stretches the cap by
+     a factor in [1, 1 + jitter].  Both draw from the same seeded stream,
+     so a schedule is a pure function of (policy, seed, site). *)
+  let backoff_for policy ~seed ~site ~attempt =
+    let u = uniform ~seed ~site:(site ^ "#backoff") ~counter:attempt in
+    let cap =
+      policy.base_backoff *. (policy.multiplier ** Float.of_int (attempt - 1))
+    in
+    if policy.full_jitter then cap *. u
+    else cap *. (1. +. (policy.jitter *. u))
 
   (* [run policy ~seed ~site f] calls [f ~attempt] (1-based) until it
      succeeds, fails fatally, exhausts [max_attempts], or blows the
@@ -434,12 +449,7 @@ module Retry = struct
           end
           else begin
             Obs.add m_retry_backoffs 1;
-            let u = uniform ~seed ~site:(site ^ "#backoff") ~counter:attempt in
-            let backoff =
-              policy.base_backoff
-              *. (policy.multiplier ** Float.of_int (attempt - 1))
-              *. (1. +. (policy.jitter *. u))
-            in
+            let backoff = backoff_for policy ~seed ~site ~attempt in
             let clock = clock +. backoff in
             if clock > policy.deadline then begin
               Obs.add m_retry_giveups 1;

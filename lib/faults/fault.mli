@@ -149,7 +149,12 @@ module Retry : sig
     multiplier : float;  (** exponential growth per attempt *)
     jitter : float;
         (** uniform jitter fraction on each backoff, drawn from the
-            deterministic stream *)
+            deterministic stream; ignored under [full_jitter] *)
+    full_jitter : bool;
+        (** when set, each backoff is drawn uniformly from [0, cap]
+            where [cap = base_backoff * multiplier^(attempt-1)] — the
+            AWS "full jitter" scheme, which decorrelates retry storms
+            while never exceeding the un-jittered exponential cap *)
     deadline : float;
         (** per-probe budget on accumulated backoff; exceeding it yields
             [Probe_timeout] *)
@@ -160,6 +165,12 @@ module Retry : sig
 
   val default : policy
   (** 4 attempts, backoff 1, 2, 4 (x1..1.5 jitter), deadline 1000. *)
+
+  val backoff_for : policy -> seed:int -> site:string -> attempt:int -> float
+  (** The virtual sleep {!run} inserts after failed attempt [attempt]
+      (1-based).  A pure function of its arguments — the whole schedule
+      is reproducible, and under [full_jitter] bounded above by the
+      un-jittered exponential cap. *)
 
   val run :
     policy ->

@@ -1,5 +1,6 @@
 open Qsens_linalg
 module Pool = Qsens_parallel.Pool
+module Budget = Qsens_budget.Budget
 
 exception Too_large
 
@@ -215,7 +216,8 @@ module Bnb = struct
       Float.min (v *. (1. -. 1e-12)) (Float.pred v)
     else neg_infinity
 
-  let eval_identical s ~si ~stats ~best ~best_pat ~best_spec =
+  let eval_identical s ~si ~stats ~budget ~best ~best_pat ~best_spec =
+    Budget.spend_opt budget ~who:"Vertex_enum.Bnb" 1;
     stats.nodes <- stats.nodes + 1;
     stats.leaves <- stats.leaves + 1;
     let v = s.leaf 0 in
@@ -228,9 +230,10 @@ module Bnb = struct
   (* Depth-first search below [depth0]: coordinates above it are fixed
      in [pattern0].  The cleared branch recurses first, so leaves appear
      in ascending pattern order. *)
-  let descend s ~si ~stats ~best ~best_pat ~best_spec ~depth0 ~pattern0 ~pnum0
-      ~pden0 =
+  let descend s ~si ~stats ~budget ~best ~best_pat ~best_spec ~depth0 ~pattern0
+      ~pnum0 ~pden0 =
     let rec node depth pattern pnum pden =
+      Budget.spend_opt budget ~who:"Vertex_enum.Bnb" 1;
       stats.nodes <- stats.nodes + 1;
       if depth < 0 then begin
         stats.leaves <- stats.leaves + 1;
@@ -275,15 +278,15 @@ module Bnb = struct
       let want = ceil_log2 (max 1 (((4 * domains) + nspecs - 1) / nspecs)) in
       min want (min (dim - 1) 10)
 
-  let search_sequential ~stats ~seed specs =
+  let search_sequential ~stats ~seed ~budget specs =
     let best = ref seed and best_pat = ref (-1) and best_spec = ref (-1) in
     Array.iteri
       (fun si s ->
         if s.identical || s.dim = 0 then
-          eval_identical s ~si ~stats ~best ~best_pat ~best_spec
+          eval_identical s ~si ~stats ~budget ~best ~best_pat ~best_spec
         else
-          descend s ~si ~stats ~best ~best_pat ~best_spec ~depth0:(s.dim - 1)
-            ~pattern0:0 ~pnum0:0. ~pden0:0.)
+          descend s ~si ~stats ~budget ~best ~best_pat ~best_spec
+            ~depth0:(s.dim - 1) ~pattern0:0 ~pnum0:0. ~pden0:0.)
       specs;
     (!best, !best_pat, !best_spec)
 
@@ -317,8 +320,10 @@ module Bnb = struct
              let best = ref seed
              and best_pat = ref (-1)
              and best_spec = ref (-1) in
+             (* qsens-check: disable=C003 — budget is pinned to None in pooled tasks (spend_opt None never raises; budgeted searches run sequentially) *)
              (if s.identical || s.dim = 0 then begin
-                eval_identical s ~si ~stats:st ~best ~best_pat ~best_spec
+                eval_identical s ~si ~stats:st ~budget:None ~best ~best_pat
+                  ~best_spec
               end
               else begin
                 let base = s.dim - top in
@@ -336,8 +341,9 @@ module Bnb = struct
                 in
                 let pnum, pden, feasible = partial (s.dim - 1) 0. 0. true in
                 if feasible then
-                  descend s ~si ~stats:st ~best ~best_pat ~best_spec
-                    ~depth0:(base - 1) ~pattern0:(prefix lsl base)
+                  (* qsens-check: disable=C003 — budget is pinned to None in pooled tasks (spend_opt None never raises) *)
+                  descend s ~si ~stats:st ~budget:None ~best ~best_pat
+                    ~best_spec ~depth0:(base - 1) ~pattern0:(prefix lsl base)
                     ~pnum0:pnum ~pden0:pden
               end);
              (* qsens-lint: disable=P001; qsens-check: disable=C001 — each task writes only its own slot *)
@@ -355,15 +361,20 @@ module Bnb = struct
       results;
     (!best, !best_pat, !best_spec)
 
-  let search ?pool ?stats specs =
+  let search ?pool ?stats ?budget specs =
     let stats = match stats with Some s -> s | None -> fresh_stats () in
     Array.iter check_spec specs;
     if Array.length specs = 0 then (neg_infinity, -1, -1)
     else begin
       let seed = shared_seed specs in
+      (* A budgeted search runs sequentially even when a pool is at
+         hand: node accounting is then exact and the trip point a pure
+         function of (budget, specs), not of how the incumbent happened
+         to travel between shards. *)
       match pool with
-      | Some p when Pool.domains p > 1 -> search_pooled p ~stats ~seed specs
-      | _ -> search_sequential ~stats ~seed specs
+      | Some p when Pool.domains p > 1 && Option.is_none budget ->
+          search_pooled p ~stats ~seed specs
+      | _ -> search_sequential ~stats ~seed ~budget specs
     end
 end
 

@@ -88,6 +88,7 @@ module Bnb : sig
   val search :
     ?pool:Qsens_parallel.Pool.t ->
     ?stats:stats ->
+    ?budget:Qsens_budget.Budget.t ->
     spec array ->
     float * int * int
   (** [search specs] is [(value, pattern, spec_index)] of the maximal
@@ -104,7 +105,15 @@ module Bnb : sig
       With [?pool], each spec's top branch prefixes become independent
       tasks (fresh incumbent each, same shared seed) reduced in
       (spec, prefix) order with strict improvement — the result is
-      identical to the sequential scan for any pool size. *)
+      identical to the sequential scan for any pool size.
+
+      With [?budget], every visited node charges one unit and the search
+      aborts with {!Qsens_budget.Budget.Exhausted} once the allowance is
+      spent — the cooperative checkpoint behind the graceful-degradation
+      dispatchers (DESIGN.md section 14).  A budgeted search always runs
+      sequentially, ignoring [?pool]: the trip point is then a pure
+      function of (budget, specs) rather than of incumbent travel
+      between shards. *)
 end
 
 val count_subsets : int -> int -> int

@@ -1,0 +1,54 @@
+(** Minimal line-oriented JSON for the sensitivity service.
+
+    The repo deliberately carries no JSON dependency (lib/obs hand-writes
+    its Chrome traces the same way); this module is the small, total
+    parser/printer the server protocol needs.  Two properties matter more
+    than generality:
+
+    + {b Float round-trip}: numbers print with 17 significant digits, so
+      every finite double survives print → parse bit-identically — the
+      soak test's bit-identity assertions go through this encoding.
+    + {b Single line}: {!to_string} never emits a newline, so one message
+      is always one line of the line-delimited protocol.
+
+    Non-finite floats are not valid JSON numbers; they encode as the
+    strings ["nan"], ["inf"] and ["-inf"], and {!to_float} decodes them
+    back. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+(** Compact rendering, no newlines, object fields in the given order. *)
+
+val of_string : string -> (t, string) result
+(** Total parser; the error carries a byte offset and a description.
+    Trailing garbage after the value is an error. *)
+
+(** {2 Accessors} — all total, returning [None] on shape mismatch. *)
+
+val member : string -> t -> t option
+(** First field with that name in an [Obj]; [None] otherwise. *)
+
+val to_float : t -> float option
+(** [Num f]; also the non-finite encodings [Str "nan"], [Str "inf"],
+    [Str "-inf"]. *)
+
+val to_int : t -> int option
+(** A [Num] that is an exact integer. *)
+
+val to_str : t -> string option
+
+val to_bool : t -> bool option
+
+val to_list : t -> t list option
+
+val num : float -> t
+(** [Num f] for finite [f]; the string encoding otherwise — the inverse
+    of {!to_float}.  Use this constructor for any float that could be
+    NaN or infinite. *)

@@ -1,0 +1,110 @@
+(* CI smoke for the sensitivity service: start `qsens serve` on a Unix
+   socket, drive a batch and an over-budget request through
+   `qsens client --check`, and assert the robustness contract from the
+   outside — real processes, real socket, no shared state.
+
+   The client's --check already enforces the hard parts (non-degraded
+   responses bit-identical to a fresh computation — the same library
+   path `qsens worst-case` prints — and a path annotation on degraded
+   ones) by exiting nonzero; this driver additionally asserts the
+   degraded response reached the Monte-Carlo floor and the oversized
+   batch shed with typed errors. *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let contains ~needle hay =
+  let nl = String.length needle and hl = String.length hay in
+  let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+  go 0
+
+let () =
+  let cli = Sys.argv.(1) in
+  let dir = Filename.temp_file "qsens-server-smoke" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o700;
+  let sock = Filename.concat dir "qsens.sock" in
+  let server_log = Filename.concat dir "server.log" in
+  let client_out = Filename.concat dir "client.out" in
+  let devnull = Unix.openfile "/dev/null" [ Unix.O_RDONLY ] 0 in
+  let server_fd =
+    Unix.openfile server_log [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o600
+  in
+  let server_pid =
+    Unix.create_process cli
+      [|
+        cli; "serve"; "--socket"; sock; "--mc-samples"; "64";
+        "--queue-limit"; "2";
+      |]
+      devnull server_fd Unix.stderr
+  in
+  Unix.close server_fd;
+  let rec await n =
+    if Sys.file_exists sock then ()
+    else if n = 0 then failwith "server socket never appeared"
+    else begin
+      Unix.sleepf 0.05;
+      await (n - 1)
+    end
+  in
+  await 200;
+  let requests =
+    [
+      (* Exact tier: --check recomputes this from scratch and requires
+         bit-identity. *)
+      "{\"id\":1,\"op\":\"worst_case\",\"query\":\"Q6\",\"layout\":\"same\",\
+       \"deltas\":[1,10,100],\"seed\":42,\"max_probes\":2000,\
+       \"budget\":1000000000}";
+      (* Over budget: must degrade gracefully, with the path annotated. *)
+      "{\"id\":2,\"op\":\"worst_case\",\"query\":\"Q6\",\"layout\":\"same\",\
+       \"deltas\":[1,10,100],\"seed\":42,\"max_probes\":2000,\"budget\":4}";
+      (* Oversized batch: two past the queue limit must shed, typed. *)
+      "{\"id\":3,\"op\":\"batch\",\"requests\":[{\"id\":30,\"op\":\"ping\"},\
+       {\"id\":31,\"op\":\"ping\"},{\"id\":32,\"op\":\"ping\"},{\"id\":33,\
+       \"op\":\"ping\"}]}";
+      "{\"id\":4,\"op\":\"shutdown\"}";
+    ]
+  in
+  let client_fd =
+    Unix.openfile client_out [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o600
+  in
+  let args =
+    Array.of_list
+      ([ cli; "client"; "--socket"; sock; "--check" ]
+      @ List.concat_map (fun r -> [ "-r"; r ]) requests)
+  in
+  let client_pid = Unix.create_process cli args devnull client_fd Unix.stderr in
+  Unix.close client_fd;
+  Unix.close devnull;
+  let _, client_status = Unix.waitpid [] client_pid in
+  let _, server_status = Unix.waitpid [] server_pid in
+  let out = read_file client_out in
+  print_string out;
+  let failures = ref [] in
+  let expect cond msg = if not cond then failures := msg :: !failures in
+  expect (client_status = Unix.WEXITED 0)
+    "client --check exited nonzero (divergence or missing annotation)";
+  expect (server_status = Unix.WEXITED 0) "server exited nonzero";
+  expect
+    (contains ~needle:"\"path\":\"exhaustive sweep\"" out)
+    "no exact-tier response";
+  expect
+    (contains ~needle:"\"degraded\":true" out
+    && contains ~needle:"\"path\":\"monte-carlo estimate\"" out)
+    "over-budget request did not degrade to an annotated estimate";
+  expect
+    (contains ~needle:"\"kind\":\"shed\"" out)
+    "oversized batch did not shed";
+  expect
+    (contains ~needle:"\"op\":\"shutdown\"" out)
+    "shutdown not acknowledged";
+  match !failures with
+  | [] -> print_endline "server-smoke: all checks passed"
+  | msgs ->
+      List.iter (fun m -> print_endline ("server-smoke FAILED: " ^ m)) msgs;
+      print_endline ("server log: " ^ read_file server_log);
+      exit 1

@@ -102,7 +102,7 @@ let test_apply_outcomes () =
 
 let quick_policy =
   { Fault.Retry.max_attempts = 5; base_backoff = 0.1; multiplier = 2.;
-    jitter = 0.5; deadline = Float.infinity }
+    jitter = 0.5; full_jitter = false; deadline = Float.infinity }
 
 let test_retry_recovers_transient () =
   let calls = ref 0 in
@@ -155,6 +155,52 @@ let test_retry_none_is_single_attempt () =
          (Error (Fault.Probe_failed { site = "t"; attempts = 0 })
            : (unit, Fault.error) result)));
   Alcotest.(check int) "exactly one attempt" 1 !calls
+
+(* Full jitter: the schedule is a pure function of (policy, seed, site),
+   and every sleep is bounded by the un-jittered exponential cap. *)
+let test_retry_full_jitter_schedule () =
+  let policy = { quick_policy with full_jitter = true } in
+  let schedule seed =
+    List.init (policy.max_attempts - 1) (fun i ->
+        Fault.Retry.backoff_for policy ~seed ~site:"t" ~attempt:(i + 1))
+  in
+  Alcotest.(check (list (float 0.))) "same seed, same schedule"
+    (schedule 7) (schedule 7);
+  Alcotest.(check bool) "different seeds decorrelate" true
+    (schedule 7 <> schedule 8);
+  List.iteri
+    (fun i b ->
+      let cap = policy.base_backoff *. (policy.multiplier ** Float.of_int i) in
+      Alcotest.(check bool)
+        (Printf.sprintf "attempt %d within [0, cap]" (i + 1))
+        true
+        (b >= 0. && b <= cap))
+    (schedule 7);
+  (* The jitter field is inert under full jitter: only the cap matters. *)
+  Alcotest.(check (list (float 0.))) "jitter field ignored"
+    (schedule 7)
+    (List.init (policy.max_attempts - 1) (fun i ->
+         Fault.Retry.backoff_for
+           { policy with jitter = 0.9 }
+           ~seed:7 ~site:"t" ~attempt:(i + 1)))
+
+let test_retry_full_jitter_run_deterministic () =
+  let policy = { quick_policy with full_jitter = true } in
+  let run () =
+    let sleeps = ref [] in
+    ignore
+      (Fault.Retry.run policy ~seed:11 ~site:"t" (fun ~attempt ->
+           if attempt > 1 then
+             sleeps :=
+               Fault.Retry.backoff_for policy ~seed:11 ~site:"t"
+                 ~attempt:(attempt - 1)
+               :: !sleeps;
+           (Error (Fault.Probe_failed { site = "t"; attempts = 0 })
+             : (unit, Fault.error) result)));
+    List.rev !sleeps
+  in
+  Alcotest.(check (list (float 0.))) "run replays bit-identically"
+    (run ()) (run ())
 
 (* ------------------------------------------------------------------ *)
 (* Circuit breaker: trips at 5 consecutive failures, cools down over 8
@@ -221,7 +267,7 @@ let estimate ?faults ?(retry = Fault.Retry.none) ?robust ?oversample s ~box =
 
 let patient_policy =
   { Fault.Retry.max_attempts = 12; base_backoff = 0.001; multiplier = 2.;
-    jitter = 0.5; deadline = Float.infinity }
+    jitter = 0.5; full_jitter = false; deadline = Float.infinity }
 
 (* Under purely transient faults (failures only: no value is ever
    perturbed), retry + backoff must reproduce the fault-free estimate
@@ -499,6 +545,10 @@ let () =
             test_retry_deadline_is_timeout;
           Alcotest.test_case "none is single attempt" `Quick
             test_retry_none_is_single_attempt;
+          Alcotest.test_case "full jitter schedule reproducible and capped"
+            `Quick test_retry_full_jitter_schedule;
+          Alcotest.test_case "full jitter run deterministic" `Quick
+            test_retry_full_jitter_run_deterministic;
         ] );
       ( "breaker",
         [ Alcotest.test_case "documented thresholds" `Quick

@@ -421,6 +421,70 @@ let prop_bnb_curve_bits_degenerate =
           ~degenerate:true))
     bnb_curve_property
 
+(* ------------------------------------------------------------------ *)
+(* Adversarial near-ties: plan pairs whose vertex values differ only in
+   the last few ulps.  Swapping two components of a plan ties its vertex
+   sums exactly at the patterns symmetric in those components; a
+   relative perturbation of ~1e-15 turns the ties into near-ties, the
+   worst case for both the argmax tie-breaking (bit-identity must still
+   hold) and the branch-and-bound pruning (bounds cannot separate the
+   pair, so the search degenerates toward full enumeration — the node
+   blowup we log below). *)
+
+let bnb_blowup = ref (0, 0, 0) (* worst (dim, nodes, exhaustive vertices) *)
+
+let gen_near_tie_pair =
+  QCheck.Gen.(
+    int_range 4 (min 10 Sweep.max_dim) >>= fun m ->
+    array_size (return m) (float_range 0.5 2.) >>= fun base ->
+    int_range 0 (m - 1) >>= fun i ->
+    int_range 0 (m - 1) >>= fun j ->
+    float_range (-1e-15) 1e-15 >>= fun eps ->
+    bool >>= fun perturb_initial ->
+    let near = Array.copy base in
+    let tmp = near.(i) in
+    near.(i) <- near.(j);
+    near.(j) <- tmp;
+    Array.iteri (fun k x -> near.(k) <- x *. (1. +. eps)) near;
+    let initial =
+      if perturb_initial then Array.map (fun x -> x *. (1. -. eps)) base
+      else base
+    in
+    return ([| base; near |], initial))
+
+let near_tie_property (plans, initial) =
+  let m = Array.length initial in
+  let center = Vec.make m 1. in
+  let sweep = Sweep.build ~plans ~initial ~center () in
+  let bnb = Sweep.Bnb.build ~plans ~initial ~center () in
+  List.for_all
+    (fun delta ->
+      let g, k = Sweep.eval sweep ~delta in
+      let (g', k'), (nodes, _leaves) =
+        Sweep.Bnb.eval_with_stats bnb ~delta
+      in
+      let _, worst, _ = !bnb_blowup in
+      if nodes > worst then
+        bnb_blowup := (m, nodes, Array.length (Sweep.kept sweep) * (1 lsl m));
+      (same_float g g' || (Float.is_nan g && Float.is_nan g')) && k = k')
+    [ 1.; 2.; 10.; 177.; 10_000. ]
+
+let prop_near_tie_bits =
+  QCheck.Test.make ~count:120
+    ~name:"Sweep.Bnb: near-tie plan pairs stay bit-identical"
+    (QCheck.make gen_near_tie_pair)
+    near_tie_property
+
+let test_near_tie_blowup_logged () =
+  (* Runs after the property above; report how bad the adversarial
+     search got so regressions in pruning are visible in the test log. *)
+  let dim, nodes, vertices = !bnb_blowup in
+  Alcotest.(check bool) "property visited at least one search" true (nodes > 0);
+  Printf.printf
+    "near-tie blowup: worst search visited %d nodes at dim %d (exhaustive \
+     scan: %d plan-vertices)\n"
+    nodes dim vertices
+
 let test_bnb_beyond_exhaustive () =
   (* Above the exhaustive gate the dispatcher must route through the
      branch-and-bound path; pin it to the pre-kernel bisection semantics
@@ -506,4 +570,10 @@ let () =
           prop_bnb_curve_bits;
           prop_bnb_curve_bits_degenerate;
         ];
+      ( "near-tie",
+        [
+          QCheck_alcotest.to_alcotest prop_near_tie_bits;
+          Alcotest.test_case "node blowup logged" `Quick
+            test_near_tie_blowup_logged;
+        ] );
     ]
