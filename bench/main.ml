@@ -494,6 +494,78 @@ let bench_robust () =
     "(the minimax plan trades a little at the estimated costs for orders
      of magnitude in the corners of the feasible region)"
 
+(* Selection across the delta axis: the regret the classic choice is
+   exposed to versus what minimax locks in, per Fig-6 query.  The table
+   shows delta = 100; the JSON artifact records the whole sweep. *)
+let bench_select () =
+  heading
+    "Plan selection: least-expected-cost and minimax regret versus classic     (Fig-6 layout)";
+  let deltas = [ sqrt 10.; 10.; 100.; 1000. ] in
+  let show = 100. in
+  let t =
+    Table_r.make
+      ~header:
+        [ "query"; "dim"; "plans"; "classic regret"; "minimax regret";
+          "improvement" ]
+  in
+  let rows = ref [] in
+  List.iter
+    (fun (r : Experiment.report) ->
+      let plans =
+        Array.of_list
+          (List.map (fun p -> p.Candidates.eff) r.candidates.plans)
+      in
+      if Array.length plans > 1 then begin
+        let points, path = Select.curve ~deltas ~plans () in
+        let dim = Qsens_linalg.Vec.dim plans.(0) in
+        rows := (r.query_name, dim, Array.length plans, path, points) :: !rows;
+        match
+          List.find_opt (fun (p : Select.point) -> p.Select.delta = show) points
+        with
+        | None -> ()
+        | Some p ->
+            let c = p.Select.regret.(p.Select.classic) in
+            let m = p.Select.regret.(p.Select.minimax) in
+            Table_r.add_row t
+              [
+                r.query_name; string_of_int dim;
+                string_of_int (Array.length plans); Table_r.cell_f c;
+                Table_r.cell_f m;
+                (if p.Select.classic = p.Select.minimax then "-"
+                 else Printf.sprintf "%.2fx" (c /. m));
+              ]
+      end)
+    (reports (policy_of_figure 6));
+  Table_r.print t;
+  print_endline
+    "(worst-case regret at delta = 100; \"-\" marks queries where minimax\n\
+    \ keeps the classic plan — LEC always does over the symmetric box)";
+  let rows = List.rev !rows in
+  let path = Filename.concat (results_dir ()) "BENCH_select.json" in
+  let oc = open_out path in
+  Printf.fprintf oc "{\n  \"layout\": \"per-table-and-index\",\n  \"queries\": [\n";
+  List.iteri
+    (fun i (query, dim, np, epath, points) ->
+      Printf.fprintf oc
+        "    {\"query\": %S, \"dim\": %d, \"plans\": %d, \"path\": %S, \
+         \"points\": [" query dim np epath;
+      List.iteri
+        (fun j (p : Select.point) ->
+          let c = p.Select.regret.(p.Select.classic) in
+          let m = p.Select.regret.(p.Select.minimax) in
+          Printf.fprintf oc
+            "%s\n      {\"delta\": %.6g, \"classic\": %d, \"minimax\": %d, \
+             \"classic_regret\": %.17g, \"minimax_regret\": %.17g, \
+             \"improvement\": %.6g}"
+            (if j = 0 then "" else ",")
+            p.Select.delta p.Select.classic p.Select.minimax c m (c /. m))
+        points;
+      Printf.fprintf oc "]}%s\n" (if i = List.length rows - 1 then "" else ","))
+    rows;
+  output_string oc "  ]\n}\n";
+  close_out oc;
+  Printf.printf "[wrote %s]\n" path
+
 let bench_calibration () =
   heading
     "Calibration: recover drifted costs from observed executions (Q9, Q3)";
@@ -1151,6 +1223,7 @@ let all_parts =
     ("monte", bench_monte);
     ("adapt", bench_adaptive);
     ("robust", bench_robust);
+    ("select", bench_select);
     ("calib", bench_calibration);
     ("ablation", bench_ablation);
     ("timing", bench_timing);

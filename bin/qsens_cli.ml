@@ -598,6 +598,74 @@ let robust_cmd =
   Cmd.v (Cmd.info "robust" ~doc)
     Term.(const run $ sf_arg $ policy_arg $ query_arg $ delta_arg $ seed_arg)
 
+let select_cmd =
+  let run sf policy name delta seed domains =
+    with_domains domains (fun pool ->
+        let query = lookup_query sf name in
+        let schema = Qsens_tpch.Spec.schema ~sf in
+        let s = Experiment.setup ~schema ~policy query in
+        let box =
+          Qsens_geom.Box.around
+            (Qsens_linalg.Vec.make (Projection.active_dim s.proj) 1.)
+            ~delta
+        in
+        let oracle = Experiment.white_box_oracle s in
+        let c = Candidates.discover ~seed ~max_probes:1200 ?pool oracle ~box in
+        let plans =
+          Array.of_list
+            (List.map (fun (p : Candidates.plan) -> p.eff) c.plans)
+        in
+        let signatures =
+          Array.of_list
+            (List.map (fun (p : Candidates.plan) -> p.signature) c.plans)
+        in
+        let points, path =
+          Select.curve ~deltas:(deltas_upto delta) ?pool ~plans ()
+        in
+        Printf.printf
+          "%d candidate plans over +/-%gx cost errors (%s); evaluation \
+           path: %s\n\n"
+          (Array.length plans) delta
+          (Qsens_catalog.Layout.policy_name policy)
+          path;
+        Qsens_report.Table.print
+          (Qsens_report.Figure.selection_table ~signatures points);
+        print_newline ();
+        print_string
+          (Qsens_report.Figure.ascii_plot
+             (Qsens_report.Figure.selection_series points));
+        match List.rev points with
+        | [] -> ()
+        | (last : Select.point) :: _ ->
+            let name i = signatures.(i) in
+            if last.Select.minimax = last.Select.classic then
+              Printf.printf
+                "\nat delta = %g the classic choice %s is already minimax-\
+                 optimal.\n"
+                last.Select.delta
+                (name last.Select.classic)
+            else
+              Printf.printf
+                "\nat delta = %g: classic picks %s (worst-case GTC %.4g), \
+                 minimax picks %s (%.4g) — a %.3gx better guarantee.\n"
+                last.Select.delta
+                (name last.Select.classic)
+                last.Select.regret.(last.Select.classic)
+                (name last.Select.minimax)
+                last.Select.regret.(last.Select.minimax)
+                (last.Select.regret.(last.Select.classic)
+                /. last.Select.regret.(last.Select.minimax)))
+  in
+  let doc =
+    "Compare plan-selection rules over the error box: classic (optimal at \
+     the estimates), least expected cost under the uniform box prior, and \
+     minimax worst-case regret (PARQO-style)."
+  in
+  Cmd.v (Cmd.info "select" ~doc)
+    Term.(
+      const run $ sf_arg $ policy_arg $ query_arg $ delta_arg $ seed_arg
+      $ domains_arg)
+
 let params_cmd =
   let run () =
     let table = Qsens_report.Table.make ~header:[ "Parameter Name"; "Value" ] in
@@ -723,7 +791,7 @@ let client_cmd =
           Option.value ~default:""
             (Option.bind (Sjson.member "op" resp) Sjson.to_str)
         in
-        if ok && String.equal op "worst_case" then begin
+        let verify ~field ~reference =
           let degraded =
             Option.value ~default:false
               (Option.bind (Sjson.member "degraded" resp) Sjson.to_bool)
@@ -761,11 +829,10 @@ let client_cmd =
             in
             let deltas = deltas_of_req req in
             let got =
-              Option.map Sjson.to_string (Sjson.member "points" resp)
+              Option.map Sjson.to_string (Sjson.member field resp)
             in
             match
-              Qsens_server.Soak.reference_line ~sf ~seed ?max_probes ?pool
-                ~deltas ~query ~layout ()
+              reference ~sf ~seed ?max_probes ?pool ~deltas ~query ~layout ()
             with
             | Error m ->
                 incr failures;
@@ -774,18 +841,24 @@ let client_cmd =
             | Ok expect -> (
                 match got with
                 | Some got when String.equal got expect ->
-                    Printf.eprintf "check: %s/%s bit-identical to fresh run\n"
-                      query layout
+                    Printf.eprintf
+                      "check: %s %s/%s bit-identical to fresh run\n" op query
+                      layout
                 | Some _ ->
                     incr failures;
                     Printf.eprintf
-                      "check: %s/%s DIVERGES from fresh computation\n" query
-                      layout
+                      "check: %s %s/%s DIVERGES from fresh computation\n" op
+                      query layout
                 | None ->
                     incr failures;
-                    Printf.eprintf "check: %s/%s: response has no points\n"
-                      query layout)
-        end
+                    Printf.eprintf "check: %s/%s: response has no %s\n" query
+                      layout field)
+        in
+        if ok && String.equal op "worst_case" then
+          verify ~field:"points" ~reference:Qsens_server.Soak.reference_line
+        else if ok && String.equal op "select" then
+          verify ~field:"choices"
+            ~reference:Qsens_server.Soak.select_reference_line
   in
   let run socket requests check domains =
     with_domains domains (fun pool ->
@@ -837,9 +910,9 @@ let client_cmd =
   let check_arg =
     let doc =
       "Verify responses: recompute every successful non-degraded \
-       worst_case answer from scratch and require bit-identity; require \
-       a path annotation on degraded answers.  Exits nonzero on any \
-       divergence."
+       worst_case and select answer from scratch and require \
+       bit-identity; require a path annotation on degraded answers.  \
+       Exits nonzero on any divergence."
     in
     Arg.(value & flag & info [ "check" ] ~doc)
   in
@@ -854,7 +927,7 @@ let main =
   Cmd.group
     (Cmd.info "qsens" ~version:"1.0.0" ~doc)
     [ explain_cmd; worst_case_cmd; candidates_cmd; figure_cmd; lsq_cmd;
-      diagram_cmd; profile_cmd; robust_cmd; sql_cmd; params_cmd; serve_cmd;
-      client_cmd ]
+      diagram_cmd; profile_cmd; robust_cmd; select_cmd; sql_cmd; params_cmd;
+      serve_cmd; client_cmd ]
 
 let () = exit (Cmd.eval main)

@@ -93,3 +93,8 @@ let matvec t x out =
   for r = !i to t.rows - 1 do
     out.(r) <- Vec.dot_sub data (r * cols) cols x
   done
+
+let dot_rows t x =
+  let out = Array.make t.rows 0. in
+  matvec t x out;
+  out

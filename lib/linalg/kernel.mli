@@ -53,3 +53,10 @@ val matvec : t -> Vec.t -> Vec.t -> unit
     ([dim out = rows t]).  Each entry is bit-identical to
     [dot_row t i x].  Raises [Invalid_argument] on dimension
     mismatch. *)
+
+val dot_rows : t -> Vec.t -> float array
+(** [dot_rows t x] is {!matvec} into a fresh array: every plan's cost at
+    the cost vector [x] in one blocked product.  Entry [i] is
+    bit-identical to [dot_row t i x].  The plan-selection paths
+    ({!Qsens_core.Select}) evaluate all candidate expected costs with a
+    single call. *)

@@ -90,6 +90,58 @@ let ascii_plot ?(width = 72) ?(height = 24) series =
     Buffer.contents buf
   end
 
+(* The three decision rules as overlayable curves: each series is the
+   worst-case regret of the plan that rule picks at each delta, so the
+   classic series is the ordinary worst-case GTC curve and the gap to
+   the minimax series is what robust selection buys. *)
+let selection_series points =
+  let series pick =
+    List.map
+      (fun (p : Select.point) ->
+        {
+          Worst_case.delta = p.Select.delta;
+          gtc = p.Select.regret.(pick p);
+          witness = [||];
+        })
+      points
+  in
+  [
+    ("classic", series (fun p -> p.Select.classic));
+    ("lec", series (fun p -> p.Select.lec));
+    ("minimax", series (fun p -> p.Select.minimax));
+  ]
+
+let selection_table ~signatures points =
+  let name i =
+    if i >= 0 && i < Array.length signatures then signatures.(i)
+    else Printf.sprintf "#%d" i
+  in
+  let table =
+    Table.make
+      ~header:
+        [
+          "delta"; "classic"; "lec"; "minimax"; "classic wc"; "minimax wc";
+          "gain";
+        ]
+  in
+  List.iter
+    (fun (p : Select.point) ->
+      let classic_wc = p.Select.regret.(p.Select.classic) in
+      let minimax_wc = p.Select.regret.(p.Select.minimax) in
+      Table.add_row table
+        [
+          Table.cell_f p.Select.delta;
+          name p.Select.classic;
+          name p.Select.lec;
+          name p.Select.minimax;
+          Table.cell_f classic_wc;
+          Table.cell_f minimax_wc;
+          (if p.Select.minimax = p.Select.classic then "-"
+           else Table.cell_f (classic_wc /. minimax_wc) ^ "x");
+        ])
+    points;
+  table
+
 let asymptote_summary series =
   let table = Table.make ~header:[ "query"; "regime"; "value" ] in
   List.iter

@@ -18,3 +18,19 @@ val asymptote_summary :
   (string * Qsens_core.Worst_case.point list) list -> Table.t
 (** Classification of each curve's tail: bounded (Theorem 2 regime)
     versus quadratic in delta (Theorem 1 regime). *)
+
+val selection_series :
+  Qsens_core.Select.point list ->
+  (string * Qsens_core.Worst_case.point list) list
+(** The classic/LEC/minimax decision rules as three overlayable
+    worst-case-regret curves (each point: the regret of the plan that
+    rule picks at that delta), ready for {!series_table} and
+    {!ascii_plot}.  The classic series is the ordinary worst-case GTC
+    curve; the vertical gap to the minimax series is what robust
+    selection buys. *)
+
+val selection_table :
+  signatures:string array -> Qsens_core.Select.point list -> Table.t
+(** One row per delta: the three rules' chosen plan signatures, the
+    classic and minimax worst-case regrets, and their ratio (the
+    robustness gain; ["-"] when the choices coincide). *)

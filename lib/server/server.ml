@@ -84,9 +84,21 @@ let save_snapshot t path =
   in
   let tmp = path ^ ".tmp" in
   let oc = open_out_bin tmp in
-  Marshal.to_channel oc data [];
-  close_out oc;
-  Sys.rename tmp path
+  match
+    Marshal.to_channel oc data [];
+    close_out oc
+  with
+  | () -> Sys.rename tmp path
+  | exception e ->
+      (* Disk-full mid-marshal: drop the channel and the half-written
+         temp file so a failed snapshot can never shadow a later good
+         one, then surface the original [Sys_error] the callers map to
+         their typed error. *)
+      close_out_noerr oc;
+      (match Sys.remove tmp with
+      | () -> ()
+      | exception Sys_error _ -> ());
+      raise e
 
 let load_snapshot t path =
   if not (Sys.file_exists path) then false
@@ -483,6 +495,194 @@ let eval_curve t ~allowance ~plans ~initial ~deltas ~seed =
   { r with degraded }
 
 (* ------------------------------------------------------------------ *)
+(* The selection ladder: same tiers, same budget discipline, but the
+   unit of work is one worst-case regret column per candidate per delta
+   (candidate [i] scored with [initial := plans.(i)] through the same
+   memoized sweeps, so warm selections are bit-identical to cold ones).
+   Classic and LEC columns are single kernel dots and never degrade;
+   only the regret column moves down the ladder. *)
+
+let select_points_json points =
+  Json.List
+    (List.map
+       (fun (p : Select.point) ->
+         Json.Obj
+           [
+             ("delta", Json.num p.Select.delta);
+             ("classic", Json.num (Float.of_int p.Select.classic));
+             ("lec", Json.num (Float.of_int p.Select.lec));
+             ("minimax", Json.num (Float.of_int p.Select.minimax));
+             ("expected", vec_json p.Select.expected);
+             ("regret", vec_json p.Select.regret);
+             ("fallbacks", Json.num (Float.of_int p.Select.fallbacks));
+           ])
+       points)
+
+let tier_select_exhaustive t ~allowance ~plans ~deltas =
+  let np = Array.length plans in
+  if np = 0 then None
+  else
+    let dim = Vec.dim plans.(0) in
+    if not (Sweep.supported ~dim) then None
+    else
+      let b = Budget.create allowance in
+      match
+        let center = Vec.make dim 1. in
+        let kernel = Kernel.pack plans in
+        let classic = Select.classic_index ~plans in
+        let sweeps =
+          Array.map
+            (fun initial ->
+              (* One table build per candidate, charged up front, hit or
+                 miss alike. *)
+              Budget.spend b ~who:"server.select.build" (np * (1 lsl dim));
+              sweep_for t ~plans ~initial ~center)
+            plans
+        in
+        List.map
+          (fun delta ->
+            let regret =
+              Array.map (fun sw -> fst (Sweep.eval ~budget:b sw ~delta)) sweeps
+            in
+            Select.point_of_regrets ~kernel ~center ~classic ~delta ~regret
+              ~fallbacks:0)
+          deltas
+      with
+      | points ->
+          Some
+            {
+              points = select_points_json points;
+              path = "exhaustive sweep";
+              degraded = false;
+              spent = Budget.spent b;
+              confidence = None;
+            }
+      | exception Budget.Exhausted _ -> None
+
+let tier_select_bnb t ~allowance ~plans ~deltas =
+  let np = Array.length plans in
+  if np = 0 then None
+  else
+    let dim = Vec.dim plans.(0) in
+    if not (Sweep.Bnb.supported ~dim) then None
+    else
+      let b = Budget.create allowance in
+      match
+        let center = Vec.make dim 1. in
+        let kernel = Kernel.pack plans in
+        let classic = Select.classic_index ~plans in
+        let searches =
+          Array.map
+            (fun initial ->
+              Budget.spend b ~who:"server.select.bnb.build" (np * dim);
+              bnb_for t ~plans ~initial ~center)
+            plans
+        in
+        List.map
+          (fun delta ->
+            let regret =
+              Array.map
+                (fun bnb ->
+                  fst (Sweep.Bnb.eval ?pool:t.pool ~budget:b bnb ~delta))
+                searches
+            in
+            Select.point_of_regrets ~kernel ~center ~classic ~delta ~regret
+              ~fallbacks:0)
+          deltas
+      with
+      | points ->
+          Some
+            {
+              points = select_points_json points;
+              path = "branch-and-bound";
+              degraded = false;
+              spent = Budget.spent b;
+              confidence = None;
+            }
+      | exception Budget.Exhausted _ -> None
+
+let tier_select_fractional t ~allowance ~plans ~deltas =
+  let np = Array.length plans in
+  let nd = List.length deltas in
+  if np = 0 then None
+  else
+    let b = Budget.create allowance in
+    if not (Budget.try_spend b (max 1 (np * np * nd * fractional_cell_cost)))
+    then None
+    else
+      let dim = Vec.dim plans.(0) in
+      let center = Vec.make dim 1. in
+      let kernel = Kernel.pack plans in
+      let classic = Select.classic_index ~plans in
+      let points =
+        List.map
+          (fun delta ->
+            let regret =
+              Select.regrets_fractional ?pool:t.pool ~plans ~center delta
+            in
+            Select.point_of_regrets ~kernel ~center ~classic ~delta ~regret
+              ~fallbacks:0)
+          deltas
+      in
+      Some
+        {
+          points = select_points_json points;
+          path = "linear-fractional fallback";
+          degraded = false;
+          spent = Budget.spent b;
+          confidence = None;
+        }
+
+let tier_select_monte_carlo t ~allowance ~plans ~deltas ~seed =
+  let nd = List.length deltas in
+  let per_point = max 1 (allowance / max 1 nd) in
+  let spent = ref 0 in
+  let points =
+    List.map
+      (fun delta ->
+        let b = Budget.create per_point in
+        let p =
+          Select.estimate ~seed ~samples:t.config.mc_samples ~budget:b ~plans
+            ~delta ()
+        in
+        spent := !spent + Budget.spent b;
+        p)
+      deltas
+  in
+  {
+    points = select_points_json points;
+    path = "monte-carlo estimate";
+    degraded = true;
+    spent = !spent;
+    confidence =
+      Some
+        (Json.Str
+           "regret column is a lower-bound estimate from seeded sampling; \
+            classic/lec columns are exact; exact tiers exceeded the budget");
+  }
+
+let eval_select t ~allowance ~plans ~deltas ~seed =
+  let static =
+    match plans with
+    | [||] -> "exhaustive sweep"
+    | _ -> Worst_case.path_name ~dim:(Vec.dim plans.(0))
+  in
+  let r =
+    match tier_select_exhaustive t ~allowance ~plans ~deltas with
+    | Some r -> r
+    | None -> (
+        match tier_select_bnb t ~allowance ~plans ~deltas with
+        | Some r -> r
+        | None -> (
+            match tier_select_fractional t ~allowance ~plans ~deltas with
+            | Some r -> r
+            | None ->
+                tier_select_monte_carlo t ~allowance ~plans ~deltas ~seed))
+  in
+  let degraded = r.degraded || not (String.equal r.path static) in
+  { r with degraded }
+
+(* ------------------------------------------------------------------ *)
 (* Ops *)
 
 let op_worst_case t req =
@@ -528,6 +728,59 @@ let op_worst_case t req =
                ("budget", Json.num (Float.of_int allowance));
                ("spent", Json.num (Float.of_int r.spent));
                ("points", r.points);
+             ]
+            @
+            match r.confidence with
+            | Some c -> [ ("confidence", c) ]
+            | None -> []))
+
+let op_select t req =
+  match get_target t req with
+  | Error m -> Error (Malformed m)
+  | Ok tg -> (
+      match get_deltas req with
+      | Error m -> Error (Malformed m)
+      | Ok deltas ->
+          let allowance =
+            match get_int req "budget" with
+            | Some b when b >= 1 -> b
+            | Some _ | None -> t.config.default_budget
+          in
+          match setup_for t tg with
+          | exception Not_found ->
+              Error
+                (Malformed (Printf.sprintf "unknown query %S" tg.query_name))
+          | s ->
+          let delta_max = List.fold_left Float.max 1. deltas in
+          let c = candidates_for t tg s ~delta_max in
+          let plans =
+            Array.of_list
+              (List.map (fun p -> p.Candidates.eff) c.Candidates.plans)
+          in
+          let r = eval_select t ~allowance ~plans ~deltas ~seed:tg.seed in
+          if r.degraded then begin
+            t.degraded <- t.degraded + 1;
+            Obs.add m_degraded 1
+          end;
+          Ok
+            ([
+               ("op", Json.Str "select");
+               ("query", Json.Str tg.query_name);
+               ("layout", Json.Str tg.policy_name);
+               ( "dim",
+                 Json.num
+                   (Float.of_int
+                      (Projection.active_dim s.Experiment.proj)) );
+               ( "plans",
+                 Json.List
+                   (List.map
+                      (fun (p : Candidates.plan) -> Json.Str p.signature)
+                      c.Candidates.plans) );
+               ("path", Json.Str r.path);
+               ("degraded", Json.Bool r.degraded);
+               ("budget", Json.num (Float.of_int allowance));
+               ("spent", Json.num (Float.of_int r.spent));
+               ("choices", r.points);
              ]
             @
             match r.confidence with
@@ -715,6 +968,7 @@ let rec handle_one t ~depth req =
           finish (Ok [ ("op", Json.Str "shutdown"); ("stopping", Json.Bool true) ])
       | "worst_case" ->
           finish (guarded t ~op (fun () -> op_worst_case t req))
+      | "select" -> finish (guarded t ~op (fun () -> op_select t req))
       | "candidates" ->
           finish (guarded t ~op (fun () -> op_candidates t req))
       | "batch" ->
@@ -796,6 +1050,11 @@ let run_stdio t ic oc =
   save_configured t
 
 let run_socket t ~path =
+  (* A client that disconnects mid-write must surface as an [EPIPE]
+     exception on this connection, not a process-killing SIGPIPE. *)
+  (match Sys.signal Sys.sigpipe Sys.Signal_ignore with
+  | (_ : Sys.signal_behavior) -> ()
+  | exception Invalid_argument _ -> ());
   (match Unix.unlink path with
   | () -> ()
   | exception Unix.Unix_error (_, _, _) -> ());
@@ -807,12 +1066,22 @@ let run_socket t ~path =
       let fd, _ = Unix.accept sock in
       let ic = Unix.in_channel_of_descr fd in
       let oc = Unix.out_channel_of_descr fd in
+      (* One misbehaving connection never kills the accept loop:
+         channel-level failures ([Sys_error]) and raw-descriptor ones
+         ([Unix_error], e.g. EPIPE above) both only end this client. *)
       (match serve_channel t ic oc with
       | () -> ()
-      | exception Sys_error _ -> ());
-      (match Unix.close fd with
+      | exception (Sys_error _ | End_of_file | Unix.Unix_error (_, _, _)) ->
+          ());
+      (* Flush the final buffered response before the descriptor goes
+         away — [Unix.close fd] alone silently truncated it.  Both
+         channels share [fd]; the [_noerr] closes ignore the second
+         close's EBADF and any flush failure on a dead peer. *)
+      (match flush oc with
       | () -> ()
-      | exception Unix.Unix_error (_, _, _) -> ());
+      | exception (Sys_error _ | Unix.Unix_error (_, _, _)) -> ());
+      close_out_noerr oc;
+      close_in_noerr ic;
       accept_loop ()
     end
   in

@@ -78,7 +78,10 @@ val stopping : t -> bool
 
 val save_snapshot : t -> string -> unit
 (** Marshal the candidates/sweep/bnb caches (oldest-first, so reload
-    preserves recency) to [path] via write-to-temp + [Sys.rename]. *)
+    preserves recency) to [path] via write-to-temp + [Sys.rename].
+    Raises [Sys_error] on I/O failure (disk full, unwritable path) —
+    after closing and unlinking the temp file, so a failed snapshot
+    never leaks a channel or shadows a later good one. *)
 
 val load_snapshot : t -> string -> bool
 (** Replace cache contents from a snapshot file; false (and no change)
@@ -101,6 +104,13 @@ val points_json : Qsens_core.Worst_case.point list -> Json.t
     test renders its fresh reference computation through this and
     compares strings, so bit-identity assertions inherit the JSON
     float round-trip. *)
+
+val select_points_json : Qsens_core.Select.point list -> Json.t
+(** The exact encoding of a [select] response's ["choices"] field
+    (per-delta classic/lec/minimax indices plus the full expected and
+    regret columns) — the soak test and the client's [--check] render
+    fresh {!Qsens_core.Select.curve} output through this and require
+    string equality, cold and warm. *)
 
 val policy_of_string :
   string -> (Qsens_catalog.Layout.policy, string) result

@@ -4,6 +4,9 @@ module Box = Qsens_geom.Box
 
 type ordering = Sequential | Interleaved
 
+(* select requests share their cell's id space, offset past any grid. *)
+let select_id_base = 100_000
+
 type config = {
   queries : string list;
   layouts : string list;
@@ -81,15 +84,43 @@ let reference cfg ~query ~layout =
   reference_line ~sf:cfg.sf ~seed:cfg.seed ?max_probes:cfg.max_probes
     ?pool:cfg.pool ~deltas:cfg.deltas ~query ~layout ()
 
+(* Same shape for the selection op: fresh discovery, fresh Select.curve,
+   rendered through the server's own choices encoder. *)
+let select_reference_line ~sf ~seed ?max_probes ?pool ~deltas ~query ~layout
+    () =
+  match Server.policy_of_string layout with
+  | Error m -> Error m
+  | Ok policy -> (
+      match Qsens_tpch.Queries.find ~sf query with
+      | exception Not_found -> Error (Printf.sprintf "unknown query %S" query)
+      | q ->
+          let schema = Qsens_tpch.Spec.schema ~sf in
+          let s = Experiment.setup ~schema ~policy q in
+          let m = Projection.active_dim s.Experiment.proj in
+          let delta_max = List.fold_left Float.max 1. deltas in
+          let box = Box.around (Vec.make m 1.) ~delta:delta_max in
+          let oracle = Experiment.white_box_oracle s in
+          let c = Candidates.discover ~seed ?max_probes ?pool oracle ~box in
+          let plans =
+            Array.of_list
+              (List.map (fun p -> p.Candidates.eff) c.Candidates.plans)
+          in
+          let points, _path = Select.curve ~deltas ?pool ~plans () in
+          Ok (Json.to_string (Server.select_points_json points)))
+
+let select_reference cfg ~query ~layout =
+  select_reference_line ~sf:cfg.sf ~seed:cfg.seed ?max_probes:cfg.max_probes
+    ?pool:cfg.pool ~deltas:cfg.deltas ~query ~layout ()
+
 (* ------------------------------------------------------------------ *)
 (* Request construction *)
 
-let worst_case_request cfg ~id ~query ~layout ~budget =
+let request cfg ~op ~id ~query ~layout ~budget =
   Json.to_string
     (Json.Obj
        ([
           ("id", Json.num (Float.of_int id));
-          ("op", Json.Str "worst_case");
+          ("op", Json.Str op);
           ("query", Json.Str query);
           ("layout", Json.Str layout);
           ("sf", Json.num cfg.sf);
@@ -134,16 +165,23 @@ type state = {
 
 let mismatch st msg = st.bad <- msg :: st.bad
 
-let reference_for st ~query ~layout =
-  let key = query ^ "|" ^ layout in
+let reference_for st ~op ~query ~layout =
+  let key = op ^ "|" ^ query ^ "|" ^ layout in
   match Hashtbl.find_opt st.refs key with
   | Some r -> r
   | None ->
-      let r = reference st.cfg ~query ~layout in
+      let r =
+        if String.equal op "select" then select_reference st.cfg ~query ~layout
+        else reference st.cfg ~query ~layout
+      in
       Hashtbl.replace st.refs key r;
       r
 
-let check_worst_case st resp =
+(* Non-degraded worst_case responses must match the fresh [points]
+   reference bit-for-bit; non-degraded select responses the fresh
+   [choices] reference — and since the warm replay passes through here
+   too, a pass witnesses cold and warm selections identical. *)
+let check_analysis st ~op ~field resp =
   let id = Option.bind (Json.member "id" resp) Json.to_int in
   let degraded =
     Option.value ~default:false
@@ -154,27 +192,29 @@ let check_worst_case st resp =
       (Option.bind (Json.member "path" resp) Json.to_str)
   in
   if String.length path = 0 then
-    mismatch st "worst_case response carries no path annotation"
+    mismatch st (op ^ " response carries no path annotation")
   else if degraded then st.n_degraded <- st.n_degraded + 1
   else
     match Option.bind id (Hashtbl.find_opt st.info) with
-    | None -> mismatch st "worst_case response with unknown request id"
+    | None -> mismatch st (op ^ " response with unknown request id")
     | Some (query, layout) -> (
-        match reference_for st ~query ~layout with
+        match reference_for st ~op ~query ~layout with
         | Error m ->
             mismatch st (Printf.sprintf "%s/%s: reference: %s" query layout m)
         | Ok expect -> (
-            match Json.member "points" resp with
+            match Json.member field resp with
             | None ->
                 mismatch st
-                  (Printf.sprintf "%s/%s: response has no points" query layout)
+                  (Printf.sprintf "%s/%s: response has no %s" query layout
+                     field)
             | Some points ->
                 st.n_verified <- st.n_verified + 1;
                 let got = Json.to_string points in
                 if not (String.equal got expect) then
                   mismatch st
-                    (Printf.sprintf "%s/%s: points diverge\n  server: %s\n  fresh:  %s"
-                       query layout got expect)))
+                    (Printf.sprintf
+                       "%s/%s (%s): %s diverge\n  server: %s\n  fresh:  %s"
+                       query layout op field got expect)))
 
 let rec process st resp =
   st.n_total <- st.n_total + 1;
@@ -195,7 +235,9 @@ let rec process st resp =
   else begin
     st.n_ok <- st.n_ok + 1;
     match Option.bind (Json.member "op" resp) Json.to_str with
-    | Some "worst_case" -> check_worst_case st resp
+    | Some "worst_case" ->
+        check_analysis st ~op:"worst_case" ~field:"points" resp
+    | Some "select" -> check_analysis st ~op:"select" ~field:"choices" resp
     | Some "batch" ->
         List.iter (process st)
           (Option.value ~default:[]
@@ -227,7 +269,13 @@ let run cfg =
   in
   let cells = grid cfg in
   let info = Hashtbl.create 16 in
-  List.iter (fun (id, q, l, _) -> Hashtbl.replace info id (q, l)) cells;
+  List.iter
+    (fun (id, q, l, _) ->
+      Hashtbl.replace info id (q, l);
+      (* The matching select request rides the same cell under an
+         offset id. *)
+      Hashtbl.replace info (select_id_base + id) (q, l))
+    cells;
   let st =
     {
       cfg;
@@ -243,9 +291,13 @@ let run cfg =
     }
   in
   let base =
-    List.map
+    List.concat_map
       (fun (id, q, l, b) ->
-        worst_case_request cfg ~id ~query:q ~layout:l ~budget:b)
+        [
+          request cfg ~op:"worst_case" ~id ~query:q ~layout:l ~budget:b;
+          request cfg ~op:"select" ~id:(select_id_base + id) ~query:q
+            ~layout:l ~budget:b;
+        ])
       cells
   in
   let invalidate =

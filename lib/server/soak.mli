@@ -9,7 +9,12 @@
     + every successful {e non-degraded} [worst_case] response is
       compared bit-for-bit (as {!Server.points_json} strings) against a
       fresh from-scratch computation that shares none of the server's
-      caches;
+      caches; every cell also rides a matching [select] request whose
+      non-degraded ["choices"] must equal the fresh
+      {!Server.select_points_json} rendering of
+      {!Qsens_core.Select.curve} the same way — and since the orderings
+      replay the grid warm, a pass witnesses select responses
+      bit-identical cold vs. warm-cached;
     + every degraded response must carry a nonempty ["path"] annotation;
     + an oversized batch must shed with typed responses, never drop;
     + the server must answer a final [ping] after everything above —
@@ -76,5 +81,20 @@ val reference_line :
     setup/discover/curve run sharing none of any server's caches.  The
     CLI client's [--check] mode and the soak driver both compare
     against this. *)
+
+val select_reference_line :
+  sf:float ->
+  seed:int ->
+  ?max_probes:int ->
+  ?pool:Qsens_parallel.Pool.t ->
+  deltas:float list ->
+  query:string ->
+  layout:string ->
+  unit ->
+  (string, string) result
+(** The [select] analogue of {!reference_line}: the rendered
+    {!Server.select_points_json} string of a fresh
+    setup/discover/{!Qsens_core.Select.curve} run.  Non-degraded
+    [select] responses must match it bit-for-bit. *)
 
 val pp_outcome : Format.formatter -> outcome -> unit

@@ -4,11 +4,14 @@
    outside — real processes, real socket, no shared state.
 
    The client's --check already enforces the hard parts (non-degraded
-   responses bit-identical to a fresh computation — the same library
-   path `qsens worst-case` prints — and a path annotation on degraded
-   ones) by exiting nonzero; this driver additionally asserts the
-   degraded response reached the Monte-Carlo floor and the oversized
-   batch shed with typed errors. *)
+   worst_case and select responses bit-identical to a fresh computation
+   — the same library paths `qsens worst-case` and `qsens select` print
+   — and a path annotation on degraded ones) by exiting nonzero; this
+   driver additionally asserts the degraded response reached the
+   Monte-Carlo floor and the oversized batch shed with typed errors.
+   Before the checked client runs, a rude client connects, sends a
+   request and disconnects without reading the reply: the EPIPE on the
+   server's answer must not kill the accept loop. *)
 
 let read_file path =
   let ic = open_in_bin path in
@@ -52,6 +55,20 @@ let () =
     end
   in
   await 200;
+  (* Early disconnect: fire a full-sized request and slam the door
+     before the (multi-kilobyte) response can be written.  Connections
+     are served sequentially, so the next client is only answered if the
+     accept loop survived the broken pipe. *)
+  let rude = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.connect rude (Unix.ADDR_UNIX sock);
+  let rude_line =
+    "{\"id\":99,\"op\":\"worst_case\",\"query\":\"Q6\",\"layout\":\"same\",\
+     \"deltas\":[1,10,100],\"seed\":42,\"max_probes\":2000,\
+     \"budget\":1000000000}\n"
+  in
+  ignore
+    (Unix.write_substring rude rude_line 0 (String.length rude_line) : int);
+  Unix.close rude;
   let requests =
     [
       (* Exact tier: --check recomputes this from scratch and requires
@@ -66,7 +83,12 @@ let () =
       "{\"id\":3,\"op\":\"batch\",\"requests\":[{\"id\":30,\"op\":\"ping\"},\
        {\"id\":31,\"op\":\"ping\"},{\"id\":32,\"op\":\"ping\"},{\"id\":33,\
        \"op\":\"ping\"}]}";
-      "{\"id\":4,\"op\":\"shutdown\"}";
+      (* Selection over the same cell: --check recomputes the choices
+         from scratch and requires bit-identity. *)
+      "{\"id\":4,\"op\":\"select\",\"query\":\"Q6\",\"layout\":\"same\",\
+       \"deltas\":[1,10,100],\"seed\":42,\"max_probes\":2000,\
+       \"budget\":1000000000}";
+      "{\"id\":5,\"op\":\"shutdown\"}";
     ]
   in
   let client_fd =
@@ -99,6 +121,10 @@ let () =
   expect
     (contains ~needle:"\"kind\":\"shed\"" out)
     "oversized batch did not shed";
+  expect
+    (contains ~needle:"\"op\":\"select\"" out
+    && contains ~needle:"\"choices\":" out)
+    "select op not served after the early disconnect";
   expect
     (contains ~needle:"\"op\":\"shutdown\"" out)
     "shutdown not acknowledged";

@@ -84,6 +84,9 @@ let test_json_non_finite () =
       (Float.nan, "\"nan\"");
       (Float.infinity, "\"inf\"");
       (Float.neg_infinity, "\"-inf\"");
+      (* Not a sentinel, but the other sign-sensitive edge: the encoder
+         must keep the sign bit through the integer fast path. *)
+      (-0., "-0");
     ]
 
 let gen_json =
@@ -178,6 +181,13 @@ let wc_request ?(query = "Q6") ?(layout = "same") ?(budget = 1_000_000_000)
      \"deltas\":[1,10,100],\"seed\":42,\"max_probes\":2000,\"budget\":%d}"
     id query layout budget
 
+let select_request ?(query = "Q6") ?(layout = "same")
+    ?(budget = 1_000_000_000) ?(id = 1) () =
+  Printf.sprintf
+    "{\"id\":%d,\"op\":\"select\",\"query\":%S,\"layout\":%S,\
+     \"deltas\":[1,10,100],\"seed\":42,\"max_probes\":2000,\"budget\":%d}"
+    id query layout budget
+
 let small_config =
   {
     Server.default_config with
@@ -245,6 +255,52 @@ let test_degradation_ladder () =
       | Some pts -> Alcotest.(check int) "three points" 3 (List.length pts)
       | None -> Alcotest.fail "no points")
     [ full; tight; floor ]
+
+let test_select_op () =
+  let t = Server.create ~config:small_config () in
+  let full = Server.handle_line t (select_request ()) in
+  Alcotest.(check bool) "select ok" true (bool_field full "ok");
+  Alcotest.(check string) "full budget path" "exhaustive sweep"
+    (str_field full "path");
+  Alcotest.(check bool) "not degraded" false (bool_field full "degraded");
+  let choices =
+    match Option.bind (response_field full "choices") Json.to_list with
+    | Some cs -> cs
+    | None -> Alcotest.fail "no choices"
+  in
+  Alcotest.(check int) "one choice per delta" 3 (List.length choices);
+  let int_of c key =
+    match Option.bind (Json.member key c) Json.to_int with
+    | Some i -> i
+    | None -> Alcotest.fail ("choice missing " ^ key)
+  in
+  List.iter
+    (fun c ->
+      (* LEC == classic over the symmetric box (DESIGN.md section 15). *)
+      Alcotest.(check int) "lec == classic" (int_of c "classic")
+        (int_of c "lec"))
+    choices;
+  (match choices with
+  | point :: _ ->
+      (* First delta is 1: the box is a point, all rules coincide. *)
+      Alcotest.(check int) "point box minimax == classic"
+        (int_of point "classic") (int_of point "minimax")
+  | [] -> ());
+  (* Warm replay from the caches must be byte-identical. *)
+  Alcotest.(check string) "cold == warm" full
+    (Server.handle_line t (select_request ()));
+  (* Out of budget: the floor answers, annotated as an estimate. *)
+  let floor = Server.handle_line t (select_request ~budget:4 ~id:2 ()) in
+  Alcotest.(check bool) "floor ok" true (bool_field floor "ok");
+  Alcotest.(check string) "floor path" "monte-carlo estimate"
+    (str_field floor "path");
+  Alcotest.(check bool) "floor degraded" true (bool_field floor "degraded");
+  Alcotest.(check bool) "floor annotated" true
+    (String.length (str_field floor "confidence") > 0);
+  match Option.bind (response_field floor "choices") Json.to_list with
+  | Some cs -> Alcotest.(check int) "floor still answers all deltas" 3
+      (List.length cs)
+  | None -> Alcotest.fail "floor has no choices"
 
 let test_batch_shedding () =
   let t = Server.create ~config:small_config () in
@@ -324,9 +380,11 @@ let op_lines =
     wc_request ~id:1 ~budget:64 ();
     wc_request ~id:2 ~budget:4 ();
     wc_request ~id:3 ~query:"Q1" ~budget:1_000_000_000 ();
-    "{\"id\":4,\"op\":\"invalidate\",\"scope\":\"all\"}";
-    "{\"id\":5,\"op\":\"invalidate\",\"scope\":\"sweeps\"}";
-    "{\"id\":6,\"op\":\"invalidate\",\"scope\":\"candidates\"}";
+    select_request ~id:4 ~budget:1_000_000_000 ();
+    select_request ~id:5 ~query:"Q1" ~budget:64 ();
+    "{\"id\":6,\"op\":\"invalidate\",\"scope\":\"all\"}";
+    "{\"id\":7,\"op\":\"invalidate\",\"scope\":\"sweeps\"}";
+    "{\"id\":8,\"op\":\"invalidate\",\"scope\":\"candidates\"}";
   |]
 
 let tiny_cache_config =
@@ -347,13 +405,13 @@ let prop_cache_state_invariance =
   QCheck.Test.make ~count:30
     ~name:"server: responses invariant under hit/miss/eviction interleaving"
     (QCheck.make
-       QCheck.Gen.(list_size (int_range 1 10) (int_range 0 6)))
+       QCheck.Gen.(list_size (int_range 1 10) (int_range 0 8)))
     (fun ops ->
       let t = Server.create ~config:tiny_cache_config () in
       List.for_all
         (fun op ->
           let resp = Server.handle_line t op_lines.(op) in
-          if op <= 3 then String.equal resp (canonical op) else true)
+          if op <= 5 then String.equal resp (canonical op) else true)
         ops)
 
 let test_snapshot_reload () =
@@ -394,6 +452,48 @@ let test_snapshot_reload () =
   let again = Server.handle_line b (wc_request ()) in
   Alcotest.(check string) "caches intact after rejected load" first again;
   Sys.remove path
+
+let test_snapshot_failure () =
+  (* An unwritable temp location: the op maps the Sys_error to a typed
+     "failed" response, nothing appears at the target path, and the
+     loop keeps serving; with the obstruction cleared the same op
+     succeeds and leaves no temp file behind. *)
+  let t = Server.create ~config:small_config () in
+  ignore (Server.handle_line t (wc_request ()) : string);
+  let dir = Filename.temp_file "qsens_snapfail" "" in
+  Sys.remove dir;
+  Sys.mkdir dir 0o700;
+  let path = Filename.concat dir "snap" in
+  Sys.mkdir (path ^ ".tmp") 0o700 (* blocks open_out_bin *);
+  (match Server.save_snapshot t path with
+  | () -> Alcotest.fail "expected Sys_error"
+  | exception Sys_error _ -> ());
+  let snap_line id =
+    Printf.sprintf "{\"id\":%d,\"op\":\"snapshot\",\"path\":%S}" id path
+  in
+  let resp = Server.handle_line t (snap_line 9) in
+  Alcotest.(check bool) "failed snapshot not ok" false (bool_field resp "ok");
+  Alcotest.(check string) "typed failure" "failed"
+    (match
+       Option.bind (response_field resp "error") (Json.member "kind")
+     with
+    | Some (Json.Str k) -> k
+    | _ -> "");
+  Alcotest.(check bool) "no snapshot file appeared" false
+    (Sys.file_exists path);
+  Alcotest.(check bool) "loop alive" true
+    (bool_field (Server.handle_line t "{\"op\":\"ping\"}") "ok");
+  Sys.rmdir (path ^ ".tmp");
+  let good = Server.handle_line t (snap_line 10) in
+  Alcotest.(check bool) "snapshot ok after clearing" true
+    (bool_field good "ok");
+  Alcotest.(check bool) "snapshot written" true (Sys.file_exists path);
+  Alcotest.(check bool) "no temp left behind" false
+    (Sys.file_exists (path ^ ".tmp"));
+  Alcotest.(check bool) "snapshot loads back" true
+    (Server.load_snapshot t path);
+  Sys.remove path;
+  Sys.rmdir dir
 
 let test_pool_independence () =
   (* Non-degraded responses must not depend on the pool size. *)
@@ -478,6 +578,7 @@ let () =
           Alcotest.test_case "basics" `Quick test_server_basics;
           Alcotest.test_case "degradation ladder" `Quick
             test_degradation_ladder;
+          Alcotest.test_case "select op" `Quick test_select_op;
           Alcotest.test_case "batch shedding" `Quick test_batch_shedding;
           Alcotest.test_case "circuit breaker" `Quick test_circuit_breaker;
         ] );
@@ -485,6 +586,7 @@ let () =
         [
           QCheck_alcotest.to_alcotest prop_cache_state_invariance;
           Alcotest.test_case "snapshot reload" `Quick test_snapshot_reload;
+          Alcotest.test_case "snapshot failure" `Quick test_snapshot_failure;
           Alcotest.test_case "pool independence" `Quick
             test_pool_independence;
         ] );
