@@ -747,6 +747,10 @@ let oversubscribed domains = domains > Domain.recommended_domain_count ()
 (* --chunk: also sweep the chunk granularity of the per-delta loop. *)
 let chunk_sweep_on = ref false
 
+(* --force: overwrite a committed multi-CPU BENCH_parallel.json even
+   from a single-CPU run (normally refused — see bench_parallel). *)
+let force_overwrite = ref false
+
 (* Honesty check on the artifact being replaced: a committed
    BENCH_parallel.json whose every speedup came from a single hardware
    CPU is time-sharing noise.  Scan it for a ["cpus_online": 1] field
@@ -908,18 +912,29 @@ let bench_parallel () =
         List.concat_map
           (fun d ->
             Pool.with_pool ~domains:d (fun p ->
+                (* [None] is the auto-tuned default (Pool.auto_chunks):
+                   the sweep must exercise the granularity users get
+                   without a ~chunks argument, so regressions in the
+                   default show up next to the explicit points. *)
                 List.map
                   (fun mult ->
-                    let chunks = mult * d in
+                    let chunks =
+                      match mult with
+                      | None -> Pool.auto_chunks ~domains:d ~n:nd
+                      | Some m -> m * d
+                    in
                     let _, par_t, par_mean =
                       time_best ~repeats (fun () ->
-                          Pool.parallel_for_chunked ~chunks p ~n:nd fill)
+                          match mult with
+                          | None -> Pool.parallel_for_chunked p ~n:nd fill
+                          | Some _ ->
+                              Pool.parallel_for_chunked ~chunks p ~n:nd fill)
                     in
                     if out <> reference then
                       failwith
                         "chunk sweep: parallel result differs from sequential";
                     (d, mult, chunks, par_t, par_mean, seq_t /. par_t))
-                  [ 1; 2; 4; 8 ]))
+                  [ None; Some 1; Some 2; Some 4; Some 8 ]))
           !domain_counts
       in
       let tc =
@@ -927,9 +942,11 @@ let bench_parallel () =
           ~header:[ "domains"; "chunks"; "parallel (s)"; "mean (s)"; "speedup" ]
       in
       List.iter
-        (fun (d, _mult, chunks, par_t, par_mean, speedup) ->
+        (fun (d, mult, chunks, par_t, par_mean, speedup) ->
           Table_r.add_row tc
-            [ string_of_int d; string_of_int chunks;
+            [ string_of_int d;
+              string_of_int chunks
+              ^ (if mult = None then " (default)" else "");
               Printf.sprintf "%.3f" par_t; Printf.sprintf "%.3f" par_mean;
               Printf.sprintf "%.2fx%s" speedup
                 (if oversubscribed d then " (oversubscribed)" else "") ])
@@ -944,6 +961,23 @@ let bench_parallel () =
   in
   let dir = results_dir () in
   let path = Filename.concat dir "BENCH_parallel.json" in
+  (* A single-CPU run must not clobber a committed artifact whose
+     speedups were measured on real parallel hardware: the new file
+     would replace genuine measurements with time-sharing noise.  The
+     refusal is asymmetric — a single-CPU artifact (detected by its
+     recorded "cpus_online": 1) may always be replaced. *)
+  if
+    Domain.recommended_domain_count () = 1
+    && Sys.file_exists path
+    && (not (json_records_single_cpu path))
+    && not !force_overwrite
+  then
+    Printf.printf
+      "*** refusing to overwrite %s: it records a multi-CPU run and only \
+       one hardware CPU is online — this run's speedups are time-sharing \
+       noise.  Pass --force to overwrite anyway. ***\n"
+      path
+  else begin
   let oc = open_out path in
   Printf.fprintf oc
     "{\n  \"repeats\": %d,\n  \"cpus_online\": %d,\n  \"workloads\": [\n"
@@ -971,11 +1005,12 @@ let bench_parallel () =
   if chunk_rows <> [] then begin
     output_string oc ",\n  \"chunk_sweep\": [\n";
     List.iteri
-      (fun i (d, _mult, chunks, par_t, par_mean, speedup) ->
+      (fun i (d, mult, chunks, par_t, par_mean, speedup) ->
         Printf.fprintf oc
-          "    { \"domains\": %d, \"chunks\": %d, \"parallel_s\": %.6f, \
-           \"mean_s\": %.6f, \"speedup\": %.4f, \"oversubscribed\": %b }%s\n"
-          d chunks par_t par_mean speedup (oversubscribed d)
+          "    { \"domains\": %d, \"chunks\": %d, \"default\": %b, \
+           \"parallel_s\": %.6f, \"mean_s\": %.6f, \"speedup\": %.4f, \
+           \"oversubscribed\": %b }%s\n"
+          d chunks (mult = None) par_t par_mean speedup (oversubscribed d)
           (if i = List.length chunk_rows - 1 then "" else ","))
       chunk_rows;
     output_string oc "  ]"
@@ -987,6 +1022,7 @@ let bench_parallel () =
   else output_string oc "\n}\n";
   close_out oc;
   Printf.printf "[wrote %s]\n" path
+  end
 
 (* ------------------------------------------------------------------ *)
 (* Sweep kernel benchmark: the separable-table curve (Worst_case.curve)
@@ -1209,6 +1245,572 @@ let bench_highdim () =
   Printf.printf "[wrote %s]\n" path
 
 (* ------------------------------------------------------------------ *)
+(* Unboxed-kernel benchmark: the incremental grid evaluator
+   (Sweep.eval_grid) and the node-pool branch-and-bound
+   (Sweep.Bnb.eval ~scratch) against faithful replicas of the engines
+   this tree replaced.  The replicas below are kept verbatim from the
+   seed revision so the "before" column measures real history, not a
+   strawman: [Float.fma] vertex values (a C call each without flambda),
+   the numerator vertex value recomputed for every (plan, pattern), a
+   division for every ratio, per-delta spec-array construction and a
+   division in every search node's bound test.
+
+   Besides time, the part records allocation — minor and major words
+   per grid point, via Obs.measure_alloc — and gates on it: the grid
+   path must allocate exactly zero minor words per point in steady
+   state, and the node-pool search no more than the seed replica.  The
+   gate runs at every size, so `--smoke` (CI) enforces it too. *)
+
+module Seed_replica = struct
+  let vertex ~delta ~inv a b = Float.fma delta a (b *. inv)
+
+  let subset_sums (w : float array) m (out : float array) pos =
+    out.(pos) <- 0.;
+    for i = 0 to m - 1 do
+      let bit = 1 lsl i in
+      for k = bit to (2 * bit) - 1 do
+        out.(pos + k) <- out.(pos + k - bit) +. w.(i)
+      done
+    done
+
+  (* The seed curve evaluator over prebuilt subset-sum tables.  The
+     workload plans are strictly positive, so the degenerate-plan skip
+     and the per-plan-row budget checkpoint (24 calls per delta against
+     ~100k inner iterations) are the only seed lines not replicated. *)
+  let eval ~nv ~mask ~nkept ~(sums : float array) ~(num_sums : float array)
+      ~delta =
+    let inv = 1. /. delta in
+    let best = ref neg_infinity and best_pat = ref (-1) in
+    let pattern_hi = if Float.equal delta 1. then 0 else nv - 1 in
+    for kp = 0 to nkept - 1 do
+      let off = kp * nv in
+      for k = 0 to pattern_hi do
+        let den =
+          vertex ~delta ~inv sums.(off + k) sums.(off + (mask lxor k))
+        in
+        let num = vertex ~delta ~inv num_sums.(k) num_sums.(mask lxor k) in
+        let r = num /. den in
+        if r > !best then begin
+          best := r;
+          best_pat := k
+        end
+      done
+    done;
+    (!best, !best_pat)
+
+  (* --- the seed branch-and-bound, spec records and all --- *)
+
+  type bspec = {
+    dim : int;
+    num_hi : float array;
+    num_lo : float array;
+    den_hi : float array;
+    den_lo : float array;
+    num_bound : float array;
+    num_bound_eq : float array;
+    den_bound : float array;
+    pinned : bool array;
+    identical : bool;
+    leaf : int -> float;
+  }
+
+  let inflate = 1. +. 1e-12
+  let eq_threshold = 1. +. 1e-9
+
+  let leaf_ratio ~delta ~inv ~(wn : float array) ~(wd : float array) k =
+    let an = ref 0. and bn = ref 0. and ad = ref 0. and bd = ref 0. in
+    for i = 0 to Array.length wd - 1 do
+      if k land (1 lsl i) <> 0 then begin
+        an := !an +. wn.(i);
+        ad := !ad +. wd.(i)
+      end
+      else begin
+        bn := !bn +. wn.(i);
+        bd := !bd +. wd.(i)
+      end
+    done;
+    vertex ~delta ~inv !an !bn /. vertex ~delta ~inv !ad !bd
+
+  (* Per-plan search state as the seed [Sweep.Bnb.t] carried it: packed
+     weights and their ascending prefix sums, bitwise [eq]/[pinned]. *)
+  type bnb = {
+    m : int;
+    nkept : int;
+    weights : float array array;
+    num_weights : float array;
+    wsum : float array array;  (* per kept slot, (m+1) prefixes *)
+    nsum : float array;
+    eq : bool array array;
+    bpinned : bool array array;
+    bidentical : bool array;
+  }
+
+  let build_bnb ~plans ~initial ~(center : float array) ~kept =
+    let m = Array.length center in
+    let weights =
+      Array.map
+        (fun p -> Array.init m (fun i -> plans.(p).(i) *. center.(i)))
+        kept
+    in
+    let num_weights = Array.init m (fun i -> initial.(i) *. center.(i)) in
+    let prefix (w : float array) =
+      let out = Array.make (m + 1) 0. in
+      for i = 0 to m - 1 do
+        out.(i + 1) <- out.(i) +. w.(i)
+      done;
+      out
+    in
+    let same_bits a b =
+      Int64.equal (Int64.bits_of_float a) (Int64.bits_of_float b)
+    in
+    let zero_bits x = Int64.equal (Int64.bits_of_float x) 0L in
+    let eq =
+      Array.map
+        (fun (w : float array) ->
+          Array.init m (fun i -> same_bits w.(i) num_weights.(i)))
+        weights
+    in
+    {
+      m;
+      nkept = Array.length kept;
+      weights;
+      num_weights;
+      wsum = Array.map prefix weights;
+      nsum = prefix num_weights;
+      eq;
+      bpinned =
+        Array.map
+          (fun (w : float array) ->
+            Array.init m (fun i ->
+                zero_bits w.(i) && zero_bits num_weights.(i)))
+          weights;
+      bidentical = Array.map (fun e -> Array.for_all Fun.id e) eq;
+    }
+
+  (* Seed spec construction: seven fresh arrays per (plan, delta). *)
+  let spec_of t ~delta ~inv s =
+    let m = t.m in
+    let wd = t.weights.(s) and wn = t.num_weights in
+    let eq = t.eq.(s) in
+    let num_hi = Array.make m 0.
+    and num_lo = Array.make m 0.
+    and den_hi = Array.make m 0.
+    and den_lo = Array.make m 0.
+    and num_bound = Array.make m 0.
+    and num_bound_eq = Array.make m 0.
+    and den_bound = Array.make m 0. in
+    let acc_eq = ref 0. in
+    for i = 0 to m - 1 do
+      num_hi.(i) <- delta *. wn.(i);
+      num_lo.(i) <- wn.(i) *. inv;
+      den_hi.(i) <- delta *. wd.(i);
+      den_lo.(i) <- wd.(i) *. inv;
+      num_bound.(i) <- delta *. t.nsum.(i + 1);
+      den_bound.(i) <- inv *. t.wsum.(s).(i + 1);
+      acc_eq := !acc_eq +. (if eq.(i) then wn.(i) *. inv else delta *. wn.(i));
+      num_bound_eq.(i) <- !acc_eq
+    done;
+    {
+      dim = m;
+      num_hi;
+      num_lo;
+      den_hi;
+      den_lo;
+      num_bound;
+      num_bound_eq;
+      den_bound;
+      pinned = t.bpinned.(s);
+      identical = t.bidentical.(s);
+      leaf = (fun k -> leaf_ratio ~delta ~inv ~wn ~wd k);
+    }
+
+  (* Dinkelbach warm start, verbatim from the seed. *)
+  let greedy_pattern s lambda =
+    let k = ref 0 in
+    for i = 0 to s.dim - 1 do
+      if
+        s.num_hi.(i) -. (lambda *. s.den_hi.(i))
+        > s.num_lo.(i) -. (lambda *. s.den_lo.(i))
+      then k := !k lor (1 lsl i)
+    done;
+    !k
+
+  let seed_value s =
+    let best = ref neg_infinity in
+    let lambda = ref (s.leaf 0) in
+    if Float.is_finite !lambda && !lambda > 0. then best := !lambda
+    else lambda := 1.;
+    (try
+       for _ = 1 to 8 do
+         let k = greedy_pattern s !lambda in
+         let v = s.leaf k in
+         if Float.equal v infinity then begin
+           best := Float.max !best Float.max_float;
+           raise Exit
+         end;
+         if Float.is_finite v && v > !best then best := v;
+         if Float.is_nan v || v <= !lambda then raise Exit;
+         lambda := v
+       done
+     with Exit -> ());
+    !best
+
+  let shared_seed specs =
+    let v =
+      Array.fold_left (fun acc s -> Float.max acc (seed_value s)) neg_infinity
+        specs
+    in
+    if Float.is_finite v && v > 0. then
+      Float.min (v *. (1. -. 1e-12)) (Float.pred v)
+    else neg_infinity
+
+  (* The seed descent: recursive, a division per bound test, and the
+     cross-module [Budget.spend_opt] checkpoint at every node — the
+     per-node costs the node-pool engine removed. *)
+  let descend s ~si ~nodes ~leaves ~best ~best_pat ~best_spec =
+    let rec node depth pattern pnum pden =
+      Qsens_budget.Budget.spend_opt None ~who:"bench-seed-bnb" 1;
+      incr nodes;
+      if depth < 0 then begin
+        incr leaves;
+        let v = s.leaf pattern in
+        if v > !best then begin
+          best := v;
+          best_pat := pattern;
+          best_spec := si
+        end
+      end
+      else begin
+        let nb =
+          if !best > eq_threshold then s.num_bound_eq.(depth)
+          else s.num_bound.(depth)
+        in
+        let ub = (pnum +. nb) /. (pden +. s.den_bound.(depth)) in
+        if ub *. inflate <= !best then ()
+        else if s.pinned.(depth) then
+          node (depth - 1) pattern
+            (pnum +. s.num_lo.(depth))
+            (pden +. s.den_lo.(depth))
+        else begin
+          node (depth - 1) pattern
+            (pnum +. s.num_lo.(depth))
+            (pden +. s.den_lo.(depth));
+          node (depth - 1)
+            (pattern lor (1 lsl depth))
+            (pnum +. s.num_hi.(depth))
+            (pden +. s.den_hi.(depth))
+        end
+      end
+    in
+    node (s.dim - 1) 0 0. 0.
+
+  let bnb_eval t ~delta =
+    let inv = 1. /. delta in
+    if Float.equal delta 1. then begin
+      let best = ref neg_infinity and best_pat = ref (-1) in
+      for s = 0 to t.nkept - 1 do
+        let r =
+          leaf_ratio ~delta ~inv ~wn:t.num_weights ~wd:t.weights.(s) 0
+        in
+        if r > !best then begin
+          best := r;
+          best_pat := 0
+        end
+      done;
+      (!best, !best_pat, t.nkept, t.nkept)
+    end
+    else begin
+      let specs = ref [] in
+      for s = t.nkept - 1 downto 0 do
+        specs := spec_of t ~delta ~inv s :: !specs
+      done;
+      let specs = Array.of_list !specs in
+      let seed = shared_seed specs in
+      let nodes = ref 0 and leaves = ref 0 in
+      let best = ref seed and best_pat = ref (-1) and best_spec = ref (-1) in
+      Array.iteri
+        (fun si s ->
+          if s.identical || s.dim = 0 then begin
+            Qsens_budget.Budget.spend_opt None ~who:"bench-seed-bnb" 1;
+            incr nodes;
+            incr leaves;
+            let v = s.leaf 0 in
+            if v > !best then begin
+              best := v;
+              best_pat := 0;
+              best_spec := si
+            end
+          end
+          else descend s ~si ~nodes ~leaves ~best ~best_pat ~best_spec)
+        specs;
+      ignore !best_spec;
+      (!best, !best_pat, !nodes, !leaves)
+    end
+end
+
+(* Interleaved best-of: alternate the paths round-robin within every
+   round and keep per-path minima, so thermal or scheduler drift over
+   the run biases no path (back-to-back [time_best] repeats measure the
+   machine's mood at two different times).  Returns (best, mean) pairs
+   in seconds per single call of each thunk. *)
+let interleaved ~rounds ~reps fs =
+  let n = Array.length fs in
+  Array.iter (fun f -> f ()) fs;
+  let best = Array.make n infinity and sum = Array.make n 0. in
+  for _ = 1 to rounds do
+    Array.iteri
+      (fun i f ->
+        let t0 = Clock.now_s () in
+        for _ = 1 to reps do
+          f ()
+        done;
+        let dt = (Clock.now_s () -. t0) /. Float.of_int reps in
+        if dt < best.(i) then best.(i) <- dt;
+        sum.(i) <- sum.(i) +. dt)
+      fs
+  done;
+  Array.init n (fun i -> (best.(i), sum.(i) /. Float.of_int rounds))
+
+let bench_kernel () =
+  heading "Unboxed kernels: incremental grid and node-pool search";
+  let curve_dim, bnb_dim, plan_count, rounds, reps =
+    if !sweep_smoke then (8, 10, 8, 3, 2) else (12, 24, 24, 12, 2)
+  in
+  let deltas = Array.of_list Worst_case.default_deltas in
+  let nd = Array.length deltas in
+  let random_plans dim =
+    let st = Random.State.make [| 11; dim |] in
+    Array.init plan_count (fun _ ->
+        Array.init dim (fun _ -> 0.1 +. Random.State.float st 9.9))
+  in
+  let check_close ~what ~before:(vb, pb) ~after:(va, pa) ~delta =
+    (* The replica computes through Float.fma, the kernels through the
+       two-rounding mul/add — values agree to a few ulps, not bitwise;
+       the argmax vertex must agree exactly (random continuous data has
+       no cross-pattern ties). *)
+    let tol = 1e-9 *. Float.max 1. (Float.abs vb) in
+    if Float.abs (va -. vb) > tol || pa <> pb then
+      failwith
+        (Printf.sprintf
+           "kernel %s: seed replica (%.17g, %d) vs kernel (%.17g, %d) at \
+            delta %g"
+           what vb pb va pa delta)
+  in
+  (* --- workload 1: the full-grid curve, exhaustive tables --- *)
+  let plans = random_plans curve_dim in
+  let initial = plans.(0) in
+  let center = Qsens_linalg.Vec.make curve_dim 1. in
+  let sweep = Sweep.build ~plans ~initial ~center () in
+  let nv = 1 lsl curve_dim in
+  let mask = nv - 1 in
+  let kept = Sweep.kept sweep in
+  let nkept = Array.length kept in
+  (* Replica tables via the seed recurrence on plain (boxed-access)
+     float arrays, over the same kept set — table build is shared
+     per-curve work on both sides and is not timed. *)
+  let sums = Array.make (nkept * nv) 0. in
+  Array.iteri
+    (fun s p ->
+      let w = Array.init curve_dim (fun i -> plans.(p).(i) *. center.(i)) in
+      Seed_replica.subset_sums w curve_dim sums (s * nv))
+    kept;
+  let num_w = Array.init curve_dim (fun i -> initial.(i) *. center.(i)) in
+  let num_sums = Array.make nv 0. in
+  Seed_replica.subset_sums num_w curve_dim num_sums 0;
+  let gtc = Float.Array.make nd nan in
+  let patterns = Array.make nd (-1) in
+  let scratch = Sweep.Scratch.create () in
+  (* Partially applied so the (Some scratch) closure environment is
+     allocated once: the steady-state zero-allocation figure is the
+     grid loop's, not the call protocol's. *)
+  let grid = Sweep.eval_grid ~scratch sweep in
+  let run_grid () = grid ~deltas ~gtc ~patterns in
+  let run_seed_curve () =
+    for i = 0 to nd - 1 do
+      ignore
+        (Seed_replica.eval ~nv ~mask ~nkept ~sums ~num_sums ~delta:deltas.(i))
+    done
+  in
+  run_grid ();
+  (* Bitwise contract first: the grid against per-point eval. *)
+  Array.iteri
+    (fun i delta ->
+      let v, p = Sweep.eval sweep ~delta in
+      if
+        Int64.bits_of_float v <> Int64.bits_of_float (Float.Array.get gtc i)
+        || p <> patterns.(i)
+      then
+        failwith
+          (Printf.sprintf
+             "kernel curve: eval_grid differs from per-point eval at delta %g"
+             delta))
+    deltas;
+  (* Then the replica against the kernel, within fma/mul-add tolerance. *)
+  Array.iteri
+    (fun i delta ->
+      let before =
+        Seed_replica.eval ~nv ~mask ~nkept ~sums ~num_sums ~delta
+      in
+      check_close ~what:"curve" ~before
+        ~after:(Float.Array.get gtc i, patterns.(i))
+        ~delta)
+    deltas;
+  let curve_times = interleaved ~rounds ~reps [| run_seed_curve; run_grid |] in
+  let curve_before_t, curve_before_mean = curve_times.(0) in
+  let curve_after_t, curve_after_mean = curve_times.(1) in
+  let _, curve_before_minor, curve_before_major =
+    Obs.measure_alloc ~n:nd run_seed_curve
+  in
+  let _, curve_after_minor, curve_after_major =
+    Obs.measure_alloc ~n:nd run_grid
+  in
+  (* --- workload 2: branch-and-bound beyond the exhaustive gate --- *)
+  let bplans = random_plans bnb_dim in
+  let binitial = bplans.(0) in
+  let bcenter = Qsens_linalg.Vec.make bnb_dim 1. in
+  let bnb = Sweep.Bnb.build ~plans:bplans ~initial:binitial ~center:bcenter () in
+  let bkept = Sweep.Bnb.kept bnb in
+  let seed_bnb =
+    Seed_replica.build_bnb ~plans:bplans ~initial:binitial ~center:bcenter
+      ~kept:bkept
+  in
+  let bsc = Sweep.Bnb.Scratch.create () in
+  let bgtc = Float.Array.make nd nan in
+  let bpatterns = Array.make nd (-1) in
+  let run_flat () =
+    for i = 0 to nd - 1 do
+      let v, p = Sweep.Bnb.eval ~scratch:bsc bnb ~delta:deltas.(i) in
+      Float.Array.set bgtc i v;
+      bpatterns.(i) <- p
+    done
+  in
+  let run_seed_bnb () =
+    for i = 0 to nd - 1 do
+      ignore (Seed_replica.bnb_eval seed_bnb ~delta:deltas.(i))
+    done
+  in
+  run_flat ();
+  (* Bitwise contract: the node-pool engine against the classic one. *)
+  let total_nodes = ref 0 and total_leaves = ref 0 in
+  Array.iteri
+    (fun i delta ->
+      let (v, p), (n, l) = Sweep.Bnb.eval_with_stats bnb ~delta in
+      total_nodes := !total_nodes + n;
+      total_leaves := !total_leaves + l;
+      if
+        Int64.bits_of_float v <> Int64.bits_of_float (Float.Array.get bgtc i)
+        || p <> bpatterns.(i)
+      then
+        failwith
+          (Printf.sprintf
+             "kernel bnb: node-pool search differs from classic at delta %g"
+             delta))
+    deltas;
+  (* Replica against the kernel, within tolerance. *)
+  Array.iteri
+    (fun i delta ->
+      let vb, pb, _, _ = Seed_replica.bnb_eval seed_bnb ~delta in
+      check_close ~what:"bnb" ~before:(vb, pb)
+        ~after:(Float.Array.get bgtc i, bpatterns.(i))
+        ~delta)
+    deltas;
+  let bnb_times = interleaved ~rounds ~reps [| run_seed_bnb; run_flat |] in
+  let bnb_before_t, bnb_before_mean = bnb_times.(0) in
+  let bnb_after_t, bnb_after_mean = bnb_times.(1) in
+  let _, bnb_before_minor, bnb_before_major =
+    Obs.measure_alloc ~n:nd run_seed_bnb
+  in
+  let _, bnb_after_minor, bnb_after_major = Obs.measure_alloc ~n:nd run_flat in
+  (* --- report --- *)
+  let t =
+    Table_r.make
+      ~header:[ "workload"; "path"; "best (ms)"; "mean (ms)"; "speedup";
+                "minor w/pt"; "major w/pt" ]
+  in
+  let row workload path best mean speedup minor major =
+    Table_r.add_row t
+      [ workload; path;
+        Printf.sprintf "%.3f" (best *. 1e3);
+        Printf.sprintf "%.3f" (mean *. 1e3);
+        (match speedup with
+        | None -> "1.00x"
+        | Some s -> Printf.sprintf "%.2fx" s);
+        Printf.sprintf "%.1f" minor; Printf.sprintf "%.1f" major ]
+  in
+  let curve_name = Printf.sprintf "curve dim=%d plans=%d" curve_dim plan_count in
+  let bnb_name = Printf.sprintf "bnb dim=%d plans=%d" bnb_dim plan_count in
+  row curve_name "seed-replica" curve_before_t curve_before_mean None
+    curve_before_minor curve_before_major;
+  row curve_name "grid-kernel" curve_after_t curve_after_mean
+    (Some (curve_before_t /. curve_after_t))
+    curve_after_minor curve_after_major;
+  row bnb_name "seed-replica" bnb_before_t bnb_before_mean None
+    bnb_before_minor bnb_before_major;
+  row bnb_name "node-pool" bnb_after_t bnb_after_mean
+    (Some (bnb_before_t /. bnb_after_t))
+    bnb_after_minor bnb_after_major;
+  Table_r.print t;
+  Printf.printf
+    "(grid=%d interleaved best-of-%d x%d; grid kernel bit-identical to \
+     per-point eval, node pool bit-identical to the classic engine, seed \
+     replicas within 1e-9 relative; %d search nodes / %d leaves per bnb \
+     grid)\n"
+    nd rounds reps !total_nodes !total_leaves;
+  let path = Filename.concat (results_dir ()) "BENCH_kernel.json" in
+  let oc = open_out path in
+  Printf.fprintf oc
+    "{\n  \"smoke\": %b,\n  \"grid_points\": %d,\n  \"rounds\": %d,\n  \
+     \"reps\": %d,\n"
+    !sweep_smoke nd rounds reps;
+  let emit name ~dim ~before_t ~before_mean ~before_minor ~before_major
+      ~after_t ~after_mean ~after_minor ~after_major ~extra ~last =
+    Printf.fprintf oc
+      "  %S: {\n    \"dim\": %d, \"plans\": %d,%s\n    \"before\": { \
+       \"best_s\": %.6f, \"mean_s\": %.6f, \"minor_words_per_point\": %.2f, \
+       \"major_words_per_point\": %.2f },\n    \"after\": { \"best_s\": \
+       %.6f, \"mean_s\": %.6f, \"minor_words_per_point\": %.2f, \
+       \"major_words_per_point\": %.2f },\n    \"speedup\": %.4f\n  }%s\n"
+      name dim plan_count extra before_t before_mean before_minor before_major
+      after_t after_mean after_minor after_major (before_t /. after_t)
+      (if last then "" else ",")
+  in
+  emit "curve" ~dim:curve_dim ~before_t:curve_before_t
+    ~before_mean:curve_before_mean ~before_minor:curve_before_minor
+    ~before_major:curve_before_major ~after_t:curve_after_t
+    ~after_mean:curve_after_mean ~after_minor:curve_after_minor
+    ~after_major:curve_after_major ~extra:"" ~last:false;
+  emit "bnb" ~dim:bnb_dim ~before_t:bnb_before_t ~before_mean:bnb_before_mean
+    ~before_minor:bnb_before_minor ~before_major:bnb_before_major
+    ~after_t:bnb_after_t ~after_mean:bnb_after_mean
+    ~after_minor:bnb_after_minor ~after_major:bnb_after_major
+    ~extra:
+      (Printf.sprintf " \"nodes\": %d, \"leaves\": %d," !total_nodes
+         !total_leaves)
+    ~last:true;
+  output_string oc "}\n";
+  close_out oc;
+  Printf.printf "[wrote %s]\n" path;
+  (* Allocation gate (CI: `bench kernel --smoke`).  The grid contract
+     is absolute — zero steady-state minor words per point; the search
+     contract is relative — never more than the seed engine it
+     replaced (the result pair and per-delta probe bookkeeping remain).
+     measure_alloc clamps at zero, so the grid check is an equality. *)
+  if curve_after_minor > 0. then begin
+    Printf.eprintf
+      "kernel gate: grid path allocates %.2f minor words per point \
+       (expected 0)\n"
+      curve_after_minor;
+    exit 1
+  end;
+  if bnb_after_minor > bnb_before_minor then begin
+    Printf.eprintf
+      "kernel gate: node-pool search allocates %.2f minor words per point, \
+       more than the %.2f of the seed engine\n"
+      bnb_after_minor bnb_before_minor;
+    exit 1
+  end
+
+(* ------------------------------------------------------------------ *)
 
 let all_parts =
   [
@@ -1230,11 +1832,13 @@ let all_parts =
     ("parallel", bench_parallel);
     ("sweep", bench_sweep);
     ("highdim", bench_highdim);
+    ("kernel", bench_kernel);
   ]
 
 let usage () =
   Printf.printf
-    "usage: bench [--domains N] [--metrics] [--smoke] [--chunk] [part ...]\n\n";
+    "usage: bench [--domains N] [--metrics] [--smoke] [--chunk] [--force] \
+     [part ...]\n\n";
   Printf.printf "parts (default: all):\n  %s\n\n"
     (String.concat " " (List.map fst all_parts));
   Printf.printf
@@ -1244,11 +1848,17 @@ let usage () =
     \  --metrics     record observability counters per part (printed after \
      each\n\
     \                part and written to BENCH_metrics.json)\n\
-    \  --smoke       shrink the 'sweep' and 'highdim' parts to CI-smoke \
-     sizes\n\
-    \                (highdim also cross-checks the pruned path bitwise at \
-     dim 8)\n\
+    \  --smoke       shrink the 'sweep', 'highdim' and 'kernel' parts to \
+     CI-smoke\n\
+    \                sizes (highdim also cross-checks the pruned path \
+     bitwise at\n\
+    \                dim 8; kernel enforces its allocation gate at every \
+     size)\n\
     \  --chunk       add a chunk-granularity sweep to the 'parallel' part\n\
+    \                (includes the auto-tuned default alongside explicit \
+     counts)\n\
+    \  --force       let a single-CPU run overwrite a committed multi-CPU\n\
+    \                BENCH_parallel.json (refused by default)\n\
     \  --help, -h    show this message\n"
 
 (* Per-part observability: with --metrics, each part runs in a fresh
@@ -1317,6 +1927,9 @@ let () =
         strip rest
     | "--chunk" :: rest ->
         chunk_sweep_on := true;
+        strip rest
+    | "--force" :: rest ->
+        force_overwrite := true;
         strip rest
     | x :: rest -> x :: strip rest
     | [] -> []

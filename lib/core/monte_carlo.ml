@@ -35,22 +35,26 @@ let gtc_distribution ?(seed = 97) ?(samples = 10_000) ?pool ?budget ~plans
      replicates [Framework.optimal_index]'s strict-< lowest-index scan,
      and the 0-denominator branches match [Framework.relative_cost]. *)
   let mat = Kernel.pack plans in
-  let gtc_at theta costs_scratch =
+  let gtc_at theta costs =
     if np = 0 then Framework.global_relative_cost ~plans ~a:initial ~costs:theta
     else begin
-      Kernel.matvec mat theta costs_scratch;
+      Kernel.matvec_into mat theta costs;
       let best = ref 0 in
       for i = 1 to np - 1 do
-        if costs_scratch.(i) < costs_scratch.(!best) then best := i
+        if Float.Array.get costs i < Float.Array.get costs !best then best := i
       done;
-      let denom = costs_scratch.(!best) in
+      let denom = Float.Array.get costs !best in
       if Float.equal denom 0. then
         if Float.equal (Vec.dot initial theta) 0. then 1. else infinity
       else Vec.dot initial theta /. denom
     end
   in
   let fill st lo hi =
-    let costs_scratch = Vec.zero np in
+    (* Per-task unboxed cost buffer (a Kernel scratch is single-owner
+       state, so each domain makes its own). *)
+    let costs_scratch =
+      Kernel.Scratch.ensure (Kernel.Scratch.create ()) np
+    in
     let local_optimal = ref 0 in
     for i = lo to hi - 1 do
       let theta = Box.sample st box in

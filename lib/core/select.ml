@@ -104,24 +104,48 @@ let regrets_fractional ?pool ~plans ~center delta =
     plans
 
 let curve_exhaustive ?pool ~plans ~center ~deltas () =
+  (* One subset-sum build for the whole candidate set: the per-plan
+     tables, kept set and degenerate flags depend only on (plans,
+     center), so candidate [i]'s sweep is a [rebind] of the first —
+     bit-identical to a fresh build with that initial at a fraction of
+     the cost (only the numerator side is recomputed). *)
+  let base = Sweep.build ?pool ~plans ~initial:plans.(0) ~center () in
   let sweeps =
-    Array.map
-      (fun initial -> Sweep.build ?pool ~plans ~initial ~center ())
+    Array.mapi
+      (fun i initial -> if i = 0 then base else Sweep.rebind base ~initial)
       plans
   in
-  List.map
-    (fun delta ->
-      (* qsens-check: disable=C003 — no budget here, so Sweep.eval cannot raise Exhausted *)
-      (delta, Array.map (fun sw -> fst (Sweep.eval sw ~delta)) sweeps, 0))
-    deltas
+  let darr = Array.of_list deltas in
+  let nd = Array.length darr in
+  let np = Array.length plans in
+  let regrets = Array.init nd (fun _ -> Array.make np nan) in
+  let gtc = Float.Array.make nd nan in
+  let patterns = Array.make nd (-1) in
+  let scratch = Sweep.Scratch.create () in
+  Array.iteri
+    (fun i sw ->
+      (* Whole-grid incremental eval per candidate — bit-identical to
+         per-point [Sweep.eval], zero minor words per point once the
+         scratch is warm. *)
+      Sweep.eval_grid ~scratch sw ~deltas:darr ~gtc ~patterns;
+      for di = 0 to nd - 1 do
+        regrets.(di).(i) <- Float.Array.get gtc di
+      done)
+    sweeps;
+  List.init nd (fun di -> (darr.(di), regrets.(di), 0))
 
 let curve_bnb ?pool ?(node_budget = Limits.default_bnb_node_budget) ~plans
     ~center ~deltas () =
+  (* As [curve_exhaustive]: one build, then a numerator-only [rebind]
+     per further candidate. *)
+  let base = Sweep.Bnb.build ~plans ~initial:plans.(0) ~center () in
   let searches =
-    Array.map
-      (fun initial -> Sweep.Bnb.build ~plans ~initial ~center ())
+    Array.mapi
+      (fun i initial ->
+        if i = 0 then base else Sweep.Bnb.rebind base ~initial)
       plans
   in
+  let scratch = Sweep.Bnb.Scratch.create () in
   List.map
     (fun delta ->
       let fallbacks = ref 0 in
@@ -130,9 +154,10 @@ let curve_bnb ?pool ?(node_budget = Limits.default_bnb_node_budget) ~plans
           (fun i bnb ->
             (* A budgeted search runs sequentially, so whether a cell
                trips is a pure function of (budget, plans, delta) — the
-               fallback set is deterministic for any pool size. *)
+               fallback set is deterministic for any pool size; the
+               node-pool scratch preserves the exact trip points. *)
             let budget = Budget.create node_budget in
-            match Sweep.Bnb.eval ?pool ~budget bnb ~delta with
+            match Sweep.Bnb.eval ?pool ~budget ~scratch bnb ~delta with
             | gtc, _ -> gtc
             | exception Budget.Exhausted _ ->
                 incr fallbacks;

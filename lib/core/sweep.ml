@@ -82,14 +82,16 @@ let dominance_kept ~prune ~plans ~totals =
     kept
   end
 
+module FA = Float.Array
+
 type t = {
   center : Vec.t;
   dim : int;
   nv : int;
   mask : int;
   kept : int array;
-  sums : float array;
-  num_sums : float array;
+  sums : floatarray;  (* nkept x 2^dim, flat and unboxed *)
+  num_sums : floatarray;
   degenerate : bool array;
   initial_zero : bool;
 }
@@ -99,17 +101,29 @@ let num_patterns t = t.nv
 let kept t = Array.copy t.kept
 let center t = Vec.copy t.center
 
+let bytes t =
+  (* Unboxed tables at 8 bytes per entry, boxed metadata at one word per
+     element, plus fixed record/header overhead — an honest resident
+     size computed from dimensions alone, with no marshalling. *)
+  8
+  * (FA.length t.sums + FA.length t.num_sums + Array.length t.center
+    + Array.length t.kept + Array.length t.degenerate)
+  + 96
+
 (* Subset sums by the highest-bit recurrence: the entry for a pattern
    whose top bit is [i] extends the entry with that bit cleared by
    [w.(i)], so every subset accumulates its terms in ascending index
    order — the same association as an ascending fold, which keeps the
-   full-pattern entry bit-identical to the [s_total] prepass sum. *)
+   full-pattern entry bit-identical to the [s_total] prepass sum.
+   Bounds: callers pass [pos] with [pos + 2^m <= length out], so the
+   fill runs on unsafe accessors. *)
 let subset_sums w m out pos =
-  out.(pos) <- 0.;
+  FA.set out pos 0.;
   for i = 0 to m - 1 do
     let bit = 1 lsl i in
+    let wi = Array.unsafe_get w i in
     for k = bit to (2 * bit) - 1 do
-      out.(pos + k) <- out.(pos + k - bit) +. w.(i)
+      FA.unsafe_set out (pos + k) (FA.unsafe_get out (pos + k - bit) +. wi)
     done
   done
 
@@ -120,7 +134,13 @@ let ascending_sum w =
   done;
   !acc
 
-let vertex_value ~delta ~inv a b = Float.fma delta a (b *. inv)
+(* Two-rounding product-sum, NOT [Float.fma]: ocamlopt (no flambda)
+   compiles [Float.fma] to a [caml_fma] C call whose call overhead
+   dominates the grid scan (measured ~35% of the inner loop).  Every
+   engine — per-point, grid, both branch-and-bound kernels — computes
+   vertex costs through this exact expression, so cross-engine
+   bit-identity is preserved by construction. *)
+let vertex_value ~delta ~inv a b = (delta *. a) +. (b *. inv)
 
 let build ?pool ?(prune = true) ~plans ~initial ~center () =
   let np = Array.length plans in
@@ -142,7 +162,7 @@ let build ?pool ?(prune = true) ~plans ~initial ~center () =
   let kept = dominance_kept ~prune ~plans ~totals in
   Obs.add m_plans_pruned (np - Array.length kept);
   let nkept = Array.length kept in
-  let sums = Array.make (nkept * nv) 0. in
+  let sums = FA.make (nkept * nv) 0. in
   let fill lo hi =
     for kp = lo to hi - 1 do
       (* qsens-check: disable=C001 — each chunk writes the disjoint [kp*nv, (kp+1)*nv) block of [sums] *)
@@ -153,7 +173,7 @@ let build ?pool ?(prune = true) ~plans ~initial ~center () =
   | Some p when Pool.domains p > 1 && nkept > 1 ->
       Pool.parallel_for_chunked p ~n:nkept fill
   | _ -> fill 0 nkept);
-  let num_sums = Array.make nv 0. in
+  let num_sums = FA.make nv 0. in
   subset_sums num_weights m num_sums 0;
   {
     center = Vec.copy center;
@@ -166,6 +186,26 @@ let build ?pool ?(prune = true) ~plans ~initial ~center () =
     degenerate;
     initial_zero;
   }
+
+(* Rebinding shares everything delta- and initial-independent — the
+   per-plan subset-sum tables, the dominance-pruned kept set, the
+   degenerate flags (all functions of [plans] and [center] alone) — and
+   recomputes only the numerator side.  The result is bit-identical to a
+   fresh [build] with the same [initial]: the shared tables were computed
+   by exactly the code a rebuild would run.  Minimax-regret selection
+   leans on this to evaluate N candidates from one O(plans * 2^dim)
+   build instead of N of them. *)
+let rebind t ~initial =
+  if Vec.dim initial <> t.dim then
+    invalid_arg "Sweep.rebind: dimension mismatch";
+  Array.iter
+    (fun x -> if x < 0. then invalid_arg "Sweep.rebind: negative component")
+    initial;
+  let num_weights = Vec.map2 ( *. ) initial t.center in
+  let initial_zero = Float.equal (ascending_sum num_weights) 0. in
+  let num_sums = FA.make t.nv 0. in
+  subset_sums num_weights t.dim num_sums 0;
+  { t with num_sums; initial_zero }
 
 let eval ?budget t ~delta =
   if delta < 1. then invalid_arg "Sweep.eval: delta must be >= 1";
@@ -191,8 +231,15 @@ let eval ?budget t ~delta =
       Budget.spend_opt budget ~who:"Sweep.eval" (pattern_hi + 1);
       let off = kp * nv in
       for k = 0 to pattern_hi do
-        let den = vertex_value ~delta ~inv sums.(off + k) sums.(off + (mask lxor k)) in
-        let num = vertex_value ~delta ~inv num_sums.(k) num_sums.(mask lxor k) in
+        let den =
+          vertex_value ~delta ~inv
+            (FA.unsafe_get sums (off + k))
+            (FA.unsafe_get sums (off + (mask lxor k)))
+        in
+        let num =
+          vertex_value ~delta ~inv (FA.unsafe_get num_sums k)
+            (FA.unsafe_get num_sums (mask lxor k))
+        in
         let r = num /. den in
         (* Strict improvement: lowest (plan, pattern) wins ties and NaN
            ratios fall through, exactly like the per-plan argmax. *)
@@ -206,6 +253,111 @@ let eval ?budget t ~delta =
   Obs.add m_degenerate_ratios !degen;
   if !best_pat >= 0 then (!best, !best_pat)
   else ((if !degen > 0 then nan else !best), -1)
+
+(* ------------------------------------------------------------------ *)
+(* Incremental grid evaluation.  Two observations over [eval]:
+
+   - The numerator vertex values [fma delta num_sums(k)
+     (num_sums(~k) * inv)] do not depend on the plan, yet the per-point
+     scan recomputes them for every kept plan.  Hoisting them into a
+     per-delta buffer — carried in the caller's scratch across the whole
+     grid — halves the FMA count.  The hoisted values are produced by
+     the exact expression [eval] evaluates inline, so every ratio (and
+     hence the argmax) is bit-identical.
+
+   - All storage is unboxed and every index is in range by construction
+     ([k <= mask], [off + mask < length sums]), so the scan runs on
+     unsafe accessors and writes results into caller-owned buffers:
+     steady state allocates zero minor-heap words per grid point
+     (enforced by the bench kernel gate in CI). *)
+
+module Scratch = struct
+  type t = { mutable num : floatarray }
+
+  let create () = { num = FA.create 0 }
+
+  let ensure t n =
+    if FA.length t.num < n then t.num <- FA.create n;
+    t.num
+end
+
+let eval_grid ?scratch t ~deltas ~gtc ~patterns =
+  let nd = Array.length deltas in
+  if FA.length gtc < nd then
+    invalid_arg "Sweep.eval_grid: gtc buffer shorter than deltas";
+  if Array.length patterns < nd then
+    invalid_arg "Sweep.eval_grid: patterns buffer shorter than deltas";
+  (* Monomorphic validation loop: a polymorphic [Array.iter] over a float
+     array boxes every element (2 minor words per delta), which would break
+     the zero-allocation contract of the grid path. *)
+  for i = 0 to nd - 1 do
+    if Array.unsafe_get deltas i < 1. then
+      invalid_arg "Sweep.eval_grid: delta must be >= 1"
+  done;
+  let scratch = match scratch with Some s -> s | None -> Scratch.create () in
+  let nv = t.nv and mask = t.mask in
+  let num_buf = Scratch.ensure scratch nv in
+  let sums = t.sums and num_sums = t.num_sums in
+  let kept = t.kept and degenerate = t.degenerate in
+  let initial_zero = t.initial_zero in
+  let nkept = Array.length kept in
+  (* qsens-hot: begin *)
+  for di = 0 to nd - 1 do
+    let delta = Array.unsafe_get deltas di in
+    Obs.add m_evals 1;
+    let inv = 1. /. delta in
+    (* Same collapsed-box shortcut as [eval]: pattern 0 only. *)
+    let pattern_hi = if Float.equal delta 1. then 0 else nv - 1 in
+    for k = 0 to pattern_hi do
+      FA.unsafe_set num_buf k
+        ((delta *. FA.unsafe_get num_sums k)
+        +. (FA.unsafe_get num_sums (mask lxor k) *. inv))
+    done;
+    let best = ref neg_infinity and best_pat = ref (-1) and degen = ref 0 in
+    (* Division filter: the scan is division-throughput-bound, yet almost
+       no (plan, pattern) pair improves on the incumbent.  With num, den
+       >= 0, [fl (num /. den) > best] implies [num > best * den] over the
+       reals, and [thr = fl (best * (1 - 2^-52))] undershoots [best] by
+       more than one rounding, so [fl (thr *. den) < best * den < num].
+       Hence testing [not (num <= thr *. den)] (a multiply) passes every
+       pair whose exact ratio beats the incumbent; only those few pay the
+       division, and the update itself still compares the bit-exact
+       [num /. den], preserving [eval]'s value, argmax, and tie order.
+       The negated [<=] keeps NaN products conservative: [thr = -inf]
+       (initial) or [thr = inf] (den = 0 incumbent) times [den = 0] is
+       NaN, which must fall through to the exact division — a degenerate
+       plan's [num /. 0. = inf] ratio is a real improvement. *)
+    let thr = ref neg_infinity in
+    for kp = 0 to nkept - 1 do
+      let p = Array.unsafe_get kept kp in
+      if Array.unsafe_get degenerate p && initial_zero then incr degen
+      else begin
+        let off = kp * nv in
+        for k = 0 to pattern_hi do
+          let den =
+            (delta *. FA.unsafe_get sums (off + k))
+            +. (FA.unsafe_get sums (off + (mask lxor k)) *. inv)
+          in
+          let num = FA.unsafe_get num_buf k in
+          if not (num <= !thr *. den) then begin
+            let r = num /. den in
+            if r > !best then begin
+              best := r;
+              best_pat := k;
+              thr := r *. 0x1.fffffffffffffp-1
+            end
+          end
+        done
+      end
+    done;
+    Obs.add m_degenerate_ratios !degen;
+    FA.unsafe_set gtc di
+      (if !best_pat >= 0 then !best
+       else if !degen > 0 then nan
+       else !best);
+    Array.unsafe_set patterns di !best_pat
+  done
+(* qsens-hot: end *)
 
 let check_pattern t pattern =
   if pattern < 0 || pattern >= t.nv then
@@ -225,19 +377,19 @@ let kept_slot t plan =
 
 let plan_a t ~plan ~pattern =
   check_pattern t pattern;
-  t.sums.((kept_slot t plan * t.nv) + pattern)
+  FA.get t.sums ((kept_slot t plan * t.nv) + pattern)
 
 let plan_b t ~plan ~pattern =
   check_pattern t pattern;
-  t.sums.((kept_slot t plan * t.nv) + (t.mask lxor pattern))
+  FA.get t.sums ((kept_slot t plan * t.nv) + (t.mask lxor pattern))
 
 let initial_a t ~pattern =
   check_pattern t pattern;
-  t.num_sums.(pattern)
+  FA.get t.num_sums pattern
 
 let initial_b t ~pattern =
   check_pattern t pattern;
-  t.num_sums.(t.mask lxor pattern)
+  FA.get t.num_sums (t.mask lxor pattern)
 
 (* ------------------------------------------------------------------ *)
 (* Branch-and-bound evaluation: same worst-case GTC argmax as [eval],
@@ -256,8 +408,8 @@ module Bnb = struct
     kept : int array;
     weights : float array array;  (* kept-slot indexed *)
     num_weights : float array;
-    wsum : float array;  (* kept x (dim+1) ascending prefix sums *)
-    nsum : float array;  (* (dim+1) ascending prefix sums *)
+    wsum : floatarray;  (* kept x (dim+1) ascending prefix sums, flat *)
+    nsum : floatarray;  (* (dim+1) ascending prefix sums *)
     eq : bool array array;  (* weight bitwise equal to the initial's *)
     pinned : bool array array;  (* both weights bitwise +0. *)
     identical : bool array;  (* whole plan bitwise equal to the initial *)
@@ -268,6 +420,22 @@ module Bnb = struct
   let dim t = t.dim
   let kept t = Array.copy t.kept
   let center t = Vec.copy t.center
+
+  let bytes t =
+    let m = t.dim in
+    let nkept = Array.length t.kept in
+    (* Unboxed prefix tables at 8 bytes per entry; boxed float rows and
+       bool rows at one word per element plus one header word per row;
+       fixed record overhead.  Dimensions only — no marshalling. *)
+    8
+    * (FA.length t.wsum + FA.length t.nsum
+      + (nkept * m) + m (* weights + num_weights *)
+      + (2 * nkept * m) (* eq + pinned *)
+      + nkept (* identical *)
+      + Array.length t.degenerate
+      + nkept (* kept *) + m (* center *)
+      + (4 * nkept) (* row headers *))
+    + 160
 
   let same_bits a b = Int64.equal (Int64.bits_of_float a) (Int64.bits_of_float b)
 
@@ -320,6 +488,38 @@ module Bnb = struct
       initial_zero;
     }
 
+  (* Same sharing argument as the exhaustive [rebind]: the packed
+     weights, their prefix sums, the kept set and the degenerate flags
+     depend only on [plans] and [center]; the numerator side — and the
+     bitwise-comparison tables [eq]/[pinned]/[identical], which compare
+     against the initial's weights — is recomputed exactly as [build]
+     would, so the result is bit-identical to a fresh build. *)
+  let rebind t ~initial =
+    if Vec.dim initial <> t.dim then
+      invalid_arg "Sweep.Bnb.rebind: dimension mismatch";
+    Array.iter
+      (fun x ->
+        if x < 0. then invalid_arg "Sweep.Bnb.rebind: negative component")
+      initial;
+    let m = t.dim in
+    let num_weights = Vec.map2 ( *. ) initial t.center in
+    let initial_zero = Float.equal (ascending_sum num_weights) 0. in
+    let nsum = Kernel.prefix_sums (Kernel.pack [| num_weights |]) in
+    let eq =
+      Array.map
+        (fun w -> Array.init m (fun i -> same_bits w.(i) num_weights.(i)))
+        t.weights
+    in
+    let zero_bits x = Int64.equal (Int64.bits_of_float x) 0L in
+    let pinned =
+      Array.map
+        (fun w ->
+          Array.init m (fun i -> zero_bits w.(i) && zero_bits num_weights.(i)))
+        t.weights
+    in
+    let identical = Array.map (fun e -> Array.for_all Fun.id e) eq in
+    { t with num_weights; nsum; eq; pinned; identical; initial_zero }
+
   (* Exact exhaustive kernel for one pattern: ascending-index partial
      sums on both sides — the same association as the subset-sum tables'
      highest-bit recurrence — through the shared [vertex_value].  The
@@ -364,8 +564,8 @@ module Bnb = struct
       num_lo.(i) <- wn.(i) *. inv;
       den_hi.(i) <- delta *. wd.(i);
       den_lo.(i) <- wd.(i) *. inv;
-      num_bound.(i) <- delta *. t.nsum.(i + 1);
-      den_bound.(i) <- inv *. t.wsum.((s * stride) + i + 1);
+      num_bound.(i) <- delta *. FA.get t.nsum (i + 1);
+      den_bound.(i) <- inv *. FA.get t.wsum ((s * stride) + i + 1);
       acc_eq := !acc_eq +. (if eq.(i) then wn.(i) *. inv else delta *. wn.(i));
       num_bound_eq.(i) <- !acc_eq
     done;
@@ -383,7 +583,102 @@ module Bnb = struct
       leaf = (fun k -> leaf_ratio ~delta ~inv ~wn ~wd k);
     }
 
-  let eval_with_stats ?pool ?budget t ~delta =
+  type bnb = t
+
+  (* Reusable state for the node-pool engine (Vertex_enum.Bnb.Flat):
+     per-kept-slot flat specs whose delta-independent halves (leaf
+     weights, pinned/identical flags) are filled when the scratch is
+     bound to a search, the shared DFS stack, and the stats record.
+     Binding is cached by physical identity, so sweeping a delta grid
+     against one search binds once and then refills only the
+     delta-dependent term tables in place — no per-point allocation
+     beyond the result pair. *)
+  module Scratch = struct
+    module Flat = Vertex_enum.Bnb.Flat
+
+    type t = {
+      mutable src : bnb option;
+      mutable slots : int array;  (* kept slots with a live spec, ascending *)
+      mutable specs : Flat.spec array;
+      stack : Flat.stack;
+      stats : Vertex_enum.Bnb.stats;
+      mutable ndegen : int;
+    }
+
+    let create () =
+      {
+        src = None;
+        slots = [||];
+        specs = [||];
+        stack = Flat.make_stack ();
+        stats = Vertex_enum.Bnb.fresh_stats ();
+        ndegen = 0;
+      }
+
+    let bind sc (t : bnb) =
+      match sc.src with
+      | Some s when s == t -> ()
+      | _ ->
+          let nkept = Array.length t.kept in
+          let m = t.dim in
+          let live = ref [] and ndegen = ref 0 in
+          for s = nkept - 1 downto 0 do
+            if t.degenerate.(t.kept.(s)) && t.initial_zero then incr ndegen
+            else live := s :: !live
+          done;
+          let slots = Array.of_list !live in
+          let specs =
+            Array.map
+              (fun s ->
+                let sp = Flat.make_spec ~dim:m in
+                let wd = t.weights.(s) and pinned = t.pinned.(s) in
+                for i = 0 to m - 1 do
+                  FA.set sp.Flat.wn i t.num_weights.(i);
+                  FA.set sp.Flat.wd i wd.(i);
+                  sp.Flat.pinned.(i) <- pinned.(i)
+                done;
+                sp.Flat.identical <- t.identical.(s);
+                sp)
+              slots
+          in
+          sc.src <- Some t;
+          sc.slots <- slots;
+          sc.specs <- specs;
+          sc.ndegen <- !ndegen
+
+    (* Exactly [spec_of]'s arithmetic, term for term, written into the
+       preallocated tables — so the flat search runs on bit-identical
+       bounds and leaf weights. *)
+    let fill_delta sc (t : bnb) ~delta ~inv =
+      let m = t.dim in
+      let stride = m + 1 in
+      let wn = t.num_weights in
+      Array.iteri
+        (fun idx s ->
+          let sp = sc.specs.(idx) in
+          let wd = t.weights.(s) and eq = t.eq.(s) in
+          sp.Flat.delta <- delta;
+          sp.Flat.inv <- inv;
+          let acc_eq = ref 0. in
+          for i = 0 to m - 1 do
+            let wni = Array.unsafe_get wn i and wdi = Array.unsafe_get wd i in
+            FA.unsafe_set sp.Flat.num_hi i (delta *. wni);
+            FA.unsafe_set sp.Flat.num_lo i (wni *. inv);
+            FA.unsafe_set sp.Flat.den_hi i (delta *. wdi);
+            FA.unsafe_set sp.Flat.den_lo i (wdi *. inv);
+            FA.unsafe_set sp.Flat.num_bound i
+              (delta *. FA.unsafe_get t.nsum (i + 1));
+            FA.unsafe_set sp.Flat.den_bound i
+              (inv *. FA.unsafe_get t.wsum ((s * stride) + i + 1));
+            acc_eq :=
+              !acc_eq
+              +. (if Array.unsafe_get eq i then wni *. inv else delta *. wni);
+            FA.unsafe_set sp.Flat.num_bound_eq i !acc_eq
+          done)
+        sc.slots
+  end
+
+  let eval_with_stats ?pool ?budget ?scratch t ~delta =
     if delta < 1. then invalid_arg "Sweep.Bnb.eval: delta must be >= 1";
     Obs.add m_bnb_evals 1;
     let inv = 1. /. delta in
@@ -417,25 +712,54 @@ module Bnb = struct
         (res, (!leaves, !leaves))
       end
       else begin
-        let specs = ref [] in
-        for s = nkept - 1 downto 0 do
-          if t.degenerate.(t.kept.(s)) && t.initial_zero then incr degen
-          else specs := spec_of t ~delta ~inv s :: !specs
-        done;
-        let specs = Array.of_list !specs in
-        let stats = Vertex_enum.Bnb.fresh_stats () in
-        let v, pat, _ = Vertex_enum.Bnb.search ?pool ~stats ?budget specs in
-        Obs.add m_bnb_nodes stats.Vertex_enum.Bnb.nodes;
-        Obs.add m_bnb_leaves stats.Vertex_enum.Bnb.leaves;
-        let res =
-          if pat >= 0 then (v, pat)
-          else ((if !degen > 0 then nan else v), -1)
+        (* The node-pool engine is the sequential path: a multi-domain
+           unbudgeted search still shards through the boxed engine (the
+           incumbent cannot travel through caller-owned scratch), and a
+           budgeted search runs sequentially by contract either way. *)
+        let sequential =
+          Option.is_some budget
+          || match pool with Some p -> Pool.domains p <= 1 | None -> true
         in
-        (res, (stats.Vertex_enum.Bnb.nodes, stats.Vertex_enum.Bnb.leaves))
+        match scratch with
+        | Some sc when sequential ->
+            Scratch.bind sc t;
+            Scratch.fill_delta sc t ~delta ~inv;
+            degen := sc.Scratch.ndegen;
+            let stats = sc.Scratch.stats in
+            stats.Vertex_enum.Bnb.nodes <- 0;
+            stats.Vertex_enum.Bnb.leaves <- 0;
+            let v, pat, _ =
+              Vertex_enum.Bnb.Flat.search ?budget ~stats
+                ~stack:sc.Scratch.stack sc.Scratch.specs
+            in
+            Obs.add m_bnb_nodes stats.Vertex_enum.Bnb.nodes;
+            Obs.add m_bnb_leaves stats.Vertex_enum.Bnb.leaves;
+            let res =
+              if pat >= 0 then (v, pat)
+              else ((if !degen > 0 then nan else v), -1)
+            in
+            (res, (stats.Vertex_enum.Bnb.nodes, stats.Vertex_enum.Bnb.leaves))
+        | _ ->
+            let specs = ref [] in
+            for s = nkept - 1 downto 0 do
+              if t.degenerate.(t.kept.(s)) && t.initial_zero then incr degen
+              else specs := spec_of t ~delta ~inv s :: !specs
+            done;
+            let specs = Array.of_list !specs in
+            let stats = Vertex_enum.Bnb.fresh_stats () in
+            let v, pat, _ = Vertex_enum.Bnb.search ?pool ~stats ?budget specs in
+            Obs.add m_bnb_nodes stats.Vertex_enum.Bnb.nodes;
+            Obs.add m_bnb_leaves stats.Vertex_enum.Bnb.leaves;
+            let res =
+              if pat >= 0 then (v, pat)
+              else ((if !degen > 0 then nan else v), -1)
+            in
+            (res, (stats.Vertex_enum.Bnb.nodes, stats.Vertex_enum.Bnb.leaves))
       end
     in
     Obs.add m_degenerate_ratios !degen;
     result
 
-  let eval ?pool ?budget t ~delta = fst (eval_with_stats ?pool ?budget t ~delta)
+  let eval ?pool ?budget ?scratch t ~delta =
+    fst (eval_with_stats ?pool ?budget ?scratch t ~delta)
 end

@@ -63,6 +63,21 @@ val build :
     componentwise positive [center], and nonnegative [plans]/[initial];
     raises [Invalid_argument] otherwise. *)
 
+val rebind : t -> initial:Vec.t -> t
+(** [rebind t ~initial] is a sweep for the same plans, center and box
+    family but a different initial plan — sharing the per-plan
+    subset-sum tables, kept set and degenerate flags (which depend only
+    on plans and center) and recomputing just the numerator side.
+    Bit-identical to [build ~plans ~initial ~center ()] at a fraction of
+    its cost; minimax-regret selection evaluates every candidate from
+    one build this way.  Raises [Invalid_argument] on dimension mismatch
+    or a negative component. *)
+
+val bytes : t -> int
+(** Resident size in bytes, computed from the table dimensions (8 bytes
+    per unboxed entry plus per-field overhead) — the honest [size_of]
+    for the server's byte-budgeted caches; no marshalling involved. *)
+
 val eval : ?budget:Qsens_budget.Budget.t -> t -> delta:float -> float * int
 (** [eval t ~delta] is [(gtc, pattern)]: the worst-case GTC over
     [Box.around center ~delta] and the sign pattern of an attaining
@@ -86,9 +101,40 @@ val eval : ?budget:Qsens_budget.Budget.t -> t -> delta:float -> float * int
     unbudgeted one. *)
 
 val vertex_value : delta:float -> inv:float -> float -> float -> float
-(** [vertex_value ~delta ~inv a b] is [fma delta a (b *. inv)] — the
-    vertex cost [delta*A + B/delta] with [inv = 1/delta].  Exposed so
-    tests and callers reproduce the kernel's exact bits. *)
+(** [vertex_value ~delta ~inv a b] is [(delta *. a) +. (b *. inv)] — the
+    vertex cost [delta*A + B/delta] with [inv = 1/delta], in exactly two
+    roundings.  (Not [Float.fma]: without flambda that is a C call whose
+    overhead dominates the unboxed grid scan.)  Exposed so tests and
+    callers reproduce the kernel's exact bits. *)
+
+(** Reusable buffer for {!eval_grid}'s hoisted numerator table; grows to
+    the largest pattern count ever evaluated, then is reused.
+    Single-owner mutable state — never share one across domains. *)
+module Scratch : sig
+  type t
+
+  val create : unit -> t
+end
+
+val eval_grid :
+  ?scratch:Scratch.t ->
+  t ->
+  deltas:float array ->
+  gtc:floatarray ->
+  patterns:int array ->
+  unit
+(** [eval_grid t ~deltas ~gtc ~patterns] evaluates the whole delta grid,
+    writing [eval t ~delta:deltas.(i)] into [gtc.(i)]/[patterns.(i)] —
+    bit-identical to per-point {!eval} (including the [delta = 1]
+    shortcut, tie-breaking and the degenerate NaN contract), at roughly
+    half the FMA count: the numerator vertex values are plan-independent
+    and are hoisted into the scratch once per delta instead of
+    recomputed per kept plan.  Steady state (warm scratch, caller-owned
+    buffers) allocates zero minor-heap words per grid point — the
+    figure BENCH_kernel.json records and CI gates on.  No budget: the
+    degradation ladder uses per-point {!eval}.  Raises
+    [Invalid_argument] if a delta is below 1 or a buffer is shorter
+    than [deltas]. *)
 
 (** {2 Introspection} (golden tests, diagnostics)
 
@@ -148,9 +194,34 @@ module Bnb : sig
       [Invalid_argument] under the same conditions, with the dimension
       gate at {!max_dim}. *)
 
+  val rebind : t -> initial:Vec.t -> t
+  (** As the exhaustive [rebind]: same plans, center and prefix-sum
+      tables, different initial — bit-identical to a fresh {!build}
+      with that initial.  Recomputes the numerator prefix sums and the
+      bitwise [eq]/[pinned]/[identical] tables only. *)
+
+  val bytes : t -> int
+  (** Resident size in bytes from the table dimensions; the [size_of]
+      for the server's branch-and-bound cache. *)
+
+  (** Reusable node-pool state for sequential searches: flat unboxed
+      spec tables (refilled in place per delta), the preallocated DFS
+      stack, and the stats record.  A scratch binds lazily to the
+      search it is passed with (rebinding when handed a different one),
+      so sweeping a grid against one search allocates nothing per
+      point beyond the result pair.  Single-owner mutable state —
+      never share one across domains, and never store one inside a
+      server-cached value. *)
+  module Scratch : sig
+    type t
+
+    val create : unit -> t
+  end
+
   val eval :
     ?pool:Qsens_parallel.Pool.t ->
     ?budget:Qsens_budget.Budget.t ->
+    ?scratch:Scratch.t ->
     t ->
     delta:float ->
     float * int
@@ -166,13 +237,22 @@ module Bnb : sig
   val eval_with_stats :
     ?pool:Qsens_parallel.Pool.t ->
     ?budget:Qsens_budget.Budget.t ->
+    ?scratch:Scratch.t ->
     t ->
     delta:float ->
     (float * int) * (int * int)
   (** [eval] plus [(nodes, leaves)] visited by the search — the honesty
       counters behind BENCH_highdim.json.  Deterministic for a fixed
       pool size; pooled runs visit more nodes because the incumbent does
-      not travel between shards. *)
+      not travel between shards.
+
+      With [?scratch], sequential searches (a budget present, or no
+      pool/a one-domain pool) run on the node-pool engine
+      ({!Qsens_geom.Vertex_enum.Bnb.Flat}): spec tables are refilled in
+      place per delta and the descent allocates nothing per node.
+      Results and budget trip points are bit-identical to the classic
+      engine; multi-domain unbudgeted searches ignore the scratch and
+      take the pooled path unchanged. *)
 
   (** {3 Introspection} *)
 

@@ -46,17 +46,29 @@ let curve_kernel ~deltas ?pool ~plans ~initial () =
   let darr = Array.of_list deltas in
   let nd = Array.length darr in
   let results = Array.make nd { delta = nan; gtc = nan; witness = [||] } in
-  let fill lo hi =
-    for di = lo to hi - 1 do
-      let delta = darr.(di) in
-      (* qsens-check: disable=C001,C003 — disjoint [lo, hi) slices; no budget here, so Sweep.eval cannot raise Exhausted *)
-      results.(di) <- point_of_eval ~center ~delta (Sweep.eval sweep ~delta)
-    done
-  in
   (match pool with
   | Some p when Pool.domains p > 1 && nd > 1 ->
-      Pool.parallel_for_chunked p ~n:nd fill
-  | _ -> fill 0 nd);
+      Pool.parallel_for_chunked p ~n:nd (fun lo hi ->
+          for di = lo to hi - 1 do
+            let delta = darr.(di) in
+            (* qsens-lint: disable=P001; qsens-check: disable=C001 — disjoint [lo, hi) slices *)
+            results.(di) <-
+              (* qsens-check: disable=C003 — no budget here, so Sweep.eval cannot raise Exhausted *)
+              point_of_eval ~center ~delta (Sweep.eval sweep ~delta)
+          done)
+  | _ ->
+      (* Sequential: evaluate the whole grid through the incremental
+         kernel — bit-identical to per-point [Sweep.eval], with the
+         numerator vertex values hoisted once per delta and zero
+         minor-heap words per point in steady state. *)
+      let gtc = Float.Array.make nd nan in
+      let patterns = Array.make nd (-1) in
+      Sweep.eval_grid sweep ~deltas:darr ~gtc ~patterns;
+      for di = 0 to nd - 1 do
+        results.(di) <-
+          point_of_eval ~center ~delta:darr.(di)
+            (Float.Array.get gtc di, patterns.(di))
+      done);
   Obs.add m_curve_points nd;
   Array.to_list results
 
@@ -101,25 +113,27 @@ let curve_bnb ?node_budget ~deltas ?pool ~plans ~initial () =
   let nd = Array.length darr in
   let results = Array.make nd { delta = nan; gtc = nan; witness = [||] } in
   let fell = Array.make nd false in
-  let point ?pool delta di =
+  let point ?pool ?scratch delta di =
     match node_budget with
-    (* qsens-check: disable=C003 — unbudgeted branch: Bnb.eval cannot raise Exhausted without a budget *)
-    | None -> point_of_eval ~center ~delta (Sweep.Bnb.eval ?pool bnb ~delta)
+    | None ->
+        (* qsens-check: disable=C003 — unbudgeted branch: Bnb.eval cannot raise Exhausted without a budget *)
+        point_of_eval ~center ~delta (Sweep.Bnb.eval ?pool ?scratch bnb ~delta)
     | Some n -> (
         let budget = Budget.create n in
         try
-          point_of_eval ~center ~delta (Sweep.Bnb.eval ?pool ~budget bnb ~delta)
+          point_of_eval ~center ~delta
+            (Sweep.Bnb.eval ?pool ~budget ?scratch bnb ~delta)
         with Budget.Exhausted _ ->
           (* qsens-check: disable=C001 — each chunk fills a disjoint [lo, hi) slice *)
           fell.(di) <- true;
           let gtc, witness = gtc_at_full_legacy ~plans ~initial delta in
           { delta; gtc; witness })
   in
-  let fill ?pool lo hi =
+  let fill ?pool ?scratch lo hi =
     for di = lo to hi - 1 do
       let delta = darr.(di) in
       (* qsens-check: disable=C001 — each chunk fills a disjoint [lo, hi) slice *)
-      results.(di) <- point ?pool delta di
+      results.(di) <- point ?pool ?scratch delta di
     done
   in
   (match pool with
@@ -127,10 +141,16 @@ let curve_bnb ?node_budget ~deltas ?pool ~plans ~initial () =
       (* Chunk over grid points; the searches inside each chunk run
          sequentially (pools are not reentrant).  Results are identical
          either way — only the node counts differ between sharded and
-         sequential searches. *)
+         sequential searches.  No shared scratch here: a Bnb.Scratch is
+         single-owner state and the chunks run on distinct domains. *)
       Pool.parallel_for_chunked p ~n:nd (fun lo hi -> fill lo hi)
   | Some p when Pool.domains p > 1 -> fill ~pool:p 0 nd
-  | _ -> fill 0 nd);
+  | _ ->
+      (* One scratch for the whole sequential sweep: the node-pool
+         engine refills the flat spec tables per delta and allocates
+         nothing per search node — same results and budget trip points
+         as the classic engine. *)
+      fill ~scratch:(Sweep.Bnb.Scratch.create ()) 0 nd);
   let fallbacks = Array.fold_left (fun a f -> if f then a + 1 else a) 0 fell in
   Obs.add m_budget_fallbacks fallbacks;
   Obs.add m_curve_points nd;

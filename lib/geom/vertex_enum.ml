@@ -233,7 +233,9 @@ module Bnb = struct
   let descend s ~si ~stats ~budget ~best ~best_pat ~best_spec ~depth0 ~pattern0
       ~pnum0 ~pden0 =
     let rec node depth pattern pnum pden =
-      Budget.spend_opt budget ~who:"Vertex_enum.Bnb" 1;
+      (match budget with
+      | None -> ()
+      | Some b -> Budget.spend b ~who:"Vertex_enum.Bnb" 1);
       stats.nodes <- stats.nodes + 1;
       if depth < 0 then begin
         stats.leaves <- stats.leaves + 1;
@@ -249,8 +251,15 @@ module Bnb = struct
           if !best > eq_threshold then s.num_bound_eq.(depth)
           else s.num_bound.(depth)
         in
-        let ub = (pnum +. nb) /. (pden +. s.den_bound.(depth)) in
-        if ub *. inflate <= !best then ()
+        (* Cross-multiplied prune test: [(n /. d) *. inflate <= best] costs
+           a division per node, and internal nodes outnumber leaves ~1000:1
+           on deep searches.  With [d >= 0] the multiplied form decides the
+           same real inequality within 2 ulps — absorbed by [inflate]'s
+           1e-12 margin — and degenerates conservatively: [best = -inf] or
+           [d = 0] make the comparison false, so the subtree is kept.  The
+           node-pool engine uses the identical form, term for term. *)
+        if (pnum +. nb) *. inflate <= !best *. (pden +. s.den_bound.(depth))
+        then ()
         else if s.pinned.(depth) then
           node (depth - 1) pattern
             (pnum +. s.num_lo.(depth))
@@ -376,6 +385,296 @@ module Bnb = struct
           search_pooled p ~stats ~seed specs
       | _ -> search_sequential ~stats ~seed ~budget specs
     end
+
+  (* ---------------------------------------------------------------- *)
+  (* Node-pool engine: the same search as [search_sequential] — same
+     visit order, same bound arithmetic, same budget spends, hence
+     bit-identical results and trip points — run over unboxed state.
+     The recursive [descend] boxes its two float arguments at every
+     call and its leaf kernel returns a boxed float; at dim 24 that is
+     hundreds of kilowords of minor-heap traffic per grid point.  Here
+     the DFS runs on an explicit, preallocated stack of parallel
+     int/floatarray columns (the "node pool"), the leaf kernel is
+     inlined into the loop (no flambda: a cross-function float return
+     would allocate), and the spec's term tables are caller-owned
+     [floatarray]s refilled in place per delta — so descending the
+     frontier allocates nothing per node. *)
+  module Flat = struct
+    type spec = {
+      dim : int;
+      num_hi : floatarray;
+      num_lo : floatarray;
+      den_hi : floatarray;
+      den_lo : floatarray;
+      num_bound : floatarray;
+      num_bound_eq : floatarray;
+      den_bound : floatarray;
+      pinned : bool array;
+      wn : floatarray;  (* numerator leaf weights, ascending order *)
+      wd : floatarray;  (* denominator leaf weights *)
+      mutable identical : bool;
+      mutable delta : float;
+      mutable inv : float;
+    }
+
+    let make_spec ~dim =
+      if dim < 0 || dim > Sys.int_size - 2 then
+        invalid_arg
+          (Printf.sprintf "Vertex_enum.Bnb.Flat: dimension %d out of range" dim);
+      let fa () = Float.Array.make dim 0. in
+      {
+        dim;
+        num_hi = fa ();
+        num_lo = fa ();
+        den_hi = fa ();
+        den_lo = fa ();
+        num_bound = fa ();
+        num_bound_eq = fa ();
+        den_bound = fa ();
+        pinned = Array.make dim false;
+        wn = fa ();
+        wd = fa ();
+        identical = false;
+        delta = 1.;
+        inv = 1.;
+      }
+
+    (* The DFS stack: columns of one preallocated node pool.  Depth
+       strictly decreases along a path and each node pushes at most one
+       pending sibling per level, so [dim + 2] slots always suffice. *)
+    type stack = {
+      mutable depth : int array;
+      mutable pattern : int array;
+      mutable pnum : floatarray;
+      mutable pden : floatarray;
+    }
+
+    let make_stack () =
+      {
+        depth = [||];
+        pattern = [||];
+        pnum = Float.Array.create 0;
+        pden = Float.Array.create 0;
+      }
+
+    let reserve st dim =
+      let cap = dim + 2 in
+      if Array.length st.depth < cap then begin
+        st.depth <- Array.make cap 0;
+        st.pattern <- Array.make cap 0;
+        st.pnum <- Float.Array.make cap 0.;
+        st.pden <- Float.Array.make cap 0.
+      end
+
+    (* Same Dinkelbach warm start as the boxed engine, term for term:
+       identical float operations on identical values, so the shared
+       seed — and with it every budget trip point — is bit-identical. *)
+    let leaf_value s k =
+      let an = ref 0. and bn = ref 0. and ad = ref 0. and bd = ref 0. in
+      for i = 0 to s.dim - 1 do
+        if k land (1 lsl i) <> 0 then begin
+          an := !an +. Float.Array.unsafe_get s.wn i;
+          ad := !ad +. Float.Array.unsafe_get s.wd i
+        end
+        else begin
+          bn := !bn +. Float.Array.unsafe_get s.wn i;
+          bd := !bd +. Float.Array.unsafe_get s.wd i
+        end
+      done;
+      ((s.delta *. !an) +. (!bn *. s.inv))
+      /. ((s.delta *. !ad) +. (!bd *. s.inv))
+
+    let greedy_pattern s lambda =
+      let k = ref 0 in
+      for i = 0 to s.dim - 1 do
+        if
+          Float.Array.get s.num_hi i -. (lambda *. Float.Array.get s.den_hi i)
+          > Float.Array.get s.num_lo i -. (lambda *. Float.Array.get s.den_lo i)
+        then k := !k lor (1 lsl i)
+      done;
+      !k
+
+    let seed_value s =
+      let best = ref neg_infinity in
+      let lambda = ref (leaf_value s 0) in
+      if Float.is_finite !lambda && !lambda > 0. then best := !lambda
+      else lambda := 1.;
+      (try
+         for _ = 1 to 8 do
+           let k = greedy_pattern s !lambda in
+           let v = leaf_value s k in
+           if Float.equal v infinity then begin
+             best := Float.max !best Float.max_float;
+             raise Exit
+           end;
+           if Float.is_finite v && v > !best then best := v;
+           if Float.is_nan v || v <= !lambda then raise Exit;
+           lambda := v
+         done
+       with Exit -> ());
+      !best
+
+    let shared_seed specs =
+      let v =
+        Array.fold_left
+          (fun acc s -> Float.max acc (seed_value s))
+          neg_infinity specs
+      in
+      if Float.is_finite v && v > 0. then
+        Float.min (v *. (1. -. 1e-12)) (Float.pred v)
+      else neg_infinity
+
+    let search ?stats ?budget ~stack specs =
+      let stats = match stats with Some s -> s | None -> fresh_stats () in
+      if Array.length specs = 0 then (neg_infinity, -1, -1)
+      else begin
+        Array.iter (fun s -> reserve stack s.dim) specs;
+        let seed = shared_seed specs in
+        let best = ref seed and best_pat = ref (-1) and best_spec = ref (-1) in
+        (* qsens-hot: begin *)
+        for si = 0 to Array.length specs - 1 do
+          let s = specs.(si) in
+          let dim = s.dim
+          and delta = s.delta
+          and inv = s.inv
+          and wn = s.wn
+          and wd = s.wd in
+          if s.identical || dim = 0 then begin
+            Budget.spend_opt budget ~who:"Vertex_enum.Bnb" 1;
+            stats.nodes <- stats.nodes + 1;
+            stats.leaves <- stats.leaves + 1;
+            (* Pattern-0 leaf, inlined (see module comment). *)
+            let bn = ref 0. and bd = ref 0. in
+            for i = 0 to dim - 1 do
+              bn := !bn +. Float.Array.unsafe_get wn i;
+              bd := !bd +. Float.Array.unsafe_get wd i
+            done;
+            let v =
+              ((delta *. 0.) +. (!bn *. inv)) /. ((delta *. 0.) +. (!bd *. inv))
+            in
+            if v > !best then begin
+              best := v;
+              best_pat := 0;
+              best_spec := si
+            end
+          end
+          else begin
+            let sd = stack.depth
+            and sk = stack.pattern
+            and sn = stack.pnum
+            and sp = stack.pden in
+            let num_hi = s.num_hi
+            and num_lo = s.num_lo
+            and den_hi = s.den_hi
+            and den_lo = s.den_lo
+            and num_bound = s.num_bound
+            and num_bound_eq = s.num_bound_eq
+            and den_bound = s.den_bound
+            and pinned = s.pinned in
+            (* The numerator-bound table depends only on whether the
+               incumbent exceeds [eq_threshold], and the incumbent only
+               grows — the predicate flips at most once per search, so
+               re-select the table when a leaf improves [best] instead
+               of re-testing at every node.  Per-node values are the
+               ones the boxed engine computes. *)
+            let nb_tab = ref (if !best > eq_threshold then num_bound_eq else num_bound) in
+            (* The recursion walks its lo child immediately (pop follows
+               push), so keep the current node in locals and only spill
+               the pending hi sibling to the pool: one frame write per
+               binary branch instead of two writes and a reload.  Frames
+               still pop in the recursion's preorder, so node order —
+               and with it stats and the budget charge sequence — is
+               unchanged. *)
+            let depth = ref (dim - 1) in
+            let pattern = ref 0 in
+            let pnum = ref 0. in
+            let pden = ref 0. in
+            let top = ref 0 in
+            let walking = ref true in
+            while !walking do
+              (* Inlined [Budget.spend_opt]: the cross-module call is pure
+                 overhead on the unbudgeted path, which pays it once per
+                 node.  The charge sequence under a budget is unchanged. *)
+              (match budget with
+              | None -> ()
+              | Some b -> Budget.spend b ~who:"Vertex_enum.Bnb" 1);
+              stats.nodes <- stats.nodes + 1;
+              let d = !depth in
+              if d < 0 then begin
+                stats.leaves <- stats.leaves + 1;
+                let k = !pattern in
+                let an = ref 0. and bn = ref 0. in
+                let ad = ref 0. and bd = ref 0. in
+                for i = 0 to dim - 1 do
+                  if k land (1 lsl i) <> 0 then begin
+                    an := !an +. Float.Array.unsafe_get wn i;
+                    ad := !ad +. Float.Array.unsafe_get wd i
+                  end
+                  else begin
+                    bn := !bn +. Float.Array.unsafe_get wn i;
+                    bd := !bd +. Float.Array.unsafe_get wd i
+                  end
+                done;
+                let v =
+                  ((delta *. !an) +. (!bn *. inv))
+                  /. ((delta *. !ad) +. (!bd *. inv))
+                in
+                if v > !best then begin
+                  best := v;
+                  best_pat := k;
+                  best_spec := si;
+                  if v > eq_threshold then nb_tab := num_bound_eq
+                end;
+                if !top > 0 then begin
+                  decr top;
+                  let t = !top in
+                  depth := Array.unsafe_get sd t;
+                  pattern := Array.unsafe_get sk t;
+                  pnum := Float.Array.unsafe_get sn t;
+                  pden := Float.Array.unsafe_get sp t
+                end
+                else walking := false
+              end
+              else begin
+                let nb = Float.Array.unsafe_get !nb_tab d in
+                (* Same cross-multiplied prune test as the boxed engine,
+                   term for term (see [descend]). *)
+                if
+                  (!pnum +. nb) *. inflate
+                  <= !best *. (!pden +. Float.Array.unsafe_get den_bound d)
+                then
+                  if !top > 0 then begin
+                    decr top;
+                    let t = !top in
+                    depth := Array.unsafe_get sd t;
+                    pattern := Array.unsafe_get sk t;
+                    pnum := Float.Array.unsafe_get sn t;
+                    pden := Float.Array.unsafe_get sp t
+                  end
+                  else walking := false
+                else begin
+                  if not (Array.unsafe_get pinned d) then begin
+                    let t = !top in
+                    Array.unsafe_set sd t (d - 1);
+                    Array.unsafe_set sk t (!pattern lor (1 lsl d));
+                    Float.Array.unsafe_set sn t
+                      (!pnum +. Float.Array.unsafe_get num_hi d);
+                    Float.Array.unsafe_set sp t
+                      (!pden +. Float.Array.unsafe_get den_hi d);
+                    top := t + 1
+                  end;
+                  pnum := !pnum +. Float.Array.unsafe_get num_lo d;
+                  pden := !pden +. Float.Array.unsafe_get den_lo d;
+                  depth := d - 1
+                end
+              end
+            done
+          end
+        done;
+        (* qsens-hot: end *)
+        (!best, !best_pat, !best_spec)
+      end
+  end
 end
 
 let vertices ?(eps = 1e-7) ?(max_subsets = 200_000) ?pool hs =
@@ -433,7 +732,7 @@ let vertices ?(eps = 1e-7) ?(max_subsets = 200_000) ?pool hs =
         let streams =
           match pool with
           | Some p when Pool.domains p > 1 && total > 1 ->
-              let chunks = max 1 (min total (Pool.domains p * 4)) in
+              let chunks = Pool.auto_chunks ~domains:(Pool.domains p) ~n:total in
               let parts = Array.make chunks [] in
               Pool.run p
                 (Array.init chunks (fun c ->

@@ -114,6 +114,63 @@ module Bnb : sig
       sequentially, ignoring [?pool]: the trip point is then a pure
       function of (budget, specs) rather than of incumbent travel
       between shards. *)
+
+  (** {2 Node-pool engine}
+
+      The same sequential search run over unboxed state: spec term
+      tables are caller-owned [floatarray]s refilled in place per delta,
+      the DFS runs on an explicit preallocated {!Flat.stack} instead of
+      recursion (whose float arguments box at every call), and the leaf
+      kernel is inlined — so descending the frontier allocates nothing
+      per node.  Visit order, bound arithmetic, warm-start seed and
+      budget spends are identical operation for operation to {!search}
+      without a pool, hence results {e and} budget trip points are
+      bit-identical to it. *)
+  module Flat : sig
+    type spec = {
+      dim : int;
+      num_hi : floatarray;
+      num_lo : floatarray;
+      den_hi : floatarray;
+      den_lo : floatarray;
+      num_bound : floatarray;
+      num_bound_eq : floatarray;
+      den_bound : floatarray;
+      pinned : bool array;
+      wn : floatarray;
+          (** Numerator leaf weights; the leaf ratio at pattern [k] is
+              [fma delta an (bn * inv) / fma delta ad (bd * inv)] with
+              [an]/[bn] the ascending partial sums of [wn] over
+              set/cleared bits and [ad]/[bd] likewise over [wd] — the
+              exact {!Qsens_core} sweep kernel. *)
+      wd : floatarray;  (** Denominator leaf weights. *)
+      mutable identical : bool;
+          (** As {!Bnb.spec.identical}: only pattern 0 is evaluated. *)
+      mutable delta : float;
+      mutable inv : float;  (** [1 / delta], computed once by the filler. *)
+    }
+
+    val make_spec : dim:int -> spec
+    (** All tables preallocated at [dim], zero-filled; the caller fills
+        them in place before each {!search}. *)
+
+    type stack
+    (** The preallocated node pool; grows to the largest dimension ever
+        searched and is then reused.  Single-owner mutable state — never
+        share one across domains. *)
+
+    val make_stack : unit -> stack
+
+    val search :
+      ?stats:stats ->
+      ?budget:Qsens_budget.Budget.t ->
+      stack:stack ->
+      spec array ->
+      float * int * int
+    (** Bit-identical to the sequential {!Bnb.search} on equivalent
+        specs, including budget trip points; allocates no minor-heap
+        words per visited node once [stack] has warmed up. *)
+  end
 end
 
 val count_subsets : int -> int -> int

@@ -39,6 +39,30 @@ let dot_sub a pos len x =
   done;
   !acc
 
+(* Same ascending accumulation over an unboxed [floatarray] slice.  The
+   bounds are validated up front, so the loop reads with unsafe accessors
+   — the values (and hence the bits) are the same as [dot_sub] on a boxed
+   copy of the slice. *)
+let dot_sub_fa a pos len x =
+  if pos < 0 || len < 0 || pos + len > Float.Array.length a then
+    invalid_arg
+      (Printf.sprintf
+         "Vec.dot_sub_fa: slice [%d, %d) outside array of length %d" pos
+         (pos + len) (Float.Array.length a));
+  if len <> Array.length x then
+    invalid_arg
+      (Printf.sprintf "Vec.dot_sub_fa: dimension mismatch (%d vs %d)" len
+         (Array.length x));
+  let acc = ref 0. in
+  for i = 0 to len - 1 do
+    acc :=
+      !acc +. (Float.Array.unsafe_get a (pos + i) *. Array.unsafe_get x i)
+  done;
+  !acc
+
+let of_floatarray fa = Array.init (Float.Array.length fa) (Float.Array.get fa)
+let to_floatarray a = Float.Array.init (Array.length a) (Array.get a)
+
 let map2_named name f a b =
   check_dims name a b;
   Array.init (Array.length a) (fun i -> f a.(i) b.(i))

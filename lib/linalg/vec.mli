@@ -52,6 +52,17 @@ val dot_sub : t -> int -> int -> t -> float
     [Invalid_argument] if the slice lies outside [a] or
     [len <> dim x]. *)
 
+val dot_sub_fa : floatarray -> int -> int -> t -> float
+(** [dot_sub_fa a pos len x] is {!dot_sub} over an unboxed [floatarray]
+    slice: ascending accumulation, bit-identical to [dot_sub] on a boxed
+    copy of the slice.  Backs the unboxed plan matrices of
+    [Qsens_linalg.Kernel]. *)
+
+val of_floatarray : floatarray -> t
+
+val to_floatarray : t -> floatarray
+(** Boxed/unboxed bridges; both copy. *)
+
 val add : t -> t -> t
 
 val sub : t -> t -> t

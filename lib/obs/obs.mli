@@ -60,7 +60,27 @@ val bucket_of : float -> int
 val bucket_lo : int -> float
 val bucket_hi : int -> float
 
-(** {1 Export} *)
+(** {1 Allocation accounting}
+
+    GC-counter plumbing for the zero-allocation contracts of the unboxed
+    kernels (DESIGN.md section 16): the benchmark and the CI smoke gate
+    measure minor-heap words per grid point with these, independent of
+    the recording flag. *)
+
+val alloc_counters : unit -> float * float
+(** [(minor_words, major_words)] allocated by this domain since program
+    start.  Minor comes from [Gc.minor_words] — the exact, unboxed
+    counter; [Gc.counters]' minor figure is sampled and under-reports —
+    and major from [Gc.quick_stat] (includes promoted). *)
+
+val measure_alloc : n:int -> (unit -> 'a) -> 'a * float * float
+(** [measure_alloc ~n f] runs [f] once and returns
+    [(result, minor words / n, major words / n)] — allocation attributed
+    per iteration for a thunk that loops [n] times.  The measurement's
+    own constant allocation (the [Gc.counters] results and closure
+    call, calibrated once against a no-op thunk) is subtracted and the
+    result clamped at 0, so a loop that allocates nothing reports
+    exactly 0 per iteration.  Raises [Invalid_argument] if [n < 1]. *)
 
 (** Chrome-trace JSON ("traceEvents"): tracks sorted main-first then by
     label, events in logical order. *)

@@ -216,10 +216,20 @@ let chunk_bounds ~n ~chunks i =
   let len = q + if i < r then 1 else 0 in
   (lo, lo + len)
 
+(* Default chunk count: at least two waves per domain so the
+   claim-by-index scheduler can balance uneven chunks, and for large
+   index spaces one chunk per ~64 elements so a single slow region
+   never serialises a whole domain-sized slice.  One formula for every
+   call site; pass [?chunks] to override. *)
+let auto_chunks ~domains ~n =
+  if domains < 1 then invalid_arg "Pool.auto_chunks: domains must be >= 1";
+  if n <= 0 then 1
+  else max 1 (min n (max (2 * domains) (n / 64)))
+
 let resolve_chunks pool ~n = function
   | Some c when c >= 1 -> min c n
   | Some _ -> invalid_arg "Pool: chunks must be >= 1"
-  | None -> max 1 (min n (pool.size * 4))
+  | None -> auto_chunks ~domains:pool.size ~n
 
 let parallel_for_chunked ?chunks ?retry pool ~n body =
   if n > 0 then begin

@@ -69,12 +69,22 @@ val chunk_bounds : n:int -> chunks:int -> int -> int * int
     [i]-th of [chunks] near-equal contiguous chunks of [0 .. n-1].
     Deterministic in its arguments; sizes differ by at most one. *)
 
+val auto_chunks : domains:int -> n:int -> int
+(** [auto_chunks ~domains ~n] is the default chunk count used when
+    [?chunks] is omitted: [max (2 * domains) (n / 64)], clamped to
+    [1 .. n] — at least two waves per domain for claim-based load
+    balancing, and one chunk per ~64 elements on large index spaces so
+    a slow region never serialises a domain-sized slice.  The single
+    chunking formula for every combinator and call site (determinism:
+    results never depend on the chunk count, only scheduling does).
+    Raises [Invalid_argument] if [domains < 1]. *)
+
 val parallel_for_chunked :
   ?chunks:int -> ?retry:int -> t -> n:int -> (int -> int -> unit) -> unit
 (** [parallel_for_chunked pool ~n body] calls [body lo hi] for each
     chunk, covering [0 .. n-1] exactly once.  [chunks] defaults to
-    [4 * domains pool] (capped at [n]).  With one domain the single
-    call [body 0 n] runs inline.  [retry] as in {!run} (the inline path
+    {!auto_chunks} (capped at [n]).  With one domain the single call
+    [body 0 n] runs inline.  [retry] as in {!run} (the inline path
     honours it too). *)
 
 val map_reduce :

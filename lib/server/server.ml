@@ -140,8 +140,12 @@ let create ?(config = default_config) ?pool ?faults () =
       faults;
       setups = Hashtbl.create 16;
       candidates_cache = lru "candidates" ~size_of:marshal_size;
-      sweep_cache = lru "sweeps" ~size_of:marshal_size;
-      bnb_cache = lru "bnb" ~size_of:marshal_size;
+      (* Sweep tables are flat unboxed arrays: their resident size is a
+         pure function of the table dimensions, so the byte budget is
+         charged exactly instead of via a marshalled-image guess (which
+         under-counts the unboxed tables' resident footprint). *)
+      sweep_cache = lru "sweeps" ~size_of:Sweep.bytes;
+      bnb_cache = lru "bnb" ~size_of:Sweep.Bnb.bytes;
       breakers = Hashtbl.create 4;
       stopping = false;
       requests = 0;

@@ -236,6 +236,47 @@ let test_k002_suppressible () =
      let vs hs = Vertex_enum.vertices hs\n"
 
 (* ------------------------------------------------------------------ *)
+(* K003: allocation banned inside qsens-hot regions *)
+
+let hot body = Printf.sprintf "(* qsens-hot: begin *)\n%s(* qsens-hot: end *)\n" body
+
+let test_k003_fires () =
+  check_diags "Array.make in a hot region"
+    [ (2, "K003") ]
+    ~file:"lib/core/sweep.ml"
+    (hot "let f n = Array.make n 0.\n");
+  check_diags "aliased Float.Array.make also fires"
+    [ (2, "K003") ]
+    ~file:"lib/linalg/kernel.ml"
+    (hot "let f n = FA.make n 0.\n");
+  check_diags "list construction fires"
+    [ (2, "K003") ]
+    ~file:"lib/geom/vertex_enum.ml"
+    (hot "let f x acc = x :: acc\n");
+  check_diags "array literal fires"
+    [ (2, "K003") ]
+    ~file:"lib/core/sweep.ml"
+    (hot "let f x = [| x |]\n")
+
+let test_k003_scoped_to_hot_regions () =
+  check_diags "allocation outside the markers is fine" []
+    ~file:"lib/core/sweep.ml"
+    "let build n = Array.make n 0.\n";
+  check_diags "unscoped files may allocate in hot-marked code" []
+    ~file:"lib/core/framework.ml"
+    (hot "let f n = Array.make n 0.\n");
+  check_diags "reads in a hot region are fine" []
+    ~file:"lib/core/sweep.ml"
+    (hot "let f a i = Array.unsafe_get a i\n")
+
+let test_k003_suppressible () =
+  check_diags "disable comment silences" []
+    ~file:"lib/core/sweep.ml"
+    (hot
+       "(* qsens-lint: disable=K003 — one-time growth, amortized *)\n\
+        let f n = Array.make n 0.\n")
+
+(* ------------------------------------------------------------------ *)
 (* Suppression comments *)
 
 let bare_fold = "Hashtbl.fold (fun k _ acc -> k :: acc) tbl []"
@@ -311,7 +352,8 @@ let test_render () =
 let test_rule_catalogue () =
   Alcotest.(check (list string))
     "documented rule ids"
-    [ "D001"; "P001"; "F001"; "E001"; "W001"; "R001"; "O001"; "K001"; "K002" ]
+    [ "D001"; "P001"; "F001"; "E001"; "W001"; "R001"; "O001"; "K001"; "K002";
+      "K003" ]
     (List.map fst Qsens_lint.rules)
 
 (* ------------------------------------------------------------------ *)
@@ -384,6 +426,15 @@ let () =
             test_k002_scoped_and_precise;
           Alcotest.test_case "suppressible with justification" `Quick
             test_k002_suppressible;
+        ] );
+      ( "k003",
+        [
+          Alcotest.test_case "fires on allocation in hot regions" `Quick
+            test_k003_fires;
+          Alcotest.test_case "scoped to marked regions" `Quick
+            test_k003_scoped_to_hot_regions;
+          Alcotest.test_case "suppressible with justification" `Quick
+            test_k003_suppressible;
         ] );
       ( "suppression",
         [

@@ -38,6 +38,35 @@ let test_chunk_bounds () =
         (Array.for_all (fun c -> c = 1) covered))
     [ (10, 3); (7, 7); (100, 8); (5, 4); (3, 2) ]
 
+let test_auto_chunks () =
+  (* The single default-chunking formula behind every ?chunks-omitted
+     call site: max (2*domains) (n/64), clamped to 1..n. *)
+  List.iter
+    (fun (domains, n, expect) ->
+      Alcotest.(check int)
+        (Printf.sprintf "domains=%d n=%d" domains n)
+        expect
+        (Pool.auto_chunks ~domains ~n))
+    [
+      (* Small n: clamped to n itself. *)
+      (2, 1, 1);
+      (2, 3, 3);
+      (4, 5, 5);
+      (* Two waves per domain dominates for mid-size n. *)
+      (2, 100, 4);
+      (3, 100, 6);
+      (4, 1_000, 15);
+      (* One chunk per ~64 elements dominates for large n. *)
+      (2, 10_000, 156);
+      (1, 640, 10);
+      (* Degenerate index spaces collapse to one chunk. *)
+      (2, 0, 1);
+      (2, -5, 1);
+    ];
+  Alcotest.check_raises "domains < 1 rejected"
+    (Invalid_argument "Pool.auto_chunks: domains must be >= 1") (fun () ->
+      ignore (Pool.auto_chunks ~domains:0 ~n:10))
+
 let test_map_reduce_sum () =
   let n = 10_000 in
   let map lo hi =
@@ -367,6 +396,7 @@ let () =
       ( "pool",
         [
           Alcotest.test_case "chunk bounds" `Quick test_chunk_bounds;
+          Alcotest.test_case "auto chunks" `Quick test_auto_chunks;
           Alcotest.test_case "map_reduce sum" `Quick test_map_reduce_sum;
           Alcotest.test_case "map_reduce order" `Quick test_map_reduce_order;
           Alcotest.test_case "parallel_for coverage" `Quick

@@ -422,6 +422,128 @@ let prop_bnb_curve_bits_degenerate =
     bnb_curve_property
 
 (* ------------------------------------------------------------------ *)
+(* Incremental engines (the paths BENCH_kernel.json measures): the
+   whole-grid evaluation and the node-pool search must reproduce the
+   per-point bits exactly — cold or warm scratch, budgeted or not. *)
+
+let grid_deltas = [| 1.; 1.5; 2.; 10.; 177.; 10_000. |]
+
+let grid_property (plans, center) =
+  let initial = plans.(0) in
+  let sweep = Sweep.build ~plans ~initial ~center () in
+  let n = Array.length grid_deltas in
+  let gtc = Float.Array.make n 0. in
+  let patterns = Array.make n 0 in
+  let scratch = Sweep.Scratch.create () in
+  let ok = ref true in
+  (* Two passes through one scratch: the cold fill and the warm reuse
+     must both match per-point eval. *)
+  for _pass = 0 to 1 do
+    Sweep.eval_grid ~scratch sweep ~deltas:grid_deltas ~gtc ~patterns;
+    Array.iteri
+      (fun i delta ->
+        let g, k = Sweep.eval sweep ~delta in
+        if not (same_float g (Float.Array.get gtc i) && k = patterns.(i))
+        then ok := false)
+      grid_deltas
+  done;
+  !ok
+
+let prop_grid_bits =
+  QCheck.Test.make ~count:60
+    ~name:"eval_grid == per-point eval, shared scratch"
+    (QCheck.make
+       (gen_plan_set_center ~dim_lo:2 ~dim_hi:10 ~plans_lo:2 ~plans_hi:10
+          ~degenerate:false))
+    grid_property
+
+let prop_grid_bits_degenerate =
+  QCheck.Test.make ~count:40
+    ~name:"eval_grid == per-point eval, zero-usage plans"
+    (QCheck.make
+       (gen_plan_set_center ~dim_lo:2 ~dim_hi:6 ~plans_lo:2 ~plans_hi:8
+          ~degenerate:true))
+    grid_property
+
+(* One Bnb scratch reused across every delta and both checks, as the
+   curve sweep does: the node-pool engine must match the classic search
+   on gtc, pattern AND the (nodes, leaves) honesty counters — an
+   engine that visits a different tree is wrong even when the argmax
+   agrees. *)
+let bnb_scratch_property (plans, center) =
+  let initial = plans.(0) in
+  let sweep = Sweep.build ~plans ~initial ~center () in
+  let bnb = Sweep.Bnb.build ~plans ~initial ~center () in
+  let scratch = Sweep.Bnb.Scratch.create () in
+  List.for_all
+    (fun delta ->
+      let g, k = Sweep.eval sweep ~delta in
+      let (gc, kc), (nodes_c, leaves_c) =
+        Sweep.Bnb.eval_with_stats bnb ~delta
+      in
+      let (gf, kf), (nodes_f, leaves_f) =
+        Sweep.Bnb.eval_with_stats ~scratch bnb ~delta
+      in
+      (same_float g gc || (Float.is_nan g && Float.is_nan gc))
+      && k = kc
+      && (same_float gc gf || (Float.is_nan gc && Float.is_nan gf))
+      && kc = kf && nodes_c = nodes_f && leaves_c = leaves_f)
+    deltas
+
+let prop_bnb_scratch_bits =
+  QCheck.Test.make ~count:60
+    ~name:"Sweep.Bnb: node-pool engine == classic == exhaustive"
+    (QCheck.make
+       (gen_plan_set_center ~dim_lo:2 ~dim_hi:10 ~plans_lo:2 ~plans_hi:10
+          ~degenerate:false))
+    bnb_scratch_property
+
+let prop_bnb_scratch_bits_degenerate =
+  QCheck.Test.make ~count:40
+    ~name:"Sweep.Bnb: node-pool engine, zero-usage plans"
+    (QCheck.make
+       (gen_plan_set_center ~dim_lo:2 ~dim_hi:6 ~plans_lo:2 ~plans_hi:8
+          ~degenerate:true))
+    bnb_scratch_property
+
+let test_budget_trip_point_identity () =
+  (* The node-pool engine must charge budget units in exactly the
+     classic engine's order: for every allowance from zero past the
+     unbudgeted node count, both engines either trip with identical
+     Exhausted payloads and identical spend, or finish with identical
+     results and identical spend. *)
+  let module B = Qsens_budget.Budget in
+  let plans =
+    [| [| 1.; 4.; 2.; 7. |]; [| 5.; 1.; 1.; 2. |]; [| 2.; 2.; 2.; 2. |] |]
+  in
+  let initial = plans.(0) in
+  let center = [| 1.; 2.; 0.5; 3. |] in
+  let bnb = Sweep.Bnb.build ~plans ~initial ~center () in
+  let scratch = Sweep.Bnb.Scratch.create () in
+  let run ?scratch ~allowance ~delta () =
+    let budget = B.create allowance in
+    let outcome =
+      match Sweep.Bnb.eval ?scratch ~budget bnb ~delta with
+      | g, k -> Ok (g, k)
+      | exception B.Exhausted { who; limit; asked } ->
+          Error (who, limit, asked)
+    in
+    (outcome, B.spent budget)
+  in
+  List.iter
+    (fun delta ->
+      let _, (nodes, _) = Sweep.Bnb.eval_with_stats bnb ~delta in
+      for allowance = 0 to nodes + 1 do
+        let classic = run ~allowance ~delta () in
+        let flat = run ~scratch ~allowance ~delta () in
+        Alcotest.(check bool)
+          (Printf.sprintf "delta %g allowance %d" delta allowance)
+          true
+          (classic = flat)
+      done)
+    [ 1.; 2.; 100. ]
+
+(* ------------------------------------------------------------------ *)
 (* Adversarial near-ties: plan pairs whose vertex values differ only in
    the last few ulps.  Swapping two components of a plan ties its vertex
    sums exactly at the patterns symmetric in those components; a
@@ -457,16 +579,24 @@ let near_tie_property (plans, initial) =
   let center = Vec.make m 1. in
   let sweep = Sweep.build ~plans ~initial ~center () in
   let bnb = Sweep.Bnb.build ~plans ~initial ~center () in
+  let scratch = Sweep.Bnb.Scratch.create () in
   List.for_all
     (fun delta ->
       let g, k = Sweep.eval sweep ~delta in
       let (g', k'), (nodes, _leaves) =
         Sweep.Bnb.eval_with_stats bnb ~delta
       in
+      (* Near-ties are the worst case for the node-pool engine too: the
+         bounds cannot separate the pair, so the walk-down loop and the
+         cached bound-table selection get no help from pruning. *)
+      let gf, kf = Sweep.Bnb.eval ~scratch bnb ~delta in
       let _, worst, _ = !bnb_blowup in
       if nodes > worst then
         bnb_blowup := (m, nodes, Array.length (Sweep.kept sweep) * (1 lsl m));
-      (same_float g g' || (Float.is_nan g && Float.is_nan g')) && k = k')
+      (same_float g g' || (Float.is_nan g && Float.is_nan g'))
+      && k = k'
+      && (same_float g' gf || (Float.is_nan g' && Float.is_nan gf))
+      && k' = kf)
     [ 1.; 2.; 10.; 177.; 10_000. ]
 
 let prop_near_tie_bits =
@@ -570,6 +700,18 @@ let () =
           prop_bnb_curve_bits;
           prop_bnb_curve_bits_degenerate;
         ];
+      qsuite "incremental"
+        [
+          prop_grid_bits;
+          prop_grid_bits_degenerate;
+          prop_bnb_scratch_bits;
+          prop_bnb_scratch_bits_degenerate;
+        ];
+      ( "budget",
+        [
+          Alcotest.test_case "node-pool trip point == classic" `Quick
+            test_budget_trip_point_identity;
+        ] );
       ( "near-tie",
         [
           QCheck_alcotest.to_alcotest prop_near_tie_bits;

@@ -23,8 +23,13 @@
      K001  [Vec.dot] in lib/core/worst_case.ml — the per-delta sweep
            must go through the Sweep/Kernel tables, never regress to
            per-plan dots
+     K003  allocation (array/list construction) inside a
+           [(* qsens-hot: begin *)] ... [(* qsens-hot: end *)] region —
+           the zero-allocation kernels' steady state is a measured,
+           gated contract (BENCH_kernel.json), and a stray Array.make
+           or cons cell in those loops silently voids it
 
-   Rationale for each rule lives in DESIGN.md sections 8, 9 and 11. *)
+   Rationale for each rule lives in DESIGN.md sections 8, 9, 11 and 16. *)
 
 open Ppxlib
 
@@ -48,6 +53,7 @@ let rules =
     ("O001", "ad-hoc clock read in instrumented code");
     ("K001", "naive Vec.dot in the worst-case sweep hot path");
     ("K002", "exhaustive vertex enumeration in the worst-case dispatcher");
+    ("K003", "allocation inside a qsens-hot region");
   ]
 
 let render d =
@@ -188,6 +194,13 @@ let k001_scope file = normalize file = "lib/core/worst_case.ml"
    all 2^dim box vertices. *)
 let k002_scope = k001_scope
 
+(* K003: the files whose [(* qsens-hot: ... *)] regions carry the
+   zero-allocation contract.  Only marked regions are checked, so the
+   cold paths of these files (builders, validation) stay free. *)
+let k003_scope file =
+  List.mem (normalize file)
+    [ "lib/core/sweep.ml"; "lib/linalg/kernel.ml"; "lib/geom/vertex_enum.ml" ]
+
 (* ------------------------------------------------------------------ *)
 (* Longident helpers *)
 
@@ -284,6 +297,29 @@ let is_sort p = List.exists (ends_with_path p) sort_fns
 let is_pool p = List.exists (ends_with_path p) pool_fns
 let is_must_use p = List.exists (ends_with_path p) must_use_fns
 let is_mutation p = List.exists (ends_with_path p) mutation_fns
+
+(* K003: any qualified call whose final name is a known constructor of
+   fresh arrays or lists counts as allocation.  Matching on the last
+   segment (not full paths) keeps module aliases honest: [FA.make] with
+   [module FA = Float.Array] allocates exactly like the spelled-out
+   form.  Syntactic and conservative, like every rule here — a
+   false positive in a hot region carries a disable comment with its
+   justification. *)
+let k003_alloc_names =
+  [
+    "make"; "init"; "create"; "create_float"; "copy"; "append"; "sub";
+    "of_list"; "to_list"; "of_seq"; "to_seq"; "concat"; "map"; "mapi";
+    "map2"; "filter"; "filter_map"; "rev"; "flatten";
+  ]
+
+let is_k003_alloc p =
+  match List.rev (String.split_on_char '.' p) with
+  | last :: (_ :: _ as modpath) ->
+      List.mem last k003_alloc_names
+      && List.for_all
+           (fun seg -> String.length seg > 0 && seg.[0] >= 'A' && seg.[0] <= 'Z')
+           modpath
+  | _ -> false
 
 let is_poly_compare p = p = "compare" || p = "Stdlib.compare"
 
@@ -411,7 +447,47 @@ let scan_pool_closures ~pool_name ~emit arg =
 (* ------------------------------------------------------------------ *)
 (* The main traversal *)
 
-let make_iter ~file ~emit =
+(* The [(* qsens-hot: begin *)] / [(* qsens-hot: end *)] regions, as
+   inclusive line ranges.  An unclosed begin extends to the end of the
+   file — erring toward checking more, as everywhere in this tool. *)
+let hot_ranges src =
+  let contains line needle =
+    let n = String.length line and k = String.length needle in
+    let rec search i =
+      i + k <= n && (String.sub line i k = needle || search (i + 1))
+    in
+    search 0
+  in
+  let ranges = ref [] and opened = ref None in
+  List.iteri
+    (fun i line ->
+      let ln = i + 1 in
+      if contains line "qsens-hot: begin" then
+        (match !opened with None -> opened := Some ln | Some _ -> ())
+      else if contains line "qsens-hot: end" then
+        match !opened with
+        | Some start ->
+            ranges := (start, ln) :: !ranges;
+            opened := None
+        | None -> ())
+    (String.split_on_char '\n' src);
+  (match !opened with
+  | Some start -> ranges := (start, max_int) :: !ranges
+  | None -> ());
+  !ranges
+
+let make_iter ?(hot = []) ~file ~emit () =
+  let in_hot line = List.exists (fun (lo, hi) -> line >= lo && line <= hi) hot in
+  let k003_hot = k003_scope file in
+  let emit_k003 (loc : Location.t) what =
+    if k003_hot && in_hot loc.loc_start.pos_lnum then
+      emit "K003" loc
+        (Printf.sprintf
+           "%s inside a qsens-hot region; these loops carry the measured \
+            zero-allocation contract (BENCH_kernel.json) — hoist the \
+            allocation into the scratch/build phase"
+           what)
+  in
   object (self)
     inherit Ast_traverse.iter as super
 
@@ -462,7 +538,8 @@ let make_iter ~file ~emit =
             emit "K002" e.pexp_loc
               "Vertex_enum.vertices in the worst-case dispatcher materializes \
                all 2^dim box vertices; go through the pruned search \
-               (Sweep.Bnb / Vertex_enum.Bnb.search)"
+               (Sweep.Bnb / Vertex_enum.Bnb.search)";
+          if is_k003_alloc p then emit_k003 e.pexp_loc p
       | _ -> ()
 
     method private sort_protects f args =
@@ -479,6 +556,13 @@ let make_iter ~file ~emit =
 
     method! expression e =
       self#check_ident e;
+      (* K003: construction that allocates without a named function —
+         list cells and array literals. *)
+      (match e.pexp_desc with
+      | Pexp_construct ({ txt = Lident "::"; _ }, Some _) ->
+          emit_k003 e.pexp_loc "list construction (::)"
+      | Pexp_array (_ :: _) -> emit_k003 e.pexp_loc "array literal"
+      | _ -> ());
       match e.pexp_desc with
       | Pexp_try (_, cases) when r001_scope file ->
           List.iter
@@ -709,10 +793,11 @@ let lint_string ~file src =
   in
   let lexbuf = Lexing.from_string src in
   Lexing.set_filename lexbuf file;
+  let hot = if k003_scope file then hot_ranges src else [] in
   (try
      if Filename.check_suffix file ".mli" then
-       (make_iter ~file ~emit)#signature (Parse.interface lexbuf)
-     else (make_iter ~file ~emit)#structure (Parse.implementation lexbuf)
+       (make_iter ~hot ~file ~emit ())#signature (Parse.interface lexbuf)
+     else (make_iter ~hot ~file ~emit ())#structure (Parse.implementation lexbuf)
    with exn ->
      emit "X001"
        { Location.none with loc_start = { Lexing.dummy_pos with pos_lnum = 1 } }
